@@ -1,0 +1,27 @@
+//! E5 — prior-work comparison: ours vs naive vs Lin et al. vs Adhar-Peng.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathcover::prelude::*;
+use pc_bench::workloads::{CotreeFamily, Workload, DEFAULT_SEED};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_baselines");
+    group.sample_size(10);
+    for n in [1usize << 8, 1 << 10] {
+        let cotree = Workload::new(CotreeFamily::Skewed, n, DEFAULT_SEED).cotree();
+        group.bench_with_input(BenchmarkId::new("ours", n), &cotree, |b, t| {
+            b.iter(|| pram_path_cover(t, PramConfig::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &cotree, |b, t| {
+            b.iter(|| naive_parallel_cover(t))
+        });
+        group.bench_with_input(BenchmarkId::new("lin_etal", n), &cotree, |b, t| {
+            b.iter(|| lin_etal_cover(t))
+        });
+        group.bench_with_input(BenchmarkId::new("adhar_peng", n), &cotree, |b, t| {
+            b.iter(|| adhar_peng_like_cover(t))
+        });
+    }
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

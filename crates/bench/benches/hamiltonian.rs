@@ -1,0 +1,27 @@
+//! E7 — Hamiltonian path / cycle decisions.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathcover::prelude::*;
+use pc_bench::workloads::DEFAULT_SEED;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_hamiltonian");
+    group.sample_size(10);
+    for n in [1usize << 10, 1 << 14] {
+        let mut rng = ChaCha8Rng::seed_from_u64(DEFAULT_SEED);
+        let cotree = cograph::generators::random_connected_cotree(n, cograph::CotreeShape::Mixed, &mut rng);
+        group.bench_with_input(BenchmarkId::new("path_decision", n), &cotree, |b, t| {
+            b.iter(|| has_hamiltonian_path(t))
+        });
+        group.bench_with_input(BenchmarkId::new("cycle_decision", n), &cotree, |b, t| {
+            b.iter(|| has_hamiltonian_cycle(t))
+        });
+        group.bench_with_input(BenchmarkId::new("construct_path", n), &cotree, |b, t| {
+            b.iter(|| hamiltonian_path(t))
+        });
+    }
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

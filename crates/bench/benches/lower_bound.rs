@@ -1,0 +1,23 @@
+//! E1 — the OR reduction of Theorem 2.2.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathcover::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_lower_bound");
+    group.sample_size(10);
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    for n in [1usize << 8, 1 << 12] {
+        let bits: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.2)).collect();
+        group.bench_with_input(BenchmarkId::new("or_via_cover", n), &bits, |b, bits| {
+            b.iter(|| or_via_path_cover(bits, min_path_cover_size))
+        });
+        group.bench_with_input(BenchmarkId::new("or_via_pram_pipeline", n), &bits, |b, bits| {
+            b.iter(|| or_via_path_cover(bits, |t| pram_path_cover(t, PramConfig::default()).cover.len()))
+        });
+    }
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! E4 — the full PRAM pipeline (Theorem 5.3): wall time of the simulation
+//! plus the native execution of the same algorithm.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathcover::prelude::*;
+use pc_bench::workloads::{CotreeFamily, Workload, DEFAULT_SEED};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_optimal_cover");
+    group.sample_size(10);
+    for family in CotreeFamily::ALL {
+        for n in [1usize << 8, 1 << 10, 1 << 12] {
+            let cotree = Workload::new(family, n, DEFAULT_SEED).cotree();
+            group.bench_with_input(BenchmarkId::new(format!("native-{}", family.name()), n), &cotree, |b, t| {
+                b.iter(|| path_cover(t))
+            });
+            group.bench_with_input(BenchmarkId::new(format!("pram-{}", family.name()), n), &cotree, |b, t| {
+                b.iter(|| pram_path_cover(t, PramConfig::default()))
+            });
+        }
+    }
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

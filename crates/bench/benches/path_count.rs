@@ -1,0 +1,26 @@
+//! E3 — path counting via tree contraction (Lemma 2.4).
+use cograph::BinaryCotree;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pc_bench::workloads::{CotreeFamily, Workload, DEFAULT_SEED};
+use pram::Mode;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_path_count");
+    group.sample_size(10);
+    for n in [1usize << 10, 1 << 12, 1 << 14] {
+        let cotree = Workload::new(CotreeFamily::Mixed, n, DEFAULT_SEED).cotree();
+        let (tree, l) = BinaryCotree::leftist_from_cotree(&cotree);
+        group.bench_with_input(BenchmarkId::new("seq", n), &(&tree, &l), |b, (t, l)| {
+            b.iter(|| cograph::path_counts_seq(t, l))
+        });
+        group.bench_with_input(BenchmarkId::new("pram", n), &(&tree, &l), |b, (t, l)| {
+            b.iter(|| {
+                let mut m = pram::Pram::new(Mode::Erew, pram::optimal_processors(n));
+                cograph::path_counts_pram(&mut m, t, l)
+            })
+        });
+    }
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

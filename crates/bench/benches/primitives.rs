@@ -1,0 +1,53 @@
+//! E8 — the primitive toolbox (Lemmas 5.1 / 5.2), including the ablation of
+//! work-optimal blocked scans / rankings against their textbook variants.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parprims::scan::{prefix_sums_pram, tree_scan_pram, ScanOp};
+use pram::Mode;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_primitives");
+    group.sample_size(10);
+    for n in [1usize << 12, 1 << 14] {
+        let data: Vec<i64> = (0..n as i64).collect();
+        group.bench_with_input(BenchmarkId::new("scan_blocked", n), &data, |b, d| {
+            b.iter(|| {
+                let mut m = pram::Pram::new(Mode::Erew, pram::optimal_processors(n));
+                let h = m.alloc_from(d);
+                prefix_sums_pram(&mut m, h, ScanOp::Sum, 0)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("scan_tree_ablation", n), &data, |b, d| {
+            b.iter(|| {
+                let mut m = pram::Pram::new(Mode::Erew, pram::optimal_processors(n));
+                let h = m.alloc_from(d);
+                tree_scan_pram(&mut m, h, ScanOp::Sum)
+            })
+        });
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut ChaCha8Rng::seed_from_u64(3));
+        let mut succ = vec![-1i64; n];
+        for w in order.windows(2) {
+            succ[w[0]] = w[1] as i64;
+        }
+        group.bench_with_input(BenchmarkId::new("list_rank_blocked", n), &succ, |b, s| {
+            b.iter(|| {
+                let mut m = pram::Pram::new(Mode::Erew, pram::optimal_processors(n));
+                let h = m.alloc_from(s);
+                parprims::ranking::list_rank_blocked(&mut m, h, 0)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("list_rank_wyllie_ablation", n), &succ, |b, s| {
+            b.iter(|| {
+                let mut m = pram::Pram::new(Mode::Erew, pram::optimal_processors(n));
+                let h = m.alloc_from(s);
+                parprims::ranking::list_rank_wyllie(&mut m, h)
+            })
+        });
+    }
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

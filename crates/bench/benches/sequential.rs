@@ -1,0 +1,20 @@
+//! E2 — wall-clock scaling of the sequential algorithm (Lemma 2.3).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathcover::prelude::*;
+use pc_bench::workloads::{CotreeFamily, Workload, DEFAULT_SEED};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_sequential");
+    group.sample_size(10);
+    for family in CotreeFamily::ALL {
+        for n in [1usize << 10, 1 << 13, 1 << 16] {
+            let cotree = Workload::new(family, n, DEFAULT_SEED).cotree();
+            group.bench_with_input(BenchmarkId::new(family.name(), n), &cotree, |b, t| {
+                b.iter(|| sequential_path_cover(t))
+            });
+        }
+    }
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

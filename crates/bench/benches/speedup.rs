@@ -1,0 +1,21 @@
+//! E6 — Brent speedup: simulated steps as a function of the processor count.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathcover::prelude::*;
+use pc_bench::workloads::{CotreeFamily, Workload, DEFAULT_SEED};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_speedup");
+    group.sample_size(10);
+    let n = 1usize << 10;
+    let cotree = Workload::new(CotreeFamily::Balanced, n, DEFAULT_SEED).cotree();
+    for p in [1usize, 8, 64, 512] {
+        group.bench_with_input(BenchmarkId::new("processors", p), &cotree, |b, t| {
+            b.iter(|| {
+                pram_path_cover(t, PramConfig { processors: Some(p), ..PramConfig::default() })
+            })
+        });
+    }
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

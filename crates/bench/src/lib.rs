@@ -1,0 +1,22 @@
+//! # pc-bench — benchmark harness and experiment driver
+//!
+//! This crate hosts two things:
+//!
+//! * the Criterion benches under `benches/` (one per experiment of
+//!   `EXPERIMENTS.md`), and
+//! * the `experiments` binary (`src/bin/experiments.rs`), which runs every
+//!   parameter sweep on the PRAM simulator and prints the tables recorded in
+//!   `EXPERIMENTS.md`.
+//!
+//! The library part contains the shared workload definitions and table
+//! formatting helpers so that benches and the experiment driver measure
+//! exactly the same inputs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod workloads;
+
+pub use report::Table;
+pub use workloads::{CotreeFamily, Workload};

@@ -1,0 +1,109 @@
+//! Plain-text table formatting for the experiment driver.
+
+/// A simple fixed-width text table accumulated row by row.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; the row is padded or truncated to the header width.
+    pub fn add_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let mut row: Vec<String> = row.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                width[i] = width[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], width: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                line.push_str(&format!("{:<w$}  ", cell, w = width[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &width));
+        out.push('\n');
+        out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &width));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["n", "steps"]);
+        t.add_row(vec!["16", "40"]);
+        t.add_row(vec!["1024", "110"]);
+        let s = t.render();
+        assert!(s.contains("n"));
+        assert!(s.contains("1024"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.add_row(vec!["1"]);
+        assert!(t.render().lines().count() >= 3);
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.add_row(vec!["1", "2"]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+}

@@ -1,0 +1,64 @@
+//! Shared workload definitions used by the Criterion benches and by the
+//! `experiments` binary, so both measure exactly the same inputs.
+
+use cograph::{random_cotree, Cotree};
+pub use cograph::CotreeShape as CotreeFamily;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A named workload: a cotree family, a vertex count and an RNG seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Workload {
+    /// Shape family.
+    pub family: CotreeFamily,
+    /// Number of cograph vertices.
+    pub n: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Workload {
+    /// Creates the workload descriptor.
+    pub fn new(family: CotreeFamily, n: usize, seed: u64) -> Self {
+        Workload { family, n, seed }
+    }
+
+    /// Materialises the cotree of this workload (deterministic per seed).
+    pub fn cotree(&self) -> Cotree {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        random_cotree(self.n, self.family, &mut rng)
+    }
+
+    /// Label used in benchmark ids and experiment tables.
+    pub fn label(&self) -> String {
+        format!("{}-{}", self.family.name(), self.n)
+    }
+}
+
+/// The default seed used throughout the experiments (recorded in
+/// `EXPERIMENTS.md`).
+pub const DEFAULT_SEED: u64 = 20_260_614;
+
+/// Standard size sweep for the experiments.
+pub fn size_sweep() -> Vec<usize> {
+    vec![1 << 8, 1 << 10, 1 << 12, 1 << 14]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_generation_is_deterministic() {
+        let w = Workload::new(CotreeFamily::Mixed, 50, 7);
+        assert_eq!(w.cotree(), w.cotree());
+        assert_eq!(w.cotree().num_vertices(), 50);
+        assert_eq!(w.label(), "mixed-50");
+    }
+
+    #[test]
+    fn sweep_is_increasing() {
+        let s = size_sweep();
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,176 @@
+//! Random cotree workload generators.
+//!
+//! All experiments share these three shape families:
+//!
+//! * [`CotreeShape::Balanced`] — recursive halving, so the cotree height is
+//!   `O(log n)`; the friendliest case for the naive parallelisation the paper
+//!   criticises.
+//! * [`CotreeShape::Skewed`] — a caterpillar-like chain of height `Θ(n)`; the
+//!   worst case for naive bottom-up parallelisation and the case where the
+//!   paper's algorithm shines.
+//! * [`CotreeShape::Mixed`] — random arity (2–4) and random split sizes.
+
+use crate::cotree::Cotree;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The workload shape families used throughout the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CotreeShape {
+    /// Height `O(log n)`.
+    Balanced,
+    /// Height `Θ(n)`.
+    Skewed,
+    /// Random arities and split sizes.
+    Mixed,
+}
+
+impl CotreeShape {
+    /// All shapes, in the order the experiment tables report them.
+    pub const ALL: [CotreeShape; 3] = [CotreeShape::Balanced, CotreeShape::Skewed, CotreeShape::Mixed];
+
+    /// Short lowercase name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CotreeShape::Balanced => "balanced",
+            CotreeShape::Skewed => "skewed",
+            CotreeShape::Mixed => "mixed",
+        }
+    }
+}
+
+/// Generates a random cotree with `n` vertices of the requested shape.
+///
+/// The root label (union vs join) and all interior labels are chosen at
+/// random; nested same-label nodes are merged by the [`Cotree`] constructors
+/// so the result is always a valid alternating cotree.
+pub fn random_cotree<R: Rng>(n: usize, shape: CotreeShape, rng: &mut R) -> Cotree {
+    assert!(n >= 1, "a cotree needs at least one vertex");
+    match shape {
+        CotreeShape::Balanced => balanced(n, rng),
+        CotreeShape::Skewed => skewed(n, rng),
+        CotreeShape::Mixed => mixed(n, rng, 0),
+    }
+}
+
+/// Generates a random *connected* cograph cotree (the root is a join), the
+/// natural workload for Hamiltonian-path experiments.
+pub fn random_connected_cotree<R: Rng>(n: usize, shape: CotreeShape, rng: &mut R) -> Cotree {
+    if n == 1 {
+        return Cotree::single(0);
+    }
+    let left = n.div_ceil(2);
+    let a = random_cotree(left, shape, rng);
+    let b = random_cotree(n - left, shape, rng);
+    Cotree::join_of(vec![a, b])
+}
+
+fn balanced<R: Rng>(n: usize, rng: &mut R) -> Cotree {
+    if n == 1 {
+        return Cotree::single(0);
+    }
+    let left = n / 2;
+    let a = balanced(left, rng);
+    let b = balanced(n - left, rng);
+    if rng.gen_bool(0.5) {
+        Cotree::union_of(vec![a, b])
+    } else {
+        Cotree::join_of(vec![a, b])
+    }
+}
+
+fn skewed<R: Rng>(n: usize, rng: &mut R) -> Cotree {
+    let mut tree = Cotree::single(0);
+    for _ in 1..n {
+        let leaf = Cotree::single(0);
+        tree = if rng.gen_bool(0.5) {
+            // Put the accumulated tree first so it remains the "heavy" side.
+            Cotree::union_of(vec![tree, leaf])
+        } else {
+            Cotree::join_of(vec![tree, leaf])
+        };
+    }
+    tree
+}
+
+fn mixed<R: Rng>(n: usize, rng: &mut R, depth: usize) -> Cotree {
+    if n == 1 {
+        return Cotree::single(0);
+    }
+    let arity = rng.gen_range(2..=4usize).min(n);
+    // Random composition of n into `arity` positive parts.
+    let mut cuts: Vec<usize> = (0..arity - 1).map(|_| rng.gen_range(1..n)).collect();
+    cuts.sort_unstable();
+    cuts.dedup();
+    let mut parts = Vec::new();
+    let mut prev = 0usize;
+    for &c in &cuts {
+        parts.push(c - prev);
+        prev = c;
+    }
+    parts.push(n - prev);
+    let subtrees: Vec<Cotree> = parts.into_iter().map(|p| mixed(p, rng, depth + 1)).collect();
+    if rng.gen_bool(0.5) {
+        Cotree::union_of(subtrees)
+    } else {
+        Cotree::join_of(subtrees)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn generated_cotrees_are_valid_and_sized() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for shape in CotreeShape::ALL {
+            for n in [1usize, 2, 3, 7, 32, 100] {
+                let t = random_cotree(n, shape, &mut rng);
+                assert_eq!(t.num_vertices(), n, "{shape:?} n={n}");
+                assert!(t.validate().is_ok(), "{shape:?} n={n}");
+                let g = t.to_graph();
+                assert_eq!(g.num_vertices(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let t1 = random_cotree(50, CotreeShape::Mixed, &mut ChaCha8Rng::seed_from_u64(9));
+        let t2 = random_cotree(50, CotreeShape::Mixed, &mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn skewed_trees_are_tall_and_balanced_trees_flat() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let n = 128;
+        let tall = random_cotree(n, CotreeShape::Skewed, &mut rng);
+        let flat = random_cotree(n, CotreeShape::Balanced, &mut rng);
+        assert!(tall.height() > 3 * flat.height(), "tall={} flat={}", tall.height(), flat.height());
+    }
+
+    #[test]
+    fn connected_cotrees_have_join_roots() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let t = random_connected_cotree(40, CotreeShape::Mixed, &mut rng);
+        let g = t.to_graph();
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn shape_names() {
+        assert_eq!(CotreeShape::Balanced.name(), "balanced");
+        assert_eq!(CotreeShape::Skewed.name(), "skewed");
+        assert_eq!(CotreeShape::Mixed.name(), "mixed");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one vertex")]
+    fn zero_vertices_rejected() {
+        random_cotree(0, CotreeShape::Balanced, &mut ChaCha8Rng::seed_from_u64(0));
+    }
+}

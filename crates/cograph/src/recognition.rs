@@ -1,0 +1,158 @@
+//! Cograph recognition: building a cotree from an arbitrary graph.
+//!
+//! The paper assumes the cotree is given (cotree construction in parallel is
+//! the separate result of He, cited as [12]). For the library to be usable
+//! end-to-end we provide the textbook sequential decomposition: a graph is a
+//! cograph iff every induced subgraph with more than one vertex is
+//! disconnected or has a disconnected complement. Recursing on the connected
+//! components (union nodes) and co-components (join nodes) either produces
+//! the cotree or finds a certificate that the graph contains an induced
+//! `P_4` and is therefore not a cograph.
+//!
+//! The running time is `O(n^2)` per level and `O(n^2 log n)`-ish overall —
+//! perfectly adequate for generating test inputs and validating the
+//! materialisation round-trip.
+
+use crate::cotree::Cotree;
+use pcgraph::{ops, Graph, VertexId};
+
+/// Attempts to build the cotree of `g`. Returns `None` when `g` is not a
+/// cograph. Leaf labels of the returned cotree are the vertex ids of `g`.
+pub fn recognize(g: &Graph) -> Option<Cotree> {
+    if g.num_vertices() == 0 {
+        return None;
+    }
+    let all: Vec<VertexId> = g.vertices().collect();
+    recognize_subset(g, &all)
+}
+
+/// `true` when `g` is a cograph.
+pub fn is_cograph(g: &Graph) -> bool {
+    if g.num_vertices() == 0 {
+        return false;
+    }
+    recognize(g).is_some()
+}
+
+fn recognize_subset(original: &Graph, vertices: &[VertexId]) -> Option<Cotree> {
+    if vertices.len() == 1 {
+        return Some(Cotree::single(vertices[0]));
+    }
+    let (sub, map) = ops::induced_subgraph(original, vertices);
+    // Try splitting into connected components (a union node).
+    let (comp, count) = sub.connected_components();
+    if count > 1 {
+        let mut parts = Vec::with_capacity(count);
+        for c in 0..count {
+            let members: Vec<VertexId> = (0..sub.num_vertices())
+                .filter(|&v| comp[v] == c)
+                .map(|v| map[v])
+                .collect();
+            parts.push(recognize_subset(original, &members)?);
+        }
+        return Some(Cotree::union_of_labelled(parts));
+    }
+    // Connected: try the complement (a join node).
+    let co = ops::complement(&sub);
+    let (co_comp, co_count) = co.connected_components();
+    if co_count > 1 {
+        let mut parts = Vec::with_capacity(co_count);
+        for c in 0..co_count {
+            let members: Vec<VertexId> = (0..sub.num_vertices())
+                .filter(|&v| co_comp[v] == c)
+                .map(|v| map[v])
+                .collect();
+            parts.push(recognize_subset(original, &members)?);
+        }
+        return Some(Cotree::join_of_labelled(parts));
+    }
+    // Both the graph and its complement are connected on >= 2 vertices:
+    // not a cograph.
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{random_cotree, CotreeShape};
+    use pcgraph::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn single_vertex_is_a_cograph() {
+        let g = Graph::new(1);
+        let t = recognize(&g).expect("single vertex");
+        assert_eq!(t.num_vertices(), 1);
+    }
+
+    #[test]
+    fn empty_graph_is_not_handled() {
+        assert!(recognize(&Graph::new(0)).is_none());
+        assert!(!is_cograph(&Graph::new(0)));
+    }
+
+    #[test]
+    fn complete_graphs_are_cographs() {
+        for n in 1..8 {
+            let g = generators::complete_graph(n);
+            let t = recognize(&g).expect("complete graphs are cographs");
+            assert_eq!(t.to_graph(), g);
+        }
+    }
+
+    #[test]
+    fn edgeless_graphs_are_cographs() {
+        let g = Graph::new(6);
+        let t = recognize(&g).expect("edgeless graphs are cographs");
+        assert_eq!(t.to_graph(), g);
+    }
+
+    #[test]
+    fn p4_is_not_a_cograph() {
+        assert!(recognize(&generators::p4()).is_none());
+        assert!(!is_cograph(&generators::p4()));
+    }
+
+    #[test]
+    fn p3_and_paw_like_graphs() {
+        // P3 is a cograph (it is K_{1,2} = join of a vertex with 2K_1).
+        let p3 = generators::path_graph(3);
+        assert!(is_cograph(&p3));
+        // P5 contains P4, hence not a cograph.
+        assert!(!is_cograph(&generators::path_graph(5)));
+        // C5 contains an induced P4.
+        assert!(!is_cograph(&generators::cycle_graph(5)));
+        // C4 = K_{2,2} is a cograph.
+        assert!(is_cograph(&generators::cycle_graph(4)));
+    }
+
+    #[test]
+    fn cluster_graphs_round_trip() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let g = generators::random_cluster_graph(5, 4, &mut rng);
+        let t = recognize(&g).expect("cluster graphs are cographs");
+        assert_eq!(t.to_graph(), g);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn generated_cotrees_round_trip_through_recognition() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for shape in CotreeShape::ALL {
+            for n in [2usize, 5, 12, 30] {
+                let t = random_cotree(n, shape, &mut rng);
+                let g = t.to_graph();
+                let t2 = recognize(&g).expect("materialised cotrees are cographs");
+                assert_eq!(t2.to_graph(), g, "{shape:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_dense_graph_with_p4_rejected() {
+        // The 5-cycle plus a chord still contains an induced P4.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]).unwrap();
+        assert!(!is_cograph(&g));
+    }
+}

@@ -1,0 +1,331 @@
+//! The reduced leftist binarised cotree `T_blr(G)` and the vertex
+//! classification of Section 2 (Fig. 5).
+//!
+//! At every 1-node `u` of the leftist binarised cotree, the structure of the
+//! right subtree `w` is immaterial: its vertices are only ever used to bridge
+//! or to be inserted into the paths of `G(left(u))`, never via edges internal
+//! to `G(w)`. The paper therefore replaces the right subtree by a bag of
+//! `L(w)` leaves and classifies every graph vertex as
+//!
+//! * **primary** — a leaf not below any 1-node's right child (its own edges
+//!   shape the path trees),
+//! * **bridge** — one of the vertices used to concatenate path trees at some
+//!   1-node, or
+//! * **insert** — one of the remaining vertices of a 1-node's right side,
+//!   inserted as extra leaves of the path trees.
+//!
+//! Nested 1-nodes inside a right subtree create no events of their own: all
+//! of their vertices belong to the outermost (active) 1-node above them.
+
+use crate::binary::BinaryCotree;
+use crate::binary::BinKind;
+use serde::{Deserialize, Serialize};
+
+/// Role of a graph vertex in the reduced cotree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VertexRole {
+    /// Leaf outside every 1-node's right subtree.
+    Primary,
+    /// Bridge vertex of the 1-node event `event` (a node id of `T_bl`).
+    Bridge {
+        /// The active 1-node this vertex serves.
+        event: usize,
+    },
+    /// Insert vertex of the 1-node event `event`.
+    Insert {
+        /// The active 1-node this vertex serves.
+        event: usize,
+    },
+}
+
+impl VertexRole {
+    /// The event (active 1-node) this vertex belongs to, if any.
+    pub fn event(&self) -> Option<usize> {
+        match self {
+            VertexRole::Primary => None,
+            VertexRole::Bridge { event } | VertexRole::Insert { event } => Some(*event),
+        }
+    }
+
+    /// `true` for bridge vertices.
+    pub fn is_bridge(&self) -> bool {
+        matches!(self, VertexRole::Bridge { .. })
+    }
+
+    /// `true` for insert vertices.
+    pub fn is_insert(&self) -> bool {
+        matches!(self, VertexRole::Insert { .. })
+    }
+}
+
+/// Per-event (active 1-node) parameters of the reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventInfo {
+    /// The 1-node (node id in `T_bl`).
+    pub node: usize,
+    /// `p(left(u))` — number of path trees being merged.
+    pub p_left: i64,
+    /// `L(right(u))` — number of vertices available on the right side.
+    pub l_right: usize,
+    /// Number of bridge vertices: `min(L(right), p(left) - 1)` in Case 2,
+    /// `L(right)` in Case 1.
+    pub bridges: usize,
+    /// Number of insert vertices (Case 2 only).
+    pub inserts: usize,
+    /// Number of dummy vertices added for the legality exchange
+    /// (`2 p(left) - 2` in Case 2, 0 in Case 1).
+    pub dummies: usize,
+}
+
+impl EventInfo {
+    /// `true` when the event falls into the paper's Case 1 (`p(v) > L(w)`).
+    pub fn is_case1(&self) -> bool {
+        self.p_left > self.l_right as i64
+    }
+}
+
+/// The reduced cotree: classification of every vertex plus the per-event
+/// parameters; the explicit tree of Fig. 5 is implied by these and never
+/// needs to be materialised for the algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReducedCotree {
+    /// Whether each node of `T_bl` is *active* (not inside any 1-node's right
+    /// subtree).
+    pub active: Vec<bool>,
+    /// Role of every graph vertex (indexed by vertex id).
+    pub roles: Vec<VertexRole>,
+    /// Per active-1-node event parameters, in no particular order.
+    pub events: Vec<EventInfo>,
+}
+
+impl ReducedCotree {
+    /// Total number of dummy vertices across all events.
+    pub fn total_dummies(&self) -> usize {
+        self.events.iter().map(|e| e.dummies).sum()
+    }
+
+    /// Event info by 1-node id, if that node is an active 1-node.
+    pub fn event_of(&self, node: usize) -> Option<&EventInfo> {
+        self.events.iter().find(|e| e.node == node)
+    }
+}
+
+/// Classifies the vertices of the leftist binarised cotree (Step 3 of the
+/// algorithm) given the leaf counts `L(u)` and path counts `p(u)`.
+pub fn classify_vertices(
+    t: &BinaryCotree,
+    leaf_counts: &[usize],
+    path_counts: &[i64],
+) -> ReducedCotree {
+    let n_nodes = t.num_nodes();
+    let n = t.num_vertices();
+    let mut active = vec![false; n_nodes];
+    let mut roles = vec![VertexRole::Primary; n];
+    let mut events = Vec::new();
+
+    // Depth-first walk carrying the active flag. When an *active* 1-node is
+    // entered, its right subtree becomes one event: the leaves of that
+    // subtree (in left-to-right order) are assigned bridge roles first and
+    // insert roles after, per the paper's Cases 1 and 2.
+    let mut stack = vec![(t.root(), true)];
+    while let Some((u, is_active)) = stack.pop() {
+        active[u] = is_active;
+        if t.is_leaf(u) {
+            continue;
+        }
+        let (l, r) = (t.left(u), t.right(u));
+        match t.kind(u) {
+            BinKind::Zero | BinKind::Leaf(_) => {
+                stack.push((l, is_active));
+                stack.push((r, is_active));
+            }
+            BinKind::One => {
+                stack.push((l, is_active));
+                // The right subtree is never active below an active 1-node;
+                // below an inactive node everything stays inactive.
+                stack.push((r, false));
+                if is_active {
+                    let p_left = path_counts[l];
+                    let l_right = leaf_counts[r];
+                    let (bridges, inserts, dummies) = if p_left > l_right as i64 {
+                        (l_right, 0usize, 0usize)
+                    } else {
+                        (
+                            (p_left - 1).max(0) as usize,
+                            l_right - (p_left - 1).max(0) as usize,
+                            (2 * (p_left - 1)).max(0) as usize,
+                        )
+                    };
+                    events.push(EventInfo { node: u, p_left, l_right, bridges, inserts, dummies });
+                    // Assign roles to the leaves of the right subtree in
+                    // left-to-right order: bridges first, then inserts.
+                    let leaves = subtree_leaves(t, r);
+                    for (i, &leaf) in leaves.iter().enumerate() {
+                        let v = t.vertex(leaf) as usize;
+                        roles[v] = if i < bridges {
+                            VertexRole::Bridge { event: u }
+                        } else {
+                            VertexRole::Insert { event: u }
+                        };
+                    }
+                }
+            }
+        }
+    }
+    ReducedCotree { active, roles, events }
+}
+
+/// Leaves of the subtree rooted at `u`, in left-to-right order.
+pub fn subtree_leaves(t: &BinaryCotree, u: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut stack = vec![u];
+    while let Some(v) = stack.pop() {
+        if t.is_leaf(v) {
+            out.push(v);
+        } else {
+            stack.push(t.right(v));
+            stack.push(t.left(v));
+        }
+    }
+    out
+}
+
+/// The number of graph vertices that end up primary.
+pub fn primary_count(reduced: &ReducedCotree) -> usize {
+    reduced.roles.iter().filter(|r| matches!(r, VertexRole::Primary)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cotree::Cotree;
+    use crate::generators::{random_cotree, CotreeShape};
+    use crate::pathcount::path_counts_seq;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn reduce(t: &Cotree) -> (BinaryCotree, Vec<usize>, Vec<i64>, ReducedCotree) {
+        let (b, l) = BinaryCotree::leftist_from_cotree(t);
+        let p = path_counts_seq(&b, &l);
+        let r = classify_vertices(&b, &l, &p);
+        (b, l, p, r)
+    }
+
+    #[test]
+    fn all_primary_for_edgeless_graph() {
+        let t = Cotree::union_of((0..4).map(|_| Cotree::single(0)).collect());
+        let (_, _, _, r) = reduce(&t);
+        assert_eq!(primary_count(&r), 4);
+        assert!(r.events.is_empty());
+        assert_eq!(r.total_dummies(), 0);
+    }
+
+    #[test]
+    fn star_classification() {
+        // join(union of 4 singles, single): leftist puts the 4-leaf side
+        // left; p(left) = 4 > L(right) = 1 so the centre is a bridge (Case 1).
+        let t = Cotree::join_of(vec![
+            Cotree::union_of((0..4).map(|_| Cotree::single(0)).collect()),
+            Cotree::single(0),
+        ]);
+        let (_, _, _, r) = reduce(&t);
+        assert_eq!(r.events.len(), 1);
+        let e = &r.events[0];
+        assert!(e.is_case1());
+        assert_eq!(e.bridges, 1);
+        assert_eq!(e.inserts, 0);
+        assert_eq!(e.dummies, 0);
+        assert_eq!(r.roles.iter().filter(|x| x.is_bridge()).count(), 1);
+        assert_eq!(primary_count(&r), 4);
+    }
+
+    #[test]
+    fn complete_graph_classification_is_case2() {
+        let t = Cotree::join_of((0..6).map(|_| Cotree::single(0)).collect());
+        let (b, _, p, r) = reduce(&t);
+        assert_eq!(p[b.root()], 1);
+        // Every active 1-node along the binarised chain contributes an event.
+        assert!(!r.events.is_empty());
+        for e in &r.events {
+            assert!(!e.is_case1() || e.inserts == 0);
+            assert_eq!(e.bridges + e.inserts, e.l_right);
+        }
+        // Exactly 5 of the 6 vertices are non-primary (the chain merges one
+        // vertex at each of the 5 active 1-nodes).
+        assert_eq!(primary_count(&r), 1);
+    }
+
+    #[test]
+    fn role_counts_are_consistent_with_events() {
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        for shape in CotreeShape::ALL {
+            for n in [2usize, 5, 16, 64, 200] {
+                let t = random_cotree(n, shape, &mut rng);
+                let (_, _, _, r) = reduce(&t);
+                let bridges: usize = r.events.iter().map(|e| e.bridges).sum();
+                let inserts: usize = r.events.iter().map(|e| e.inserts).sum();
+                assert_eq!(
+                    r.roles.iter().filter(|x| x.is_bridge()).count(),
+                    bridges,
+                    "{shape:?} n={n}"
+                );
+                assert_eq!(
+                    r.roles.iter().filter(|x| x.is_insert()).count(),
+                    inserts,
+                    "{shape:?} n={n}"
+                );
+                assert_eq!(primary_count(&r) + bridges + inserts, n);
+                // Dummy count is exactly twice the Case-2 bridge count
+                // (paper, Section 4).
+                let case2_bridges: usize =
+                    r.events.iter().filter(|e| !e.is_case1()).map(|e| e.bridges).sum();
+                assert_eq!(r.total_dummies(), 2 * case2_bridges);
+            }
+        }
+    }
+
+    #[test]
+    fn events_only_at_active_one_nodes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(37);
+        let t = random_cotree(80, CotreeShape::Mixed, &mut rng);
+        let (b, _, _, r) = reduce(&t);
+        for e in &r.events {
+            assert!(r.active[e.node]);
+            assert!(matches!(b.kind(e.node), BinKind::One));
+            assert!(r.event_of(e.node).is_some());
+        }
+    }
+
+    #[test]
+    fn inactive_subtrees_have_no_nested_events() {
+        let mut rng = ChaCha8Rng::seed_from_u64(41);
+        let t = random_cotree(100, CotreeShape::Skewed, &mut rng);
+        let (b, _, _, r) = reduce(&t);
+        // No event node may lie inside the right subtree of another active
+        // 1-node: walk up from each event node and check.
+        for e in &r.events {
+            let mut v = e.node;
+            while b.parent(v) != crate::binary::NONE {
+                let parent = b.parent(v);
+                if matches!(b.kind(parent), BinKind::One) && b.right(parent) == v {
+                    panic!("event node {} sits inside the right subtree of 1-node {parent}", e.node);
+                }
+                v = parent;
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_leaves_order() {
+        let t = Cotree::join_of(vec![
+            Cotree::union_of(vec![Cotree::single(0), Cotree::single(0)]),
+            Cotree::single(0),
+        ]);
+        let (b, _, _, _) = reduce(&t);
+        let leaves = subtree_leaves(&b, b.root());
+        assert_eq!(leaves.len(), 3);
+        // left-to-right order means the left subtree's leaves come first
+        let left_leaves = subtree_leaves(&b, b.left(b.root()));
+        assert_eq!(&leaves[..left_leaves.len()], &left_leaves[..]);
+    }
+}

@@ -1,0 +1,126 @@
+//! The `Ω(log n)` lower-bound reduction (Theorem 2.2, Fig. 2).
+//!
+//! Given bits `b_1, ..., b_n`, the paper builds a cotree whose minimum path
+//! cover has `n - k + 2` paths, where `k` is the number of ones: the root is
+//! a 0-node adopting one leaf per zero bit (plus a padding leaf `x`), and a
+//! 1-node child adopting one leaf per one bit (plus padding leaves `y` and
+//! `z`). Consequently `OR(b) = 1` iff the cover has fewer than `n + 2`
+//! paths, so any algorithm that merely *counts* the paths of a minimum path
+//! cover is at least as hard as OR — which needs `Ω(log n)` CREW time by
+//! Cook, Dwork and Reischuk. The experiments use this module to (a) verify
+//! the reduction exhaustively and (b) measure that the upper bound of
+//! Theorem 5.3 sits on the same `Θ(log n)` curve.
+
+use cograph::Cotree;
+
+/// Builds the Fig. 2 cotree for the given bit string.
+///
+/// Vertex numbering: bit `i` becomes vertex `i`; the padding vertices are
+/// `x = n`, `y = n + 1`, `z = n + 2`.
+pub fn or_instance_cotree(bits: &[bool]) -> Cotree {
+    let n = bits.len() as u32;
+    let mut root_children: Vec<Cotree> = Vec::new();
+    let mut join_children: Vec<Cotree> = Vec::new();
+    for (i, &b) in bits.iter().enumerate() {
+        let leaf = Cotree::single(i as u32);
+        if b {
+            join_children.push(leaf);
+        } else {
+            root_children.push(leaf);
+        }
+    }
+    // Padding: x under the root, y and z under the 1-node, so both internal
+    // nodes always have at least two children (property (4) of the cotree).
+    root_children.push(Cotree::single(n));
+    join_children.push(Cotree::single(n + 1));
+    join_children.push(Cotree::single(n + 2));
+    root_children.push(Cotree::join_of_labelled(join_children));
+    Cotree::union_of_labelled(root_children)
+}
+
+/// The number of paths the Fig. 2 instance must have: `n - k + 2`.
+pub fn expected_cover_size(bits: &[bool]) -> usize {
+    let ones = bits.iter().filter(|&&b| b).count();
+    bits.len() - ones + 2
+}
+
+/// Solves OR through the path-cover reduction using the supplied cover-size
+/// oracle (typically [`crate::pipeline::min_path_cover_size`] or the full
+/// PRAM pipeline).
+pub fn or_via_path_cover<F>(bits: &[bool], mut cover_size: F) -> bool
+where
+    F: FnMut(&Cotree) -> usize,
+{
+    let cotree = or_instance_cotree(bits);
+    cover_size(&cotree) < bits.len() + 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{min_path_cover_size, path_cover};
+    use pcgraph::verify_path_cover;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn instance_structure_matches_the_paper() {
+        let bits = vec![false, false, false, false, false, true, false, true];
+        let t = or_instance_cotree(&bits);
+        assert_eq!(t.num_vertices(), bits.len() + 3);
+        assert!(t.validate().is_ok());
+        // 2 ones -> path containing y has 2 + 2 = 4 vertices, cover size
+        // = 8 - 2 + 2 = 8.
+        assert_eq!(min_path_cover_size(&t), 8);
+        assert_eq!(expected_cover_size(&bits), 8);
+    }
+
+    #[test]
+    fn all_zero_bits_give_or_false() {
+        let bits = vec![false; 10];
+        assert_eq!(min_path_cover_size(&or_instance_cotree(&bits)), 12);
+        assert!(!or_via_path_cover(&bits, min_path_cover_size));
+    }
+
+    #[test]
+    fn any_one_bit_gives_or_true() {
+        for i in 0..6 {
+            let mut bits = vec![false; 6];
+            bits[i] = true;
+            assert!(or_via_path_cover(&bits, min_path_cover_size), "bit {i}");
+        }
+    }
+
+    #[test]
+    fn reduction_is_exhaustively_correct_for_small_n() {
+        for n in 1..=10usize {
+            for pattern in 0..(1u32 << n) {
+                let bits: Vec<bool> = (0..n).map(|i| pattern >> i & 1 == 1).collect();
+                let expected = bits.iter().any(|&b| b);
+                assert_eq!(
+                    or_via_path_cover(&bits, min_path_cover_size),
+                    expected,
+                    "n={n} pattern={pattern:b}"
+                );
+                assert_eq!(
+                    min_path_cover_size(&or_instance_cotree(&bits)),
+                    expected_cover_size(&bits)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_instances_yield_valid_covers() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for n in [4usize, 16, 64] {
+            let bits: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.3)).collect();
+            let t = or_instance_cotree(&bits);
+            let g = t.to_graph();
+            let cover = path_cover(&t);
+            assert!(verify_path_cover(&g, &cover).is_valid());
+            assert_eq!(cover.len(), expected_cover_size(&bits));
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Immutable compressed-sparse-row (CSR) graph view.
+//!
+//! The benchmark harness walks millions of adjacencies; the CSR layout keeps
+//! all neighbour lists in one contiguous allocation which is both smaller and
+//! far friendlier to the cache than a `Vec<Vec<_>>` (see the heap-allocation
+//! chapter of the Rust performance book).
+
+use crate::graph::{Graph, VertexId};
+
+/// An immutable CSR snapshot of a [`Graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v + 1]` indexes `targets` with the neighbours of `v`.
+    offsets: Vec<usize>,
+    /// Concatenated, per-vertex-sorted neighbour lists.
+    targets: Vec<VertexId>,
+    /// Number of undirected edges.
+    m: usize,
+}
+
+impl CsrGraph {
+    /// Builds the CSR view of `g`. The neighbour lists are sorted per vertex.
+    pub fn from_graph(g: &Graph) -> Self {
+        let n = g.num_vertices();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(2 * g.num_edges());
+        offsets.push(0);
+        for v in 0..n as VertexId {
+            let mut nbrs: Vec<VertexId> = g.neighbors(v).to_vec();
+            nbrs.sort_unstable();
+            targets.extend_from_slice(&nbrs);
+            offsets.push(targets.len());
+        }
+        CsrGraph {
+            offsets,
+            targets,
+            m: g.num_edges(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.m
+    }
+
+    /// Neighbours of `v`, sorted.
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Binary-search adjacency query.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if u as usize >= self.num_vertices() || v as usize >= self.num_vertices() {
+            return false;
+        }
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Total length of the neighbour array (2m for a simple graph).
+    pub fn arity_sum(&self) -> usize {
+        self.targets.len()
+    }
+}
+
+impl From<&Graph> for CsrGraph {
+    fn from(g: &Graph) -> Self {
+        CsrGraph::from_graph(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn sample() -> Graph {
+        Graph::from_edges(5, &[(0, 1), (0, 2), (1, 2), (3, 4)]).unwrap()
+    }
+
+    #[test]
+    fn csr_matches_adjacency_list() {
+        let g = sample();
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(csr.num_vertices(), 5);
+        assert_eq!(csr.num_edges(), 4);
+        assert_eq!(csr.arity_sum(), 8);
+        for u in 0..5u32 {
+            assert_eq!(csr.degree(u), g.degree(u));
+            for v in 0..5u32 {
+                assert_eq!(csr.has_edge(u, v), g.has_edge(u, v), "edge ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let g = Graph::from_edges(4, &[(3, 0), (2, 0), (1, 0)]).unwrap();
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(csr.neighbors(0), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn out_of_range_edge_query_is_false() {
+        let csr = CsrGraph::from_graph(&sample());
+        assert!(!csr.has_edge(0, 77));
+        assert!(!csr.has_edge(77, 0));
+    }
+
+    #[test]
+    fn from_trait() {
+        let g = sample();
+        let csr: CsrGraph = (&g).into();
+        assert_eq!(csr.num_vertices(), g.num_vertices());
+    }
+}

@@ -1,0 +1,212 @@
+//! Host-side description of rooted ordered trees handed to the PRAM
+//! primitives.
+//!
+//! The Euler-tour and tree-contraction primitives both consume a
+//! [`RootedTree`]: an ordered forest/tree given by parent pointers and
+//! per-node ordered child lists. The structure performs the structural
+//! validation once so the primitives can assume a well-formed tree.
+
+/// Sentinel meaning "no node" in parent/child arrays.
+pub const NONE: usize = usize::MAX;
+
+/// A rooted ordered tree (children are ordered left to right).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RootedTree {
+    parent: Vec<usize>,
+    children: Vec<Vec<usize>>,
+    root: usize,
+}
+
+impl RootedTree {
+    /// Builds a tree from parent pointers and ordered child lists.
+    ///
+    /// # Panics
+    /// Panics when the arrays are inconsistent (child lists not matching the
+    /// parent array, multiple roots, cycles).
+    pub fn new(parent: Vec<usize>, children: Vec<Vec<usize>>, root: usize) -> Self {
+        let n = parent.len();
+        assert_eq!(children.len(), n, "children array length mismatch");
+        assert!(root < n, "root out of range");
+        assert_eq!(parent[root], NONE, "root must have no parent");
+        let mut seen_as_child = vec![false; n];
+        for (p, kids) in children.iter().enumerate() {
+            for &c in kids {
+                assert!(c < n, "child index out of range");
+                assert_eq!(parent[c], p, "child list disagrees with parent array");
+                assert!(!seen_as_child[c], "node {c} appears as a child twice");
+                seen_as_child[c] = true;
+            }
+        }
+        for v in 0..n {
+            if v != root {
+                assert!(seen_as_child[v], "node {v} is not reachable as a child");
+            }
+        }
+        RootedTree { parent, children, root }
+    }
+
+    /// Builds a tree from parent pointers only; children are ordered by node
+    /// index.
+    pub fn from_parents(parent: Vec<usize>) -> Self {
+        let n = parent.len();
+        let mut children = vec![Vec::new(); n];
+        let mut root = NONE;
+        for (v, &p) in parent.iter().enumerate() {
+            if p == NONE {
+                assert_eq!(root, NONE, "multiple roots");
+                root = v;
+            } else {
+                children[p].push(v);
+            }
+        }
+        assert_ne!(root, NONE, "no root found");
+        RootedTree::new(parent, children, root)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` when the tree has no nodes (never constructible via `new`).
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// The root node.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Parent of `v`, or [`NONE`] for the root.
+    pub fn parent(&self, v: usize) -> usize {
+        self.parent[v]
+    }
+
+    /// Ordered children of `v`.
+    pub fn children(&self, v: usize) -> &[usize] {
+        &self.children[v]
+    }
+
+    /// `true` when `v` has no children.
+    pub fn is_leaf(&self, v: usize) -> bool {
+        self.children[v].is_empty()
+    }
+
+    /// Number of leaves of the whole tree.
+    pub fn num_leaves(&self) -> usize {
+        (0..self.len()).filter(|&v| self.is_leaf(v)).count()
+    }
+
+    /// Depth of each node (root has depth 0), computed sequentially. Used by
+    /// tests as an oracle for the PRAM computation.
+    pub fn depths_seq(&self) -> Vec<usize> {
+        let mut depth = vec![0usize; self.len()];
+        // children are always created after parents is NOT guaranteed, so do
+        // an explicit traversal.
+        let mut stack = vec![self.root];
+        while let Some(v) = stack.pop() {
+            for &c in self.children(v) {
+                depth[c] = depth[v] + 1;
+                stack.push(c);
+            }
+        }
+        depth
+    }
+
+    /// Flattens the child lists into CSR form `(offsets, child_list)`.
+    pub fn children_csr(&self) -> (Vec<usize>, Vec<usize>) {
+        let mut offsets = Vec::with_capacity(self.len() + 1);
+        let mut list = Vec::new();
+        offsets.push(0);
+        for v in 0..self.len() {
+            list.extend_from_slice(&self.children[v]);
+            offsets.push(list.len());
+        }
+        (offsets, list)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The small binary tree used across the primitive tests:
+    ///
+    /// ```text
+    ///        0
+    ///      /   \
+    ///     1     2
+    ///    / \     \
+    ///   3   4     5
+    /// ```
+    pub(crate) fn sample_tree() -> RootedTree {
+        RootedTree::new(
+            vec![NONE, 0, 0, 1, 1, 2],
+            vec![vec![1, 2], vec![3, 4], vec![5], vec![], vec![], vec![]],
+            0,
+        )
+    }
+
+    #[test]
+    fn construction_and_queries() {
+        let t = sample_tree();
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.root(), 0);
+        assert_eq!(t.parent(3), 1);
+        assert_eq!(t.children(1), &[3, 4]);
+        assert!(t.is_leaf(5));
+        assert!(!t.is_leaf(2));
+        assert_eq!(t.num_leaves(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn from_parents_orders_children_by_index() {
+        let t = RootedTree::from_parents(vec![NONE, 0, 0, 1]);
+        assert_eq!(t.children(0), &[1, 2]);
+        assert_eq!(t.children(1), &[3]);
+        assert_eq!(t.root(), 0);
+    }
+
+    #[test]
+    fn depths() {
+        let t = sample_tree();
+        assert_eq!(t.depths_seq(), vec![0, 1, 1, 2, 2, 2]);
+    }
+
+    #[test]
+    fn csr_roundtrip() {
+        let t = sample_tree();
+        let (offsets, list) = t.children_csr();
+        assert_eq!(offsets, vec![0, 2, 4, 5, 5, 5, 5]);
+        assert_eq!(list, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple roots")]
+    fn rejects_multiple_roots() {
+        RootedTree::from_parents(vec![NONE, NONE]);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagrees with parent")]
+    fn rejects_inconsistent_child_lists() {
+        RootedTree::new(vec![NONE, 0], vec![vec![], vec![0]], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not reachable")]
+    fn rejects_unreachable_nodes() {
+        RootedTree::new(vec![NONE, 0, NONE], vec![vec![1], vec![], vec![]], 0);
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let t = RootedTree::from_parents(vec![NONE]);
+        assert_eq!(t.len(), 1);
+        assert!(t.is_leaf(0));
+        assert_eq!(t.num_leaves(), 1);
+        assert_eq!(t.depths_seq(), vec![0]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Handles to shared-memory arrays.
+
+use serde::{Deserialize, Serialize};
+
+/// A handle to a contiguous region of the simulated shared memory.
+///
+/// Handles are cheap `Copy` tokens; the actual storage lives inside
+/// [`crate::Pram`]. All indices passed to reads/writes are bounds-checked
+/// against the region length, so an algorithm can never silently scribble
+/// over a neighbouring array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ArrayHandle {
+    pub(crate) id: u32,
+    pub(crate) offset: usize,
+    pub(crate) len: usize,
+}
+
+impl ArrayHandle {
+    /// Length of the region.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` for an empty region.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Identifier of the region (unique within one [`crate::Pram`]).
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Absolute address of `idx` within the flat shared memory.
+    pub(crate) fn address(&self, idx: usize) -> usize {
+        assert!(
+            idx < self.len,
+            "index {idx} out of bounds for PRAM array #{} of length {}",
+            self.id,
+            self.len
+        );
+        self.offset + idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_computation() {
+        let h = ArrayHandle { id: 3, offset: 100, len: 8 };
+        assert_eq!(h.address(0), 100);
+        assert_eq!(h.address(7), 107);
+        assert_eq!(h.len(), 8);
+        assert!(!h.is_empty());
+        assert_eq!(h.id(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn address_out_of_bounds_panics() {
+        let h = ArrayHandle { id: 0, offset: 0, len: 4 };
+        h.address(4);
+    }
+
+    #[test]
+    fn empty_handle() {
+        let h = ArrayHandle { id: 1, offset: 0, len: 0 };
+        assert!(h.is_empty());
+    }
+}

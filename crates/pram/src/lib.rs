@@ -1,0 +1,93 @@
+//! # pram — a step-synchronous PRAM simulator
+//!
+//! The Parallel Random Access Machine (PRAM) is the machine model the paper's
+//! results are stated in: `p` synchronous processors share a common memory;
+//! in each step every (non-masked) processor executes one instruction, with
+//! reads observing the memory contents from before the step and writes taking
+//! effect at the end of the step. The model family differs only in how
+//! concurrent accesses to a single cell are treated:
+//!
+//! * **EREW** — exclusive read, exclusive write: no cell may be touched by two
+//!   processors in the same step.
+//! * **CREW** — concurrent read, exclusive write.
+//! * **CRCW** — concurrent read, concurrent write, with a conflict-resolution
+//!   policy (`Common`, `Arbitrary` or `Priority`).
+//!
+//! Because the paper's claims are about *counted* synchronous steps and work
+//! (`steps x processors`), not about wall-clock time, this crate reproduces
+//! the model as an instrumented simulator:
+//!
+//! * [`Pram::parallel_for`] models one PRAM instruction issued by `m` virtual
+//!   processors. It charges `ceil(m / p) * c` time steps, where `c` is the
+//!   largest number of shared-memory accesses any single virtual processor
+//!   performed (Brent's scheduling principle), and one unit of work per
+//!   access actually executed.
+//! * All reads see the pre-step snapshot; writes are buffered and committed at
+//!   the end of the step, exactly like the synchronous model.
+//! * Every access is logged, and the access sets are checked against the
+//!   EREW/CREW/CRCW contract. In *strict* mode a violation panics (the test
+//!   suite uses this to prove the path-cover algorithm is EREW-clean); in
+//!   permissive mode violations are recorded in the [`Metrics`].
+//!
+//! ```
+//! use pram::{Mode, Pram};
+//!
+//! let mut pram = Pram::new(Mode::Erew, 4);
+//! let xs = pram.alloc_from(&[1, 2, 3, 4, 5, 6, 7, 8]);
+//! let ys = pram.alloc(8);
+//! pram.parallel_for(8, |ctx, i| {
+//!     let x = ctx.read(xs, i);
+//!     ctx.write(ys, i, 2 * x);
+//! });
+//! assert_eq!(pram.snapshot(ys), vec![2, 4, 6, 8, 10, 12, 14, 16]);
+//! // 8 virtual processors on 4 physical ones, 2 accesses per processor
+//! // -> ceil(8/4) * 2 = 4 time steps and 8 * 2 = 16 work for this phase.
+//! assert_eq!(pram.metrics().steps, 4);
+//! assert_eq!(pram.metrics().work, 16);
+//! assert!(pram.metrics().violations.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod handle;
+pub mod machine;
+pub mod metrics;
+pub mod mode;
+
+pub use handle::ArrayHandle;
+pub use machine::{Pram, PramBuilder, ProcCtx};
+pub use metrics::{Metrics, PhaseReport, Violation, ViolationKind};
+pub use mode::{Mode, WritePolicy};
+
+/// The processor count the paper's Theorem 5.3 uses: `n / log2(n)`, never
+/// less than one.
+pub fn optimal_processors(n: usize) -> usize {
+    if n <= 2 {
+        return 1;
+    }
+    let log = (usize::BITS - (n - 1).leading_zeros()) as usize; // ceil(log2 n)
+    (n / log.max(1)).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimal_processors_small_values() {
+        assert_eq!(optimal_processors(0), 1);
+        assert_eq!(optimal_processors(1), 1);
+        assert_eq!(optimal_processors(2), 1);
+        assert_eq!(optimal_processors(8), 8 / 3);
+        assert_eq!(optimal_processors(1024), 1024 / 10);
+    }
+
+    #[test]
+    fn optimal_processors_grows_sublinearly() {
+        let p1 = optimal_processors(1 << 10);
+        let p2 = optimal_processors(1 << 20);
+        assert!(p2 > p1);
+        assert!(p2 < (1 << 20));
+    }
+}

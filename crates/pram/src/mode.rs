@@ -1,0 +1,77 @@
+//! PRAM model variants and write-conflict policies.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Resolution policy for concurrent writes on a CRCW PRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WritePolicy {
+    /// All processors writing the same cell in the same step must write the
+    /// same value; anything else is a violation.
+    Common,
+    /// An arbitrary (but, in this simulator, deterministic) processor wins.
+    Arbitrary,
+    /// The processor with the smallest index wins.
+    Priority,
+}
+
+/// The PRAM variant being simulated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Mode {
+    /// Exclusive read, exclusive write.
+    Erew,
+    /// Concurrent read, exclusive write.
+    Crew,
+    /// Concurrent read, concurrent write, resolved by the given policy.
+    Crcw(WritePolicy),
+}
+
+impl Mode {
+    /// `true` when concurrent reads of a cell are allowed in one step.
+    pub fn allows_concurrent_reads(&self) -> bool {
+        !matches!(self, Mode::Erew)
+    }
+
+    /// `true` when concurrent writes of a cell are allowed in one step.
+    pub fn allows_concurrent_writes(&self) -> bool {
+        matches!(self, Mode::Crcw(_))
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mode::Erew => write!(f, "EREW"),
+            Mode::Crew => write!(f, "CREW"),
+            Mode::Crcw(WritePolicy::Common) => write!(f, "CRCW(common)"),
+            Mode::Crcw(WritePolicy::Arbitrary) => write!(f, "CRCW(arbitrary)"),
+            Mode::Crcw(WritePolicy::Priority) => write!(f, "CRCW(priority)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_permissions() {
+        assert!(!Mode::Erew.allows_concurrent_reads());
+        assert!(Mode::Crew.allows_concurrent_reads());
+        assert!(Mode::Crcw(WritePolicy::Common).allows_concurrent_reads());
+    }
+
+    #[test]
+    fn write_permissions() {
+        assert!(!Mode::Erew.allows_concurrent_writes());
+        assert!(!Mode::Crew.allows_concurrent_writes());
+        assert!(Mode::Crcw(WritePolicy::Arbitrary).allows_concurrent_writes());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Mode::Erew.to_string(), "EREW");
+        assert_eq!(Mode::Crew.to_string(), "CREW");
+        assert_eq!(Mode::Crcw(WritePolicy::Priority).to_string(), "CRCW(priority)");
+    }
+}

@@ -1,0 +1,68 @@
+//! VLSI-style track assignment: one of the path-cover applications the
+//! paper's introduction cites.
+//!
+//! A set of modules on a routing channel is grouped into clusters; within a
+//! cluster every pair of modules is compatible (can share a track chain),
+//! across clusters at the same hierarchy level compatibility is decided by
+//! the hierarchy (join vs union). The compatibility graph built this way is a
+//! cograph by construction, and a minimum path cover of it is a minimum set
+//! of "daisy chains" wiring all modules: every path becomes one chained
+//! track, so fewer paths means fewer tracks.
+//!
+//! Run with: `cargo run --release -p pathcover --example vlsi_channel_routing`
+
+use cograph::Cotree;
+use pathcover::prelude::*;
+
+/// Builds the compatibility cotree of a channel: a top-level join of buses,
+/// where every bus is a union of incompatible module groups, and each group
+/// is a clique of mutually compatible modules.
+fn channel(buses: &[Vec<usize>]) -> Cotree {
+    let bus_trees: Vec<Cotree> = buses
+        .iter()
+        .map(|groups| {
+            let group_trees: Vec<Cotree> = groups
+                .iter()
+                .map(|&size| {
+                    Cotree::join_of((0..size.max(1)).map(|_| Cotree::single(0)).collect())
+                })
+                .collect();
+            Cotree::union_of(group_trees)
+        })
+        .collect();
+    Cotree::join_of(bus_trees)
+}
+
+fn main() {
+    // Three buses with differently sized module groups.
+    let layout = vec![vec![3, 2, 4], vec![5, 1], vec![2, 2, 2, 2]];
+    let cotree = channel(&layout);
+    let graph = cotree.to_graph();
+    let modules = graph.num_vertices();
+    println!("channel with {} modules, {} compatibility edges", modules, graph.num_edges());
+
+    let cover = path_cover(&cotree);
+    assert!(verify_path_cover(&graph, &cover).is_valid());
+    println!("minimum number of daisy-chained tracks: {}", cover.len());
+    for (i, path) in cover.paths().iter().enumerate() {
+        println!("  track {i:>2}: {} modules {:?}", path.len(), path.vertices());
+    }
+
+    // The channel is routable on a single track exactly when the
+    // compatibility graph has a Hamiltonian path.
+    println!("single-track routable: {}", has_hamiltonian_path(&cotree));
+
+    // What-if analysis: making the second bus compatible with nothing else
+    // (union instead of join at the top) increases the number of tracks.
+    let degraded = Cotree::union_of(vec![
+        channel(&layout[..1].to_vec()),
+        channel(&layout[1..].to_vec()),
+    ]);
+    let degraded_cover = path_cover(&degraded);
+    println!(
+        "tracks if the buses were electrically isolated: {} (was {})",
+        degraded_cover.len(),
+        cover.len()
+    );
+    assert!(degraded_cover.len() >= cover.len());
+}

@@ -1,0 +1,100 @@
+//! Property-based tests over random cotrees: every algorithm must produce a
+//! valid, minimum cover, and the core invariants of the substrate crates must
+//! hold for arbitrary inputs.
+
+use cograph::{BinaryCotree, Cotree};
+use parprims::brackets::{match_brackets_seq, BracketKind};
+use parprims::scan::{prefix_sums_seq, ScanOp};
+use pathcover::prelude::*;
+use pcgraph::path::brute_force_min_path_cover;
+use proptest::prelude::*;
+
+/// Strategy producing arbitrary cotrees with up to `max_leaves` leaves.
+fn arb_cotree(max_leaves: usize) -> impl Strategy<Value = Cotree> {
+    let leaf = Just(Cotree::single(0));
+    leaf.prop_recursive(6, max_leaves as u32, 4, |inner| {
+        (prop::collection::vec(inner, 2..4), any::<bool>()).prop_map(|(parts, join)| {
+            if join {
+                Cotree::join_of(parts)
+            } else {
+                Cotree::union_of(parts)
+            }
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn parallel_cover_is_valid_and_minimum(cotree in arb_cotree(24)) {
+        let graph = cotree.to_graph();
+        let cover = path_cover(&cotree);
+        let report = verify_path_cover(&graph, &cover);
+        prop_assert!(report.is_valid(), "{report:?}");
+        prop_assert_eq!(cover.len(), min_path_cover_size(&cotree));
+        prop_assert_eq!(cover.total_vertices(), graph.num_vertices());
+    }
+
+    #[test]
+    fn sequential_and_parallel_covers_have_equal_size(cotree in arb_cotree(24)) {
+        prop_assert_eq!(sequential_path_cover(&cotree).len(), path_cover(&cotree).len());
+    }
+
+    #[test]
+    fn cover_size_matches_brute_force_on_small_instances(cotree in arb_cotree(6)) {
+        let graph = cotree.to_graph();
+        if graph.num_vertices() <= 12 {
+            prop_assert_eq!(min_path_cover_size(&cotree), brute_force_min_path_cover(&graph));
+        }
+    }
+
+    #[test]
+    fn path_counts_match_between_sequential_and_pram(cotree in arb_cotree(20)) {
+        let (tree, leaf_counts) = BinaryCotree::leftist_from_cotree(&cotree);
+        let seq = cograph::path_counts_seq(&tree, &leaf_counts);
+        let mut machine = pram::Pram::strict(pram::Mode::Erew, 8);
+        let par = cograph::path_counts_pram(&mut machine, &tree, &leaf_counts);
+        prop_assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn hamiltonian_path_iff_single_path_cover(cotree in arb_cotree(16)) {
+        prop_assert_eq!(has_hamiltonian_path(&cotree), path_cover(&cotree).len() == 1);
+    }
+
+    #[test]
+    fn or_reduction_is_correct(bits in prop::collection::vec(any::<bool>(), 1..40)) {
+        let expected = bits.iter().any(|&b| b);
+        prop_assert_eq!(or_via_path_cover(&bits, min_path_cover_size), expected);
+    }
+
+    #[test]
+    fn scan_is_associative_oracle(values in prop::collection::vec(-100i64..100, 0..200)) {
+        let sums = prefix_sums_seq(&values, ScanOp::Sum);
+        if let Some(last) = sums.last() {
+            prop_assert_eq!(*last, values.iter().sum::<i64>());
+        }
+        let maxes = prefix_sums_seq(&values, ScanOp::Max);
+        if let Some(last) = maxes.last() {
+            prop_assert_eq!(*last, values.iter().copied().max().unwrap_or(i64::MIN));
+        }
+    }
+
+    #[test]
+    fn bracket_matching_pairs_are_consistent(kinds in prop::collection::vec(any::<bool>(), 0..300)) {
+        let kinds: Vec<BracketKind> = kinds
+            .into_iter()
+            .map(|b| if b { BracketKind::Open } else { BracketKind::Close })
+            .collect();
+        let partner = match_brackets_seq(&kinds);
+        for (i, p) in partner.iter().enumerate() {
+            if let Some(j) = p {
+                prop_assert_eq!(partner[*j], Some(i));
+                let (open, close) = if i < *j { (i, *j) } else { (*j, i) };
+                prop_assert_eq!(kinds[open], BracketKind::Open);
+                prop_assert_eq!(kinds[close], BracketKind::Close);
+            }
+        }
+    }
+}
