@@ -1,0 +1,63 @@
+//! Service-layer throughput: queries/sec through `pcservice`'s batch
+//! executor at batch sizes {1, 64, 4096} and 1–8 worker threads.
+//!
+//! The workload models steady-state serving: a pool of 32 distinct cographs
+//! (n = 64, mixed shape), queries cycling through all five kinds, and a
+//! warmed cotree cache — so the numbers measure the engine (dispatch, cache,
+//! solve, verify), not recognition of brand-new graphs.
+//!
+//! Recording a baseline: `CRITERION_JSON=BENCH_service.json cargo bench
+//! -p pc-bench --bench batch_throughput` appends one JSON line per
+//! measurement.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcservice::{EngineConfig, GraphSpec, QueryEngine, QueryKind, QueryRequest};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const POOL: usize = 32;
+const GRAPH_N: usize = 64;
+
+fn request_pool() -> Vec<GraphSpec> {
+    (0..POOL)
+        .map(|i| {
+            let mut rng = ChaCha8Rng::seed_from_u64(i as u64);
+            let tree = cograph::random_cotree(GRAPH_N, cograph::CotreeShape::Mixed, &mut rng);
+            GraphSpec::Graph(tree.to_graph())
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_batch_throughput");
+    group.sample_size(10);
+    let pool = request_pool();
+    for batch in [1usize, 64, 4096] {
+        let requests: Vec<QueryRequest> = (0..batch)
+            .map(|i| {
+                let kind = QueryKind::ALL[i % QueryKind::ALL.len()];
+                QueryRequest::new(kind, pool[i % POOL].clone())
+            })
+            .collect();
+        for threads in [1usize, 2, 4, 8] {
+            let engine = QueryEngine::new(EngineConfig {
+                threads,
+                ..EngineConfig::default()
+            });
+            engine.execute_batch(None, &requests); // warm the cotree cache
+            group.bench_with_input(
+                BenchmarkId::new(format!("batch{batch}"), format!("t{threads}")),
+                &requests,
+                |b, reqs| {
+                    b.iter(|| {
+                        let responses = engine.execute_batch(None, reqs);
+                        assert!(responses.iter().all(|r| r.outcome.is_ok()));
+                        responses.len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -10,7 +10,8 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for n in [1usize << 10, 1 << 14] {
         let mut rng = ChaCha8Rng::seed_from_u64(DEFAULT_SEED);
-        let cotree = cograph::generators::random_connected_cotree(n, cograph::CotreeShape::Mixed, &mut rng);
+        let cotree =
+            cograph::generators::random_connected_cotree(n, cograph::CotreeShape::Mixed, &mut rng);
         group.bench_with_input(BenchmarkId::new("path_decision", n), &cotree, |b, t| {
             b.iter(|| has_hamiltonian_path(t))
         });

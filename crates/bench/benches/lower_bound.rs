@@ -13,9 +13,17 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("or_via_cover", n), &bits, |b, bits| {
             b.iter(|| or_via_path_cover(bits, min_path_cover_size))
         });
-        group.bench_with_input(BenchmarkId::new("or_via_pram_pipeline", n), &bits, |b, bits| {
-            b.iter(|| or_via_path_cover(bits, |t| pram_path_cover(t, PramConfig::default()).cover.len()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("or_via_pram_pipeline", n),
+            &bits,
+            |b, bits| {
+                b.iter(|| {
+                    or_via_path_cover(bits, |t| {
+                        pram_path_cover(t, PramConfig::default()).cover.len()
+                    })
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -10,12 +10,16 @@ fn bench(c: &mut Criterion) {
     for family in CotreeFamily::ALL {
         for n in [1usize << 8, 1 << 10, 1 << 12] {
             let cotree = Workload::new(family, n, DEFAULT_SEED).cotree();
-            group.bench_with_input(BenchmarkId::new(format!("native-{}", family.name()), n), &cotree, |b, t| {
-                b.iter(|| path_cover(t))
-            });
-            group.bench_with_input(BenchmarkId::new(format!("pram-{}", family.name()), n), &cotree, |b, t| {
-                b.iter(|| pram_path_cover(t, PramConfig::default()))
-            });
+            group.bench_with_input(
+                BenchmarkId::new(format!("native-{}", family.name()), n),
+                &cotree,
+                |b, t| b.iter(|| path_cover(t)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("pram-{}", family.name()), n),
+                &cotree,
+                |b, t| b.iter(|| pram_path_cover(t, PramConfig::default())),
+            );
         }
     }
     group.finish();

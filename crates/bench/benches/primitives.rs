@@ -39,13 +39,17 @@ fn bench(c: &mut Criterion) {
                 parprims::ranking::list_rank_blocked(&mut m, h, 0)
             })
         });
-        group.bench_with_input(BenchmarkId::new("list_rank_wyllie_ablation", n), &succ, |b, s| {
-            b.iter(|| {
-                let mut m = pram::Pram::new(Mode::Erew, pram::optimal_processors(n));
-                let h = m.alloc_from(s);
-                parprims::ranking::list_rank_wyllie(&mut m, h)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("list_rank_wyllie_ablation", n),
+            &succ,
+            |b, s| {
+                b.iter(|| {
+                    let mut m = pram::Pram::new(Mode::Erew, pram::optimal_processors(n));
+                    let h = m.alloc_from(s);
+                    parprims::ranking::list_rank_wyllie(&mut m, h)
+                })
+            },
+        );
     }
     group.finish();
 }

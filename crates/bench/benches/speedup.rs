@@ -11,7 +11,13 @@ fn bench(c: &mut Criterion) {
     for p in [1usize, 8, 64, 512] {
         group.bench_with_input(BenchmarkId::new("processors", p), &cotree, |b, t| {
             b.iter(|| {
-                pram_path_cover(t, PramConfig { processors: Some(p), ..PramConfig::default() })
+                pram_path_cover(
+                    t,
+                    PramConfig {
+                        processors: Some(p),
+                        ..PramConfig::default()
+                    },
+                )
             })
         });
     }

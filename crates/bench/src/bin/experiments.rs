@@ -37,7 +37,13 @@ fn print_table(title: &str, table: &Table) {
 /// E1 — Theorem 2.2: the OR reduction and the matching Theta(log n) upper bound.
 fn e1_lower_bound(sizes: &[usize]) {
     let mut rng = ChaCha8Rng::seed_from_u64(DEFAULT_SEED);
-    let mut t = Table::new(vec!["n (bits)", "cover size", "OR", "pipeline steps", "steps/log2(n)"]);
+    let mut t = Table::new(vec![
+        "n (bits)",
+        "cover size",
+        "OR",
+        "pipeline steps",
+        "steps/log2(n)",
+    ]);
     for &n in sizes {
         let bits: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.25)).collect();
         let cotree = or_instance_cotree(&bits);
@@ -57,8 +63,18 @@ fn e1_lower_bound(sizes: &[usize]) {
 
 /// E2 — Lemma 2.3: the sequential algorithm is (near-)linear time.
 fn e2_sequential(sizes: &[usize], quick: bool) {
-    let mut t = Table::new(vec!["family", "n", "paths", "wall time (ms)", "us per vertex"]);
-    let extra = if quick { vec![] } else { vec![1 << 16, 1 << 18, 1 << 20] };
+    let mut t = Table::new(vec![
+        "family",
+        "n",
+        "paths",
+        "wall time (ms)",
+        "us per vertex",
+    ]);
+    let extra = if quick {
+        vec![]
+    } else {
+        vec![1 << 16, 1 << 18, 1 << 20]
+    };
     for family in CotreeFamily::ALL {
         for &n in sizes.iter().chain(extra.iter()) {
             let cotree = Workload::new(family, n, DEFAULT_SEED).cotree();
@@ -79,7 +95,15 @@ fn e2_sequential(sizes: &[usize], quick: bool) {
 
 /// E3 — Lemma 2.4: path counts in O(log n) steps and O(n) work, EREW-clean.
 fn e3_path_counts(sizes: &[usize]) {
-    let mut t = Table::new(vec!["family", "n", "steps", "steps/log2(n)", "work", "work/n", "violations"]);
+    let mut t = Table::new(vec![
+        "family",
+        "n",
+        "steps",
+        "steps/log2(n)",
+        "work",
+        "work/n",
+        "violations",
+    ]);
     for family in CotreeFamily::ALL {
         for &n in sizes {
             let cotree = Workload::new(family, n, DEFAULT_SEED).cotree();
@@ -104,7 +128,15 @@ fn e3_path_counts(sizes: &[usize]) {
 /// E4 — Theorem 5.3: the full pipeline.
 fn e4_full_pipeline(sizes: &[usize]) {
     let mut t = Table::new(vec![
-        "family", "n", "paths", "steps", "steps/log2(n)", "work", "work/n", "EREW read conflicts", "write conflicts",
+        "family",
+        "n",
+        "paths",
+        "steps",
+        "steps/log2(n)",
+        "work",
+        "work/n",
+        "EREW read conflicts",
+        "write conflicts",
     ]);
     for family in CotreeFamily::ALL {
         for &n in sizes {
@@ -135,21 +167,46 @@ fn e4_full_pipeline(sizes: &[usize]) {
 
 /// E5 — comparison against the prior algorithms.
 fn e5_baselines(sizes: &[usize], quick: bool) {
-    let mut t = Table::new(vec!["family", "n", "algorithm", "steps", "work", "processors"]);
+    let mut t = Table::new(vec![
+        "family",
+        "n",
+        "algorithm",
+        "steps",
+        "work",
+        "processors",
+    ]);
     for family in [CotreeFamily::Balanced, CotreeFamily::Skewed] {
         for &n in sizes {
             let cotree = Workload::new(family, n, DEFAULT_SEED).cotree();
             let ours = pram_path_cover(&cotree, PramConfig::default());
-            let mut rows = vec![
-                ("this paper (optimal)", ours.metrics.steps, ours.metrics.work, ours.processors),
-            ];
+            let mut rows = vec![(
+                "this paper (optimal)",
+                ours.metrics.steps,
+                ours.metrics.work,
+                ours.processors,
+            )];
             let naive = naive_parallel_cover(&cotree);
-            rows.push(("naive bottom-up", naive.metrics.steps, naive.metrics.work, naive.processors));
+            rows.push((
+                "naive bottom-up",
+                naive.metrics.steps,
+                naive.metrics.work,
+                naive.processors,
+            ));
             let lin = lin_etal_cover(&cotree);
-            rows.push(("Lin et al. [18]", lin.metrics.steps, lin.metrics.work, lin.processors));
+            rows.push((
+                "Lin et al. [18]",
+                lin.metrics.steps,
+                lin.metrics.work,
+                lin.processors,
+            ));
             if n <= if quick { 1 << 10 } else { 1 << 12 } {
                 let ap = adhar_peng_like_cover(&cotree);
-                rows.push(("Adhar-Peng-like [2]", ap.metrics.steps, ap.metrics.work, ap.processors));
+                rows.push((
+                    "Adhar-Peng-like [2]",
+                    ap.metrics.steps,
+                    ap.metrics.work,
+                    ap.processors,
+                ));
             }
             for (name, steps, work, procs) in rows {
                 t.add_row(vec![
@@ -169,31 +226,57 @@ fn e5_baselines(sizes: &[usize], quick: bool) {
 /// E6 — Brent speedup / work optimality across processor counts.
 fn e6_processor_sweep(n: usize) {
     let cotree = Workload::new(CotreeFamily::Balanced, n, DEFAULT_SEED).cotree();
-    let mut t = Table::new(vec!["processors", "steps", "speedup vs p=1", "p x steps / work"]);
+    let mut t = Table::new(vec![
+        "processors",
+        "steps",
+        "speedup vs p=1",
+        "p x steps / work",
+    ]);
     let base = pram_path_cover(
         &cotree,
-        PramConfig { processors: Some(1), ..PramConfig::default() },
+        PramConfig {
+            processors: Some(1),
+            ..PramConfig::default()
+        },
     );
     let mut p = 1usize;
     while p <= n {
         let outcome = pram_path_cover(
             &cotree,
-            PramConfig { processors: Some(p), ..PramConfig::default() },
+            PramConfig {
+                processors: Some(p),
+                ..PramConfig::default()
+            },
         );
         t.add_row(vec![
             p.to_string(),
             outcome.metrics.steps.to_string(),
-            format!("{:.2}", base.metrics.steps as f64 / outcome.metrics.steps as f64),
-            format!("{:.2}", (p as u64 * outcome.metrics.steps) as f64 / outcome.metrics.work as f64),
+            format!(
+                "{:.2}",
+                base.metrics.steps as f64 / outcome.metrics.steps as f64
+            ),
+            format!(
+                "{:.2}",
+                (p as u64 * outcome.metrics.steps) as f64 / outcome.metrics.work as f64
+            ),
         ]);
         p *= 4;
     }
-    print_table(&format!("E6 - processor sweep (Brent speedup), balanced n={n}"), &t);
+    print_table(
+        &format!("E6 - processor sweep (Brent speedup), balanced n={n}"),
+        &t,
+    );
 }
 
 /// E7 — Hamiltonian path / cycle decisions.
 fn e7_hamiltonian(sizes: &[usize]) {
-    let mut t = Table::new(vec!["n", "ham. path", "ham. cycle", "steps", "steps/log2(n)"]);
+    let mut t = Table::new(vec![
+        "n",
+        "ham. path",
+        "ham. cycle",
+        "steps",
+        "steps/log2(n)",
+    ]);
     let mut rng = ChaCha8Rng::seed_from_u64(DEFAULT_SEED);
     for &n in sizes {
         let cotree = cograph::generators::random_connected_cotree(n, CotreeFamily::Mixed, &mut rng);
@@ -213,7 +296,14 @@ fn e7_hamiltonian(sizes: &[usize]) {
 fn e8_primitives(sizes: &[usize]) {
     use parprims::brackets::BracketKind;
     use parprims::scan::ScanOp;
-    let mut t = Table::new(vec!["primitive", "n", "steps", "steps/log2(n)", "work/n", "violations"]);
+    let mut t = Table::new(vec![
+        "primitive",
+        "n",
+        "steps",
+        "steps/log2(n)",
+        "work/n",
+        "violations",
+    ]);
     let mut rng = ChaCha8Rng::seed_from_u64(DEFAULT_SEED);
     for &n in sizes {
         // prefix sums
@@ -221,38 +311,69 @@ fn e8_primitives(sizes: &[usize]) {
         let mut m = pram::Pram::new(Mode::Erew, pram::optimal_processors(n));
         let h = m.alloc_from(&data);
         let _ = parprims::scan::prefix_sums_pram(&mut m, h, ScanOp::Sum, 0);
-        t.add_row(vec!["prefix sums".into(), n.to_string(), m.metrics().steps.to_string(),
-            format!("{:.1}", m.metrics().steps_per_log(n)), format!("{:.1}", m.metrics().work_per_item(n)),
-            m.metrics().violations.len().to_string()]);
+        t.add_row(vec![
+            "prefix sums".into(),
+            n.to_string(),
+            m.metrics().steps.to_string(),
+            format!("{:.1}", m.metrics().steps_per_log(n)),
+            format!("{:.1}", m.metrics().work_per_item(n)),
+            m.metrics().violations.len().to_string(),
+        ]);
         // list ranking
         let mut order: Vec<usize> = (0..n).collect();
         use rand::seq::SliceRandom;
         order.shuffle(&mut rng);
         let mut succ = vec![-1i64; n];
-        for w in order.windows(2) { succ[w[0]] = w[1] as i64; }
+        for w in order.windows(2) {
+            succ[w[0]] = w[1] as i64;
+        }
         let mut m = pram::Pram::new(Mode::Erew, pram::optimal_processors(n));
         let h = m.alloc_from(&succ);
         let _ = parprims::ranking::list_rank_blocked(&mut m, h, 0);
-        t.add_row(vec!["list ranking (blocked)".into(), n.to_string(), m.metrics().steps.to_string(),
-            format!("{:.1}", m.metrics().steps_per_log(n)), format!("{:.1}", m.metrics().work_per_item(n)),
-            m.metrics().violations.len().to_string()]);
+        t.add_row(vec![
+            "list ranking (blocked)".into(),
+            n.to_string(),
+            m.metrics().steps.to_string(),
+            format!("{:.1}", m.metrics().steps_per_log(n)),
+            format!("{:.1}", m.metrics().work_per_item(n)),
+            m.metrics().violations.len().to_string(),
+        ]);
         // bracket matching
-        let kinds: Vec<i64> = (0..n).map(|_| if rng.gen_bool(0.5) { BracketKind::Open } else { BracketKind::Close }.to_word()).collect();
+        let kinds: Vec<i64> = (0..n)
+            .map(|_| {
+                if rng.gen_bool(0.5) {
+                    BracketKind::Open
+                } else {
+                    BracketKind::Close
+                }
+                .to_word()
+            })
+            .collect();
         let mut m = pram::Pram::new(Mode::Crew, pram::optimal_processors(n));
         let h = m.alloc_from(&kinds);
         let _ = parprims::brackets::match_brackets_pram(&mut m, h);
-        t.add_row(vec!["bracket matching (CREW)".into(), n.to_string(), m.metrics().steps.to_string(),
-            format!("{:.1}", m.metrics().steps_per_log(n)), format!("{:.1}", m.metrics().work_per_item(n)),
-            m.metrics().violations.len().to_string()]);
+        t.add_row(vec![
+            "bracket matching (CREW)".into(),
+            n.to_string(),
+            m.metrics().steps.to_string(),
+            format!("{:.1}", m.metrics().steps_per_log(n)),
+            format!("{:.1}", m.metrics().work_per_item(n)),
+            m.metrics().violations.len().to_string(),
+        ]);
         // euler tour numberings
         let cotree = Workload::new(CotreeFamily::Balanced, n, DEFAULT_SEED).cotree();
         let (tree, _) = BinaryCotree::leftist_from_cotree(&cotree);
         let rooted = tree.to_rooted_tree();
         let mut m = pram::Pram::new(Mode::Erew, pram::optimal_processors(n));
         let _ = parprims::euler::euler_tour_numbers(&mut m, &rooted, None);
-        t.add_row(vec!["euler tour numberings".into(), n.to_string(), m.metrics().steps.to_string(),
-            format!("{:.1}", m.metrics().steps_per_log(n)), format!("{:.1}", m.metrics().work_per_item(n)),
-            m.metrics().violations.len().to_string()]);
+        t.add_row(vec![
+            "euler tour numberings".into(),
+            n.to_string(),
+            m.metrics().steps.to_string(),
+            format!("{:.1}", m.metrics().steps_per_log(n)),
+            format!("{:.1}", m.metrics().work_per_item(n)),
+            m.metrics().violations.len().to_string(),
+        ]);
     }
     print_table("E8 - primitive toolbox (Lemmas 5.1 / 5.2)", &t);
 }

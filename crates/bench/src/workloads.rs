@@ -1,8 +1,8 @@
 //! Shared workload definitions used by the Criterion benches and by the
 //! `experiments` binary, so both measure exactly the same inputs.
 
-use cograph::{random_cotree, Cotree};
 pub use cograph::CotreeShape as CotreeFamily;
+use cograph::{random_cotree, Cotree};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 

@@ -77,7 +77,11 @@ impl BinaryCotree {
         match t.kind(u) {
             CotreeKind::Leaf(v) => self.new_node(BinKind::Leaf(v)),
             kind => {
-                let label = if kind == CotreeKind::Union { BinKind::Zero } else { BinKind::One };
+                let label = if kind == CotreeKind::Union {
+                    BinKind::Zero
+                } else {
+                    BinKind::One
+                };
                 let kids: Vec<usize> = t.children(u).iter().map(|&c| self.build(t, c)).collect();
                 assert!(kids.len() >= 2, "cotree internal nodes have >= 2 children");
                 let mut acc = {
@@ -186,7 +190,11 @@ impl BinaryCotree {
     pub fn leaf_counts(&self) -> Vec<usize> {
         let mut l = vec![0usize; self.num_nodes()];
         for u in self.postorder() {
-            l[u] = if self.is_leaf(u) { 1 } else { l[self.left[u]] + l[self.right[u]] };
+            l[u] = if self.is_leaf(u) {
+                1
+            } else {
+                l[self.left[u]] + l[self.right[u]]
+            };
         }
         l
     }
@@ -209,9 +217,8 @@ impl BinaryCotree {
 
     /// `true` when every internal node satisfies the leftist property.
     pub fn is_leftist(&self, leaf_counts: &[usize]) -> bool {
-        (0..self.num_nodes()).all(|u| {
-            self.is_leaf(u) || leaf_counts[self.left[u]] >= leaf_counts[self.right[u]]
-        })
+        (0..self.num_nodes())
+            .all(|u| self.is_leaf(u) || leaf_counts[self.left[u]] >= leaf_counts[self.right[u]])
     }
 
     /// Convenience constructor: binarise, compute `L(u)`, make leftist.
@@ -297,7 +304,11 @@ mod tests {
     fn leaf_counts_and_leftist() {
         // union(join(a,b,c), d): left subtree has 3 leaves, right has 1.
         let t = Cotree::union_of(vec![
-            Cotree::join_of(vec![Cotree::single(0), Cotree::single(0), Cotree::single(0)]),
+            Cotree::join_of(vec![
+                Cotree::single(0),
+                Cotree::single(0),
+                Cotree::single(0),
+            ]),
             Cotree::single(0),
         ]);
         let (b, l) = BinaryCotree::leftist_from_cotree(&t);

@@ -117,7 +117,12 @@ impl Cotree {
         for &c in &top_children {
             parent[c] = new_root;
         }
-        let tree = Cotree { kinds, children, parent, root: new_root };
+        let tree = Cotree {
+            kinds,
+            children,
+            parent,
+            root: new_root,
+        };
         tree.compact()
     }
 
@@ -156,7 +161,12 @@ impl Cotree {
                 remap[self.parent[v]]
             });
         }
-        Cotree { kinds, children, parent, root: remap[self.root] }
+        Cotree {
+            kinds,
+            children,
+            parent,
+            root: remap[self.root],
+        }
     }
 
     /// Number of cotree nodes (leaves plus internal nodes).
@@ -302,7 +312,11 @@ impl Cotree {
         let order = self.postorder();
         let mut h = vec![0usize; self.num_nodes()];
         for &u in &order {
-            h[u] = self.children[u].iter().map(|&c| h[c] + 1).max().unwrap_or(0);
+            h[u] = self.children[u]
+                .iter()
+                .map(|&c| h[c] + 1)
+                .max()
+                .unwrap_or(0);
         }
         h[self.root]
     }
@@ -354,7 +368,12 @@ mod tests {
 
     #[test]
     fn complete_graph_from_joins() {
-        let t = Cotree::join_of(vec![Cotree::single(0), Cotree::single(0), Cotree::single(0), Cotree::single(0)]);
+        let t = Cotree::join_of(vec![
+            Cotree::single(0),
+            Cotree::single(0),
+            Cotree::single(0),
+            Cotree::single(0),
+        ]);
         let g = t.to_graph();
         assert_eq!(g.num_edges(), 6);
     }

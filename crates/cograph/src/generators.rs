@@ -27,7 +27,11 @@ pub enum CotreeShape {
 
 impl CotreeShape {
     /// All shapes, in the order the experiment tables report them.
-    pub const ALL: [CotreeShape; 3] = [CotreeShape::Balanced, CotreeShape::Skewed, CotreeShape::Mixed];
+    pub const ALL: [CotreeShape; 3] = [
+        CotreeShape::Balanced,
+        CotreeShape::Skewed,
+        CotreeShape::Mixed,
+    ];
 
     /// Short lowercase name used in experiment tables.
     pub fn name(&self) -> &'static str {
@@ -49,7 +53,7 @@ pub fn random_cotree<R: Rng>(n: usize, shape: CotreeShape, rng: &mut R) -> Cotre
     match shape {
         CotreeShape::Balanced => balanced(n, rng),
         CotreeShape::Skewed => skewed(n, rng),
-        CotreeShape::Mixed => mixed(n, rng, 0),
+        CotreeShape::Mixed => mixed(n, rng),
     }
 }
 
@@ -93,7 +97,7 @@ fn skewed<R: Rng>(n: usize, rng: &mut R) -> Cotree {
     tree
 }
 
-fn mixed<R: Rng>(n: usize, rng: &mut R, depth: usize) -> Cotree {
+fn mixed<R: Rng>(n: usize, rng: &mut R) -> Cotree {
     if n == 1 {
         return Cotree::single(0);
     }
@@ -109,7 +113,7 @@ fn mixed<R: Rng>(n: usize, rng: &mut R, depth: usize) -> Cotree {
         prev = c;
     }
     parts.push(n - prev);
-    let subtrees: Vec<Cotree> = parts.into_iter().map(|p| mixed(p, rng, depth + 1)).collect();
+    let subtrees: Vec<Cotree> = parts.into_iter().map(|p| mixed(p, rng)).collect();
     if rng.gen_bool(0.5) {
         Cotree::union_of(subtrees)
     } else {
@@ -150,7 +154,12 @@ mod tests {
         let n = 128;
         let tall = random_cotree(n, CotreeShape::Skewed, &mut rng);
         let flat = random_cotree(n, CotreeShape::Balanced, &mut rng);
-        assert!(tall.height() > 3 * flat.height(), "tall={} flat={}", tall.height(), flat.height());
+        assert!(
+            tall.height() > 3 * flat.height(),
+            "tall={} flat={}",
+            tall.height(),
+            flat.height()
+        );
     }
 
     #[test]

@@ -49,7 +49,10 @@ pub fn path_counts_pram(pram: &mut Pram, t: &BinaryCotree, leaf_counts: &[usize]
             BinKind::Leaf(_) => leaf_values[u] = 1,
             BinKind::Zero => ops[u] = NodeOp::Add,
             BinKind::One => {
-                ops[u] = NodeOp::LeftAffine { add: -(leaf_counts[t.right(u)] as i64), floor: 1 }
+                ops[u] = NodeOp::LeftAffine {
+                    add: -(leaf_counts[t.right(u)] as i64),
+                    floor: 1,
+                }
             }
         }
     }
@@ -145,7 +148,10 @@ mod tests {
             let (b, l) = BinaryCotree::leftist_from_cotree(&t);
             let mut pram = Pram::new(Mode::Erew, pram::optimal_processors(n));
             path_counts_pram(&mut pram, &b, &l);
-            stats.push((pram.metrics().steps_per_log(n), pram.metrics().work_per_item(n)));
+            stats.push((
+                pram.metrics().steps_per_log(n),
+                pram.metrics().work_per_item(n),
+            ));
         }
         let (s0, w0) = stats[0];
         let (s2, w2) = *stats.last().expect("nonempty");

@@ -17,8 +17,8 @@
 //! Nested 1-nodes inside a right subtree create no events of their own: all
 //! of their vertices belong to the outermost (active) 1-node above them.
 
-use crate::binary::BinaryCotree;
 use crate::binary::BinKind;
+use crate::binary::BinaryCotree;
 use serde::{Deserialize, Serialize};
 
 /// Role of a graph vertex in the reduced cotree.
@@ -156,7 +156,14 @@ pub fn classify_vertices(
                             (2 * (p_left - 1)).max(0) as usize,
                         )
                     };
-                    events.push(EventInfo { node: u, p_left, l_right, bridges, inserts, dummies });
+                    events.push(EventInfo {
+                        node: u,
+                        p_left,
+                        l_right,
+                        bridges,
+                        inserts,
+                        dummies,
+                    });
                     // Assign roles to the leaves of the right subtree in
                     // left-to-right order: bridges first, then inserts.
                     let leaves = subtree_leaves(t, r);
@@ -172,7 +179,11 @@ pub fn classify_vertices(
             }
         }
     }
-    ReducedCotree { active, roles, events }
+    ReducedCotree {
+        active,
+        roles,
+        events,
+    }
 }
 
 /// Leaves of the subtree rooted at `u`, in left-to-right order.
@@ -192,7 +203,11 @@ pub fn subtree_leaves(t: &BinaryCotree, u: usize) -> Vec<usize> {
 
 /// The number of graph vertices that end up primary.
 pub fn primary_count(reduced: &ReducedCotree) -> usize {
-    reduced.roles.iter().filter(|r| matches!(r, VertexRole::Primary)).count()
+    reduced
+        .roles
+        .iter()
+        .filter(|r| matches!(r, VertexRole::Primary))
+        .count()
 }
 
 #[cfg(test)]
@@ -277,8 +292,12 @@ mod tests {
                 assert_eq!(primary_count(&r) + bridges + inserts, n);
                 // Dummy count is exactly twice the Case-2 bridge count
                 // (paper, Section 4).
-                let case2_bridges: usize =
-                    r.events.iter().filter(|e| !e.is_case1()).map(|e| e.bridges).sum();
+                let case2_bridges: usize = r
+                    .events
+                    .iter()
+                    .filter(|e| !e.is_case1())
+                    .map(|e| e.bridges)
+                    .sum();
                 assert_eq!(r.total_dummies(), 2 * case2_bridges);
             }
         }
@@ -308,7 +327,10 @@ mod tests {
             while b.parent(v) != crate::binary::NONE {
                 let parent = b.parent(v);
                 if matches!(b.kind(parent), BinKind::One) && b.right(parent) == v {
-                    panic!("event node {} sits inside the right subtree of 1-node {parent}", e.node);
+                    panic!(
+                        "event node {} sits inside the right subtree of 1-node {parent}",
+                        e.node
+                    );
                 }
                 v = parent;
             }

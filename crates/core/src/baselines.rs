@@ -163,7 +163,11 @@ mod tests {
         let t = random_cotree(60, CotreeShape::Mixed, &mut rng);
         let g = t.to_graph();
         let expected = crate::pipeline::min_path_cover_size(&t);
-        for outcome in [naive_parallel_cover(&t), lin_etal_cover(&t), adhar_peng_like_cover(&t)] {
+        for outcome in [
+            naive_parallel_cover(&t),
+            lin_etal_cover(&t),
+            adhar_peng_like_cover(&t),
+        ] {
             assert!(verify_path_cover(&g, &outcome.cover).is_valid());
             assert_eq!(outcome.cover.len(), expected);
             assert!(outcome.metrics.steps > 0);
@@ -178,8 +182,8 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let small = random_cotree(512, CotreeShape::Skewed, &mut rng);
         let large = random_cotree(2048, CotreeShape::Skewed, &mut rng);
-        let naive_growth =
-            naive_parallel_cover(&large).metrics.steps as f64 / naive_parallel_cover(&small).metrics.steps as f64;
+        let naive_growth = naive_parallel_cover(&large).metrics.steps as f64
+            / naive_parallel_cover(&small).metrics.steps as f64;
         let ours_growth = pram_path_cover(&large, PramConfig::default()).metrics.steps as f64
             / pram_path_cover(&small, PramConfig::default()).metrics.steps as f64;
         assert!(naive_growth > 2.5, "naive growth {naive_growth}");
@@ -204,10 +208,12 @@ mod tests {
                 .sum();
             steps as f64 / (n as f64).log2()
         };
-        let lin_growth =
-            reporting(&lin_etal_cover(&large), 1 << 12) / reporting(&lin_etal_cover(&small), 1 << 8);
+        let lin_growth = reporting(&lin_etal_cover(&large), 1 << 12)
+            / reporting(&lin_etal_cover(&small), 1 << 8);
         let ours = |t: &Cotree, n: usize| {
-            pram_path_cover(t, PramConfig::default()).metrics.steps_per_log(n)
+            pram_path_cover(t, PramConfig::default())
+                .metrics
+                .steps_per_log(n)
         };
         let ours_growth = ours(&large, 1 << 12) / ours(&small, 1 << 8);
         assert!(lin_growth > 1.3, "lin growth {lin_growth}");

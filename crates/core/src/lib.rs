@@ -60,7 +60,7 @@ pub mod lower_bound;
 pub mod pipeline;
 pub mod sequential;
 
-pub use hamiltonian::{has_hamiltonian_cycle, has_hamiltonian_path, hamiltonian_path};
+pub use hamiltonian::{hamiltonian_path, has_hamiltonian_cycle, has_hamiltonian_path};
 pub use lower_bound::{or_instance_cotree, or_via_path_cover};
 pub use pipeline::{min_path_cover_size, path_cover, pram_path_cover, PramConfig, PramOutcome};
 pub use sequential::sequential_path_cover;
@@ -68,7 +68,7 @@ pub use sequential::sequential_path_cover;
 /// Convenience re-exports for downstream users and the examples.
 pub mod prelude {
     pub use crate::baselines::{adhar_peng_like_cover, lin_etal_cover, naive_parallel_cover};
-    pub use crate::hamiltonian::{has_hamiltonian_cycle, has_hamiltonian_path, hamiltonian_path};
+    pub use crate::hamiltonian::{hamiltonian_path, has_hamiltonian_cycle, has_hamiltonian_path};
     pub use crate::lower_bound::{or_instance_cotree, or_via_path_cover};
     pub use crate::pipeline::{
         min_path_cover_size, path_cover, pram_path_cover, PramConfig, PramOutcome,

@@ -49,7 +49,11 @@ pub struct PramConfig {
 
 impl Default for PramConfig {
     fn default() -> Self {
-        PramConfig { mode: Mode::Erew, processors: None, strict: false }
+        PramConfig {
+            mode: Mode::Erew,
+            processors: None,
+            strict: false,
+        }
     }
 }
 
@@ -82,14 +86,20 @@ pub fn min_path_cover_size(cotree: &Cotree) -> usize {
 /// returns the cover together with the measured metrics.
 pub fn pram_path_cover(cotree: &Cotree, config: PramConfig) -> PramOutcome {
     let n = cotree.num_vertices();
-    let processors = config.processors.unwrap_or_else(|| pram::optimal_processors(n));
+    let processors = config
+        .processors
+        .unwrap_or_else(|| pram::optimal_processors(n));
     let mut machine = if config.strict {
         Pram::strict(config.mode, processors)
     } else {
         Pram::new(config.mode, processors)
     };
     let cover = run_pipeline(cotree, &mut Engine::Pram(&mut machine));
-    PramOutcome { cover, metrics: machine.into_metrics(), processors }
+    PramOutcome {
+        cover,
+        metrics: machine.into_metrics(),
+        processors,
+    }
 }
 
 /// Execution substrate for the pipeline.
@@ -149,7 +159,13 @@ impl Engine<'_> {
                 let partner = match_brackets_pram(pram, handle);
                 pram.snapshot(partner)
                     .into_iter()
-                    .map(|w| if w == NONE_WORD { None } else { Some(w as usize) })
+                    .map(|w| {
+                        if w == NONE_WORD {
+                            None
+                        } else {
+                            Some(w as usize)
+                        }
+                    })
                     .collect()
             }
         }
@@ -246,7 +262,15 @@ fn generate_brackets(
     let n = tree.num_vertices();
     let mut out = Vec::with_capacity(4 * n);
     let mut next_dummy = n;
-    emit_node(tree, tree.root(), leaf_counts, path_counts, reduced, &mut out, &mut next_dummy);
+    emit_node(
+        tree,
+        tree.root(),
+        leaf_counts,
+        path_counts,
+        reduced,
+        &mut out,
+        &mut next_dummy,
+    );
     (out, next_dummy - n)
 }
 
@@ -271,7 +295,10 @@ fn emit_node(
         match frame {
             Frame::Visit(v) => match tree.kind(v) {
                 BinKind::Leaf(vertex) => {
-                    debug_assert!(matches!(reduced.roles[vertex as usize], VertexRole::Primary));
+                    debug_assert!(matches!(
+                        reduced.roles[vertex as usize],
+                        VertexRole::Primary
+                    ));
                     let owner = vertex as usize;
                     out.push(Bracket::SquareOpen { owner });
                     out.push(Bracket::RoundOpen { owner, left: true });
@@ -304,9 +331,14 @@ fn emit_event(
     out: &mut Vec<Bracket>,
     next_dummy: &mut usize,
 ) {
-    let event = reduced.event_of(u).expect("active 1-nodes always have an event");
+    let event = reduced
+        .event_of(u)
+        .expect("active 1-nodes always have an event");
     let right_leaves = cograph::reduce::subtree_leaves(tree, tree.right(u));
-    let vertices: Vec<usize> = right_leaves.iter().map(|&leaf| tree.vertex(leaf) as usize).collect();
+    let vertices: Vec<usize> = right_leaves
+        .iter()
+        .map(|&leaf| tree.vertex(leaf) as usize)
+        .collect();
     let bridges = &vertices[..event.bridges];
     let inserts = &vertices[event.bridges..];
     debug_assert_eq!(inserts.len(), event.inserts);
@@ -314,8 +346,14 @@ fn emit_event(
     // Bridge vertices: ] ] [ per bridge (right child, left child, own parent
     // slot), exactly as in both Case 1 and Case 2.
     for &s in bridges {
-        out.push(Bracket::SquareClose { owner: s, left: false });
-        out.push(Bracket::SquareClose { owner: s, left: true });
+        out.push(Bracket::SquareClose {
+            owner: s,
+            left: false,
+        });
+        out.push(Bracket::SquareClose {
+            owner: s,
+            left: true,
+        });
         out.push(Bracket::SquareOpen { owner: s });
     }
     if event.is_case1() {
@@ -328,15 +366,26 @@ fn emit_event(
     }
     let dummy_base = *next_dummy;
     for d in 0..event.dummies {
-        out.push(Bracket::RoundClose { owner: dummy_base + d });
+        out.push(Bracket::RoundClose {
+            owner: dummy_base + d,
+        });
     }
     for d in 0..event.dummies {
-        out.push(Bracket::RoundOpen { owner: dummy_base + d, left: false });
+        out.push(Bracket::RoundOpen {
+            owner: dummy_base + d,
+            left: false,
+        });
     }
     *next_dummy += event.dummies;
     for &t in inserts {
-        out.push(Bracket::RoundOpen { owner: t, left: true });
-        out.push(Bracket::RoundOpen { owner: t, left: false });
+        out.push(Bracket::RoundOpen {
+            owner: t,
+            left: true,
+        });
+        out.push(Bracket::RoundOpen {
+            owner: t,
+            left: false,
+        });
     }
 }
 
@@ -363,7 +412,9 @@ impl PathForest {
     }
 
     fn roots(&self) -> Vec<usize> {
-        (0..self.len()).filter(|&v| self.parent[v] == NONE).collect()
+        (0..self.len())
+            .filter(|&v| self.parent[v] == NONE)
+            .collect()
     }
 }
 
@@ -443,8 +494,13 @@ fn build_pseudo_path_trees(
         }
         let close_pos = square_positions[idx];
         let open_pos = square_positions[*p];
-        let (Bracket::SquareClose { owner: adopter, left }, Bracket::SquareOpen { owner: child }) =
-            (brackets[close_pos], brackets[open_pos])
+        let (
+            Bracket::SquareClose {
+                owner: adopter,
+                left,
+            },
+            Bracket::SquareOpen { owner: child },
+        ) = (brackets[close_pos], brackets[open_pos])
         else {
             unreachable!("square matching returned mismatched bracket kinds");
         };
@@ -464,8 +520,13 @@ fn build_pseudo_path_trees(
         }
         let close_pos = round_positions[idx];
         let open_pos = round_positions[*p];
-        let (Bracket::RoundClose { owner: child }, Bracket::RoundOpen { owner: parent, left }) =
-            (brackets[close_pos], brackets[open_pos])
+        let (
+            Bracket::RoundClose { owner: child },
+            Bracket::RoundOpen {
+                owner: parent,
+                left,
+            },
+        ) = (brackets[close_pos], brackets[open_pos])
         else {
             unreachable!("round matching returned mismatched bracket kinds");
         };
@@ -567,7 +628,10 @@ fn legalize(engine: &mut Engine<'_>, mut forest: PathForest) -> PathForest {
         // Pair and exchange within each event.
         let mut pairs: Vec<(usize, usize)> = Vec::new();
         for (event, inserts) in &illegal_by_event {
-            let dummies = legal_dummies_by_event.get(event).cloned().unwrap_or_default();
+            let dummies = legal_dummies_by_event
+                .get(event)
+                .cloned()
+                .unwrap_or_default();
             assert!(
                 dummies.len() >= inserts.len(),
                 "event {event}: {} illegal insert vertices but only {} legal dummy slots",
@@ -617,7 +681,10 @@ fn extract_paths(engine: &mut Engine<'_>, forest: &PathForest) -> PathCover {
         if forest.dummy[node] {
             continue;
         }
-        cover_paths.entry(root_of[node]).or_default().push(node as VertexId);
+        cover_paths
+            .entry(root_of[node])
+            .or_default()
+            .push(node as VertexId);
     }
     let mut cover = PathCover::new();
     for (_, vertices) in cover_paths {
@@ -639,7 +706,11 @@ fn forest_inorder(engine: &mut Engine<'_>, forest: &PathForest) -> (Vec<usize>, 
     let mut children: Vec<Vec<usize>> = vec![Vec::new(); total + 1];
     let mut left_child = vec![NONE; total + 1];
     for v in 0..total {
-        parent[v] = if forest.parent[v] == NONE { superroot } else { forest.parent[v] };
+        parent[v] = if forest.parent[v] == NONE {
+            superroot
+        } else {
+            forest.parent[v]
+        };
         let (l, r) = (forest.left[v], forest.right[v]);
         if l != NONE {
             children[v].push(l);
@@ -688,7 +759,10 @@ mod tests {
         let g = cotree.to_graph();
         let cover = path_cover(cotree);
         let report = verify_path_cover(&g, &cover);
-        assert!(report.is_valid(), "invalid parallel cover {report:?} for {cotree:?}");
+        assert!(
+            report.is_valid(),
+            "invalid parallel cover {report:?} for {cotree:?}"
+        );
         assert_eq!(
             cover.len(),
             min_path_cover_size(cotree),
@@ -834,6 +908,9 @@ mod tests {
         let t = random_cotree(64, CotreeShape::Mixed, &mut rng);
         let outcome = pram_path_cover(&t, PramConfig::default());
         let phases = outcome.metrics.phase_report();
-        assert!(phases.len() >= 5, "expected per-step phases, got {phases:?}");
+        assert!(
+            phases.len() >= 5,
+            "expected per-step phases, got {phases:?}"
+        );
     }
 }

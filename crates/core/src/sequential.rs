@@ -52,7 +52,7 @@ pub fn sequential_path_cover_on(tree: &BinaryCotree, leaf_counts: &[usize]) -> P
             }
         }
     }
-    builder.into_cover(&covers[tree.root()])
+    builder.build_cover(&covers[tree.root()])
 }
 
 /// A path is identified by its head and tail vertex in the linked structure.
@@ -84,7 +84,11 @@ impl CoverBuilder {
     }
 
     fn singleton(&mut self, v: VertexId) -> PathHandle {
-        PathHandle { head: v, tail: v, len: 1 }
+        PathHandle {
+            head: v,
+            tail: v,
+            len: 1,
+        }
     }
 
     /// All vertices covered by the given paths, in path order.
@@ -106,7 +110,11 @@ impl CoverBuilder {
         self.prev[bridge as usize] = Some(a.tail);
         self.next[bridge as usize] = Some(b.head);
         self.prev[b.head as usize] = Some(bridge);
-        PathHandle { head: a.head, tail: b.tail, len: a.len + b.len + 1 }
+        PathHandle {
+            head: a.head,
+            tail: b.tail,
+            len: a.len + b.len + 1,
+        }
     }
 
     /// Inserts vertex `x` immediately after `after` on the path `p`.
@@ -135,7 +143,11 @@ impl CoverBuilder {
     /// vertices from the right side, inserting any leftover right-side
     /// vertices into the resulting Hamiltonian path (Cases 1 and 2 of the
     /// paper).
-    fn join(&mut self, left_cover: Vec<PathHandle>, right_vertices: Vec<VertexId>) -> Vec<PathHandle> {
+    fn join(
+        &mut self,
+        left_cover: Vec<PathHandle>,
+        right_vertices: Vec<VertexId>,
+    ) -> Vec<PathHandle> {
         let p_v = left_cover.len();
         let l_w = right_vertices.len();
         self.epoch += 1;
@@ -163,7 +175,8 @@ impl CoverBuilder {
             // left-side vertices (or at the two ends). A vertex is a
             // left-side vertex exactly when it is not marked as part of this
             // join's right side.
-            let is_left = |builder: &CoverBuilder, v: VertexId| builder.right_mark[v as usize] != epoch;
+            let is_left =
+                |builder: &CoverBuilder, v: VertexId| builder.right_mark[v as usize] != epoch;
             let mut merged = paths.next().expect("p(v) >= 1");
             for next_path in paths {
                 let bridge_vertex = right_iter.next().expect("p(v) - 1 <= L(w)");
@@ -205,7 +218,7 @@ impl CoverBuilder {
         }
     }
 
-    fn into_cover(&self, handles: &[PathHandle]) -> PathCover {
+    fn build_cover(&self, handles: &[PathHandle]) -> PathCover {
         let mut cover = PathCover::new();
         for h in handles {
             let mut vertices = Vec::with_capacity(h.len);
@@ -234,10 +247,17 @@ mod tests {
         let g = cotree.to_graph();
         let cover = sequential_path_cover(cotree);
         let report = verify_path_cover(&g, &cover);
-        assert!(report.is_valid(), "invalid cover: {report:?} for {cotree:?}");
+        assert!(
+            report.is_valid(),
+            "invalid cover: {report:?} for {cotree:?}"
+        );
         let (b, l) = BinaryCotree::leftist_from_cotree(cotree);
         let p = path_counts_seq(&b, &l);
-        assert_eq!(cover.len() as i64, p[b.root()], "cover size != p(root) for {cotree:?}");
+        assert_eq!(
+            cover.len() as i64,
+            p[b.root()],
+            "cover size != p(root) for {cotree:?}"
+        );
     }
 
     #[test]

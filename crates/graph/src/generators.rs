@@ -11,7 +11,8 @@ use rand::Rng;
 pub fn path_graph(n: usize) -> Graph {
     let mut g = Graph::new(n);
     for i in 1..n {
-        g.add_edge((i - 1) as VertexId, i as VertexId).expect("path edges are simple");
+        g.add_edge((i - 1) as VertexId, i as VertexId)
+            .expect("path edges are simple");
     }
     g.finalize();
     g
@@ -22,7 +23,8 @@ pub fn path_graph(n: usize) -> Graph {
 pub fn cycle_graph(n: usize) -> Graph {
     let mut g = path_graph(n);
     if n >= 3 {
-        g.add_edge(0, (n - 1) as VertexId).expect("closing edge is fresh");
+        g.add_edge(0, (n - 1) as VertexId)
+            .expect("closing edge is fresh");
         g.finalize();
     }
     g
@@ -33,7 +35,8 @@ pub fn complete_graph(n: usize) -> Graph {
     let mut g = Graph::new(n);
     for u in 0..n {
         for v in (u + 1)..n {
-            g.add_edge(u as VertexId, v as VertexId).expect("complete edges are simple");
+            g.add_edge(u as VertexId, v as VertexId)
+                .expect("complete edges are simple");
         }
     }
     g.finalize();
@@ -44,7 +47,8 @@ pub fn complete_graph(n: usize) -> Graph {
 pub fn star_graph(k: usize) -> Graph {
     let mut g = Graph::new(k + 1);
     for leaf in 1..=k {
-        g.add_edge(0, leaf as VertexId).expect("star edges are simple");
+        g.add_edge(0, leaf as VertexId)
+            .expect("star edges are simple");
     }
     g.finalize();
     g
@@ -55,7 +59,8 @@ pub fn complete_bipartite(a: usize, b: usize) -> Graph {
     let mut g = Graph::new(a + b);
     for u in 0..a {
         for v in 0..b {
-            g.add_edge(u as VertexId, (a + v) as VertexId).expect("bipartite edges are simple");
+            g.add_edge(u as VertexId, (a + v) as VertexId)
+                .expect("bipartite edges are simple");
         }
     }
     g.finalize();
@@ -68,7 +73,8 @@ pub fn erdos_renyi<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
     for u in 0..n {
         for v in (u + 1)..n {
             if rng.gen_bool(p.clamp(0.0, 1.0)) {
-                g.add_edge(u as VertexId, v as VertexId).expect("ER edges are simple");
+                g.add_edge(u as VertexId, v as VertexId)
+                    .expect("ER edges are simple");
             }
         }
     }
@@ -182,8 +188,7 @@ mod tests {
         let (comp, count) = g.connected_components();
         assert!(count <= 4 + 1);
         for c in 0..count {
-            let members: Vec<u32> =
-                g.vertices().filter(|&v| comp[v as usize] == c).collect();
+            let members: Vec<u32> = g.vertices().filter(|&v| comp[v as usize] == c).collect();
             for &u in &members {
                 for &v in &members {
                     if u != v {

@@ -138,14 +138,16 @@ impl Graph {
 
     /// Iterator over all vertices.
     pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
-        (0..self.num_vertices() as VertexId).into_iter()
+        0..self.num_vertices() as VertexId
     }
 
     /// Iterator over all undirected edges, each reported once with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
         self.adj.iter().enumerate().flat_map(|(u, list)| {
             let u = u as VertexId;
-            list.iter().copied().filter_map(move |v| if u < v { Some((u, v)) } else { None })
+            list.iter()
+                .copied()
+                .filter_map(move |v| if u < v { Some((u, v)) } else { None })
         })
     }
 
@@ -247,7 +249,10 @@ mod tests {
     fn rejects_duplicate_edge() {
         let mut g = Graph::new(3);
         g.add_edge(0, 1).unwrap();
-        assert_eq!(g.add_edge(1, 0), Err(GraphError::DuplicateEdge { u: 1, v: 0 }));
+        assert_eq!(
+            g.add_edge(1, 0),
+            Err(GraphError::DuplicateEdge { u: 1, v: 0 })
+        );
     }
 
     #[test]
@@ -280,10 +285,10 @@ mod tests {
     fn adjacency_matrix_is_symmetric() {
         let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
         let m = g.adjacency_matrix();
-        for u in 0..4 {
-            for v in 0..4 {
-                assert_eq!(m[u][v], m[v][u]);
-                assert_eq!(m[u][v], g.has_edge(u as u32, v as u32));
+        for (u, row) in m.iter().enumerate() {
+            for (v, &cell) in row.iter().enumerate() {
+                assert_eq!(cell, m[v][u]);
+                assert_eq!(cell, g.has_edge(u as u32, v as u32));
             }
         }
     }

@@ -16,7 +16,8 @@ pub fn complement(g: &Graph) -> Graph {
     for u in 0..n as VertexId {
         for v in (u + 1)..n as VertexId {
             if !g.has_edge(u, v) {
-                out.add_edge(u, v).expect("complement edge insertion cannot fail");
+                out.add_edge(u, v)
+                    .expect("complement edge insertion cannot fail");
             }
         }
     }
@@ -49,7 +50,8 @@ pub fn join(a: &Graph, b: &Graph) -> Graph {
     let mut out = disjoint_union(a, b);
     for u in 0..na as VertexId {
         for v in 0..nb as VertexId {
-            out.add_edge(u, v + na as VertexId).expect("join edges are fresh");
+            out.add_edge(u, v + na as VertexId)
+                .expect("join edges are fresh");
         }
     }
     out.finalize();

@@ -248,8 +248,15 @@ pub fn brute_force_min_path_cover(g: &Graph) -> usize {
     if n == 0 {
         return 0;
     }
-    assert!(n <= 20, "brute force oracle is restricted to n <= 20 (got {n})");
-    let full: usize = if n == usize::BITS as usize { usize::MAX } else { (1 << n) - 1 };
+    assert!(
+        n <= 20,
+        "brute force oracle is restricted to n <= 20 (got {n})"
+    );
+    let full: usize = if n == usize::BITS as usize {
+        usize::MAX
+    } else {
+        (1 << n) - 1
+    };
 
     // reach[mask][v]: `mask` can be covered by one path ending at `v`.
     let mut reach = vec![0usize; 1 << n]; // bitset over ending vertices
@@ -347,8 +354,7 @@ mod tests {
     #[test]
     fn duplicate_vertex_detected() {
         let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
-        let cover =
-            PathCover::from_paths(vec![Path::new(vec![0, 1]), Path::new(vec![1, 2])]);
+        let cover = PathCover::from_paths(vec![Path::new(vec![0, 1]), Path::new(vec![1, 2])]);
         let report = verify_path_cover(&g, &cover);
         assert!(!report.is_valid());
         assert_eq!(report.duplicated, vec![1]);
@@ -366,7 +372,11 @@ mod tests {
     #[test]
     fn out_of_range_detected() {
         let g = Graph::new(2);
-        let cover = PathCover::from_paths(vec![Path::new(vec![0]), Path::new(vec![1]), Path::new(vec![5])]);
+        let cover = PathCover::from_paths(vec![
+            Path::new(vec![0]),
+            Path::new(vec![1]),
+            Path::new(vec![5]),
+        ]);
         let report = verify_path_cover(&g, &cover);
         assert!(!report.is_valid());
         assert_eq!(report.out_of_range, vec![5]);
@@ -418,7 +428,9 @@ mod tests {
 
     #[test]
     fn from_iterator_collects_paths() {
-        let cover: PathCover = vec![Path::singleton(0), Path::singleton(1)].into_iter().collect();
+        let cover: PathCover = vec![Path::singleton(0), Path::singleton(1)]
+            .into_iter()
+            .collect();
         assert_eq!(cover.len(), 2);
     }
 }

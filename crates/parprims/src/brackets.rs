@@ -187,7 +187,13 @@ pub fn match_brackets_on(pram: &mut Pram, kinds: &[BracketKind]) -> Vec<Option<u
     let partner = match_brackets_pram(pram, h);
     pram.snapshot(partner)
         .into_iter()
-        .map(|w| if w == NONE_WORD { None } else { Some(w as usize) })
+        .map(|w| {
+            if w == NONE_WORD {
+                None
+            } else {
+                Some(w as usize)
+            }
+        })
         .collect()
 }
 
@@ -231,12 +237,17 @@ mod tests {
         let mut pram = Pram::new(Mode::Crew, pram::optimal_processors(kinds.len().max(1)));
         let got = match_brackets_on(&mut pram, &kinds);
         assert_eq!(got, match_brackets_seq(&kinds), "input {s}");
-        assert!(pram.metrics().is_clean(), "CREW discipline violated for {s}");
+        assert!(
+            pram.metrics().is_clean(),
+            "CREW discipline violated for {s}"
+        );
     }
 
     #[test]
     fn pram_matches_sequential_on_simple_cases() {
-        for s in ["", "()", "(())", "()()", "((()))", ")(", "(((", ")))", "(()(()))", ")()(()"] {
+        for s in [
+            "", "()", "(())", "()()", "((()))", ")(", "(((", ")))", "(()(()))", ")()(()",
+        ] {
             check_pram(s);
         }
     }
@@ -246,7 +257,9 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(21);
         for len in [1usize, 2, 3, 7, 16, 33, 100, 257] {
             for _ in 0..5 {
-                let s: String = (0..len).map(|_| if rng.gen_bool(0.5) { '(' } else { ')' }).collect();
+                let s: String = (0..len)
+                    .map(|_| if rng.gen_bool(0.5) { '(' } else { ')' })
+                    .collect();
                 check_pram(&s);
             }
         }
@@ -278,7 +291,13 @@ mod tests {
         for exp in [10usize, 12] {
             let n = 1 << exp;
             let kinds: Vec<BracketKind> = (0..n)
-                .map(|_| if rng.gen_bool(0.5) { BracketKind::Open } else { BracketKind::Close })
+                .map(|_| {
+                    if rng.gen_bool(0.5) {
+                        BracketKind::Open
+                    } else {
+                        BracketKind::Close
+                    }
+                })
                 .collect();
             let mut pram = Pram::new(Mode::Crew, pram::optimal_processors(n));
             match_brackets_on(&mut pram, &kinds);

@@ -41,17 +41,27 @@ impl MaxPlusAffine {
 
     /// The identity function.
     pub fn identity() -> Self {
-        MaxPlusAffine { add: 0, floor: Self::NEG_INF }
+        MaxPlusAffine {
+            add: 0,
+            floor: Self::NEG_INF,
+        }
     }
 
     /// The constant function `x -> c`.
     pub fn constant(c: i64) -> Self {
-        MaxPlusAffine { add: Self::NEG_INF, floor: c }
+        MaxPlusAffine {
+            add: Self::NEG_INF,
+            floor: c,
+        }
     }
 
     /// Applies the function to `x`.
     pub fn apply(&self, x: i64) -> i64 {
-        let shifted = if self.add <= Self::NEG_INF { Self::NEG_INF } else { x + self.add };
+        let shifted = if self.add <= Self::NEG_INF {
+            Self::NEG_INF
+        } else {
+            x + self.add
+        };
         shifted.max(self.floor)
     }
 
@@ -69,7 +79,10 @@ impl MaxPlusAffine {
         } else {
             other.floor + self.add
         };
-        MaxPlusAffine { add, floor: lifted_floor.max(self.floor) }
+        MaxPlusAffine {
+            add,
+            floor: lifted_floor.max(self.floor),
+        }
     }
 }
 
@@ -173,7 +186,11 @@ pub fn evaluate_tree_pram(
     }
     for v in 0..n {
         if !tree.is_leaf(v) {
-            assert_eq!(tree.children(v).len(), 2, "expression trees must be strictly binary");
+            assert_eq!(
+                tree.children(v).len(),
+                2,
+                "expression trees must be strictly binary"
+            );
         }
     }
 
@@ -184,7 +201,15 @@ pub fn evaluate_tree_pram(
 
     // Mutable contracted-tree state. SUPER is a virtual parent of the root.
     const SUPER: usize = usize::MAX - 1;
-    let mut parent: Vec<usize> = (0..n).map(|v| if v == tree.root() { SUPER } else { tree.parent(v) }).collect();
+    let mut parent: Vec<usize> = (0..n)
+        .map(|v| {
+            if v == tree.root() {
+                SUPER
+            } else {
+                tree.parent(v)
+            }
+        })
+        .collect();
     let mut child: Vec<[usize; 2]> = (0..n)
         .map(|v| {
             let kids = tree.children(v);
@@ -232,7 +257,11 @@ pub fn evaluate_tree_pram(
             }
             for leaf in rakes {
                 let p = parent[leaf];
-                let sibling = if child[p][0] == leaf { child[p][1] } else { child[p][0] };
+                let sibling = if child[p][0] == leaf {
+                    child[p][1]
+                } else {
+                    child[p][0]
+                };
                 let grand = parent[p];
                 let leaf_was_left = child[p][0] == leaf;
                 let leaf_contrib = func[leaf].apply(leaf_values[leaf]);
@@ -248,7 +277,10 @@ pub fn evaluate_tree_pram(
                 // Compose: the value the grandparent sees from this side is
                 // F_p(op_p(...)) with the raked side fixed to leaf_contrib.
                 let partial = match ops[p] {
-                    NodeOp::Add => MaxPlusAffine { add: leaf_contrib, floor: MaxPlusAffine::NEG_INF },
+                    NodeOp::Add => MaxPlusAffine {
+                        add: leaf_contrib,
+                        floor: MaxPlusAffine::NEG_INF,
+                    },
                     NodeOp::LeftAffine { add, floor } => {
                         if leaf_was_left {
                             // value = max(leaf_contrib + add, floor): constant.
@@ -281,7 +313,10 @@ pub fn evaluate_tree_pram(
             .filter(|(idx, leaf)| idx % 2 == 0 || parent[**leaf] == SUPER)
             .map(|(_, &leaf)| leaf)
             .collect();
-        assert!(survivors.len() < active.len(), "contraction failed to make progress");
+        assert!(
+            survivors.len() < active.len(),
+            "contraction failed to make progress"
+        );
         active = survivors;
     }
 
@@ -350,10 +385,7 @@ mod tests {
     }
 
     /// Builds a random strictly binary expression tree with `leaves` leaves.
-    fn random_expression(
-        leaves: usize,
-        seed: u64,
-    ) -> (RootedTree, Vec<NodeOp>, Vec<i64>) {
+    fn random_expression(leaves: usize, seed: u64) -> (RootedTree, Vec<NodeOp>, Vec<i64>) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         // Build by repeatedly combining two random roots of a forest.
         let total = 2 * leaves - 1;
@@ -362,8 +394,8 @@ mod tests {
         let mut ops = vec![NodeOp::Add; total];
         let mut values = vec![0i64; total];
         let mut roots: Vec<usize> = (0..leaves).collect();
-        for v in 0..leaves {
-            values[v] = rng.gen_range(1..6);
+        for value in values.iter_mut().take(leaves) {
+            *value = rng.gen_range(1..6);
         }
         let mut next = leaves;
         while roots.len() > 1 {
@@ -377,7 +409,10 @@ mod tests {
             ops[next] = if rng.gen_bool(0.5) {
                 NodeOp::Add
             } else {
-                NodeOp::LeftAffine { add: -rng.gen_range(0..5), floor: 1 }
+                NodeOp::LeftAffine {
+                    add: -rng.gen_range(0..5),
+                    floor: 1,
+                }
             };
             roots.push(next);
             next += 1;
@@ -399,7 +434,11 @@ mod tests {
     fn seq_evaluation_left_affine() {
         // root = max(left - 2, 1) with left = 5, right irrelevant.
         let tree = RootedTree::new(vec![NONE, 0, 0], vec![vec![1, 2], vec![], vec![]], 0);
-        let ops = vec![NodeOp::LeftAffine { add: -2, floor: 1 }, NodeOp::Add, NodeOp::Add];
+        let ops = vec![
+            NodeOp::LeftAffine { add: -2, floor: 1 },
+            NodeOp::Add,
+            NodeOp::Add,
+        ];
         assert_eq!(evaluate_tree_seq(&tree, &ops, &[0, 5, 9])[0], 3);
         assert_eq!(evaluate_tree_seq(&tree, &ops, &[0, 2, 9])[0], 1);
     }
@@ -447,7 +486,13 @@ mod tests {
         }
         let tree = RootedTree::new(parent, children, prev_root);
         let ops: Vec<NodeOp> = (0..total)
-            .map(|v| if v % 2 == 0 { NodeOp::Add } else { NodeOp::LeftAffine { add: -1, floor: 1 } })
+            .map(|v| {
+                if v % 2 == 0 {
+                    NodeOp::Add
+                } else {
+                    NodeOp::LeftAffine { add: -1, floor: 1 }
+                }
+            })
             .collect();
         let values: Vec<i64> = (0..total as i64).map(|v| v % 4 + 1).collect();
         let want = evaluate_tree_seq(&tree, &ops, &values);

@@ -280,7 +280,11 @@ pub fn euler_tour_numbers(
     // position, so the raw values are a permutation of 1..=n — except when
     // the root has no designated left child, in which case its moment
     // precedes the tour and the raw values are already 0..n-1.
-    let shift = if left_child_w[root] == NONE_WORD { 0 } else { 1 };
+    let shift = if left_child_w[root] == NONE_WORD {
+        0
+    } else {
+        1
+    };
     let inorder: Vec<usize> = inorder_raw.iter().map(|&x| (x - shift) as usize).collect();
 
     EulerNumbers {
@@ -291,10 +295,22 @@ pub fn euler_tour_numbers(
         subtree_size: size.iter().map(|&x| x as usize).collect(),
         leaf_count: leaf.iter().map(|&x| x as usize).collect(),
         advance_pos: (0..n)
-            .map(|v| if v == root { usize::MAX } else { pos_snapshot[v] as usize })
+            .map(|v| {
+                if v == root {
+                    usize::MAX
+                } else {
+                    pos_snapshot[v] as usize
+                }
+            })
             .collect(),
         retreat_pos: (0..n)
-            .map(|v| if v == root { usize::MAX } else { pos_snapshot[n + v] as usize })
+            .map(|v| {
+                if v == root {
+                    usize::MAX
+                } else {
+                    pos_snapshot[n + v] as usize
+                }
+            })
             .collect(),
     }
 }
@@ -365,8 +381,12 @@ pub fn euler_numbers_seq(tree: &RootedTree, left_child: Option<&[usize]>) -> Eul
         match frame {
             InFrame::Visit(v) => {
                 let lc = designated_left(v);
-                let rest: Vec<usize> =
-                    tree.children(v).iter().copied().filter(|&c| c != lc).collect();
+                let rest: Vec<usize> = tree
+                    .children(v)
+                    .iter()
+                    .copied()
+                    .filter(|&c| c != lc)
+                    .collect();
                 stack.push(InFrame::Emit(v, rest));
                 if lc != NONE {
                     stack.push(InFrame::Visit(lc));
@@ -413,12 +433,12 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut parent = vec![NONE; n];
         let mut child_count = vec![0usize; n];
-        for v in 1..n {
+        for (v, slot) in parent.iter_mut().enumerate().skip(1) {
             // attach to a random earlier node with spare arity
             loop {
                 let p = rng.gen_range(0..v);
                 if child_count[p] < max_children {
-                    parent[v] = p;
+                    *slot = p;
                     child_count[p] += 1;
                     break;
                 }
@@ -468,8 +488,8 @@ mod tests {
         // A degenerate chain (worst case height).
         let n = 40;
         let mut parent = vec![NONE; n];
-        for v in 1..n {
-            parent[v] = v - 1;
+        for (v, slot) in parent.iter_mut().enumerate().skip(1) {
+            *slot = v - 1;
         }
         check_against_seq(&RootedTree::from_parents(parent));
     }
@@ -519,15 +539,24 @@ mod tests {
             let t = random_tree(n, 7, 2);
             let mut pram = pram::Pram::new(Mode::Erew, pram::optimal_processors(n));
             euler_tour_numbers(&mut pram, &t, None);
-            results.push((pram.metrics().work_per_item(n), pram.metrics().steps_per_log(n)));
+            results.push((
+                pram.metrics().work_per_item(n),
+                pram.metrics().steps_per_log(n),
+            ));
         }
         // Work per node must stay essentially flat across a 16x size range
         // (constant factor is implementation-dependent, the trend is what
         // certifies O(n) work), and normalised steps must not grow.
         let (w_first, s_first) = results[0];
         let (w_last, s_last) = *results.last().expect("nonempty");
-        assert!(w_last / w_first < 1.3, "work is not O(n): {w_first} -> {w_last}");
+        assert!(
+            w_last / w_first < 1.3,
+            "work is not O(n): {w_first} -> {w_last}"
+        );
         assert!(w_last < 400.0, "work constant unexpectedly large: {w_last}");
-        assert!(s_last / s_first < 2.5, "steps not O(log n): {s_first} -> {s_last}");
+        assert!(
+            s_last / s_first < 2.5,
+            "steps not O(log n): {s_first} -> {s_last}"
+        );
     }
 }

@@ -40,8 +40,8 @@ pub fn list_rank_seq(succ: &[i64]) -> Vec<i64> {
             has_pred[s as usize] = true;
         }
     }
-    for head in 0..n {
-        if has_pred[head] {
+    for (head, &pred) in has_pred.iter().enumerate() {
+        if pred {
             continue;
         }
         // Collect the list, then assign ranks from the tail backwards.
@@ -128,7 +128,8 @@ pub fn list_rank_blocked(pram: &mut Pram, succ: ArrayHandle, stride: usize) -> A
     });
 
     // Dense splitter ids via a prefix sum.
-    let splitter_prefix = crate::scan::prefix_sums_pram(pram, is_splitter, crate::scan::ScanOp::Sum, 0);
+    let splitter_prefix =
+        crate::scan::prefix_sums_pram(pram, is_splitter, crate::scan::ScanOp::Sum, 0);
     let num_splitters = pram.peek(splitter_prefix, n - 1) as usize;
     // splitter_of[dense id] = element index
     let splitter_of = pram.alloc(num_splitters.max(1));
@@ -176,7 +177,11 @@ pub fn list_rank_blocked(pram: &mut Pram, succ: ArrayHandle, stride: usize) -> A
     pram.parallel_for(num_splitters, |ctx, sid| {
         let nxt = ctx.read(next_splitter, sid);
         ctx.write(red_next, sid, nxt);
-        let w = if nxt == NONE_WORD { 0 } else { ctx.read(sublist_len, nxt as usize) };
+        let w = if nxt == NONE_WORD {
+            0
+        } else {
+            ctx.read(sublist_len, nxt as usize)
+        };
         ctx.write(after, sid, w);
     });
     let rounds = (usize::BITS - num_splitters.max(1).leading_zeros()) as usize;

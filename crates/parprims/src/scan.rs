@@ -74,7 +74,12 @@ pub fn prefix_sums_seq(input: &[i64], op: ScanOp) -> Vec<i64> {
 /// length holding the inclusive scan. `block` is the block size of the
 /// work-optimal scheme; callers aiming for the paper's bounds pass
 /// `log2(n)`; `0` selects that default.
-pub fn prefix_sums_pram(pram: &mut Pram, input: ArrayHandle, op: ScanOp, block: usize) -> ArrayHandle {
+pub fn prefix_sums_pram(
+    pram: &mut Pram,
+    input: ArrayHandle,
+    op: ScanOp,
+    block: usize,
+) -> ArrayHandle {
     let n = input.len();
     let output = pram.alloc(n);
     if n == 0 {
@@ -113,7 +118,12 @@ pub fn prefix_sums_pram(pram: &mut Pram, input: ArrayHandle, op: ScanOp, block: 
 
 /// Exclusive scan on the PRAM: element `i` of the result combines elements
 /// `0..i` of the input (the identity for `i = 0`).
-pub fn exclusive_scan_pram(pram: &mut Pram, input: ArrayHandle, op: ScanOp, block: usize) -> ArrayHandle {
+pub fn exclusive_scan_pram(
+    pram: &mut Pram,
+    input: ArrayHandle,
+    op: ScanOp,
+    block: usize,
+) -> ArrayHandle {
     let n = input.len();
     let inclusive = prefix_sums_pram(pram, input, op, block);
     let output = pram.alloc(n);
@@ -121,7 +131,11 @@ pub fn exclusive_scan_pram(pram: &mut Pram, input: ArrayHandle, op: ScanOp, bloc
         return output;
     }
     pram.parallel_for(n, |ctx, i| {
-        let v = if i == 0 { op.identity() } else { ctx.read(inclusive, i - 1) };
+        let v = if i == 0 {
+            op.identity()
+        } else {
+            ctx.read(inclusive, i - 1)
+        };
         ctx.write(output, i, v);
     });
     output
@@ -170,7 +184,11 @@ fn tree_exclusive_scan(pram: &mut Pram, input: ArrayHandle, op: ScanOp) -> Array
     let inclusive = tree_scan_pram(pram, input, op);
     let out = pram.alloc(n);
     pram.parallel_for(n, |ctx, i| {
-        let v = if i == 0 { op.identity() } else { ctx.read(inclusive, i - 1) };
+        let v = if i == 0 {
+            op.identity()
+        } else {
+            ctx.read(inclusive, i - 1)
+        };
         ctx.write(out, i, v);
     });
     out
@@ -202,9 +220,18 @@ mod tests {
 
     #[test]
     fn sequential_scan_ops() {
-        assert_eq!(prefix_sums_seq(&[1, 2, 3, 4], ScanOp::Sum), vec![1, 3, 6, 10]);
-        assert_eq!(prefix_sums_seq(&[3, 1, 4, 1], ScanOp::Max), vec![3, 3, 4, 4]);
-        assert_eq!(prefix_sums_seq(&[3, 1, 4, 1], ScanOp::Min), vec![3, 1, 1, 1]);
+        assert_eq!(
+            prefix_sums_seq(&[1, 2, 3, 4], ScanOp::Sum),
+            vec![1, 3, 6, 10]
+        );
+        assert_eq!(
+            prefix_sums_seq(&[3, 1, 4, 1], ScanOp::Max),
+            vec![3, 3, 4, 4]
+        );
+        assert_eq!(
+            prefix_sums_seq(&[3, 1, 4, 1], ScanOp::Min),
+            vec![3, 1, 1, 1]
+        );
         assert_eq!(
             prefix_sums_seq(&[i64::MIN, 5, i64::MIN, 7, i64::MIN], ScanOp::CopyLast),
             vec![i64::MIN, 5, 5, 7, 7]
@@ -270,13 +297,19 @@ mod tests {
             ratios.push((metrics.work_per_item(n), metrics.steps_per_log(n)));
         }
         for (work_per_item, _) in &ratios {
-            assert!(*work_per_item < 8.0, "work per item too high: {work_per_item}");
+            assert!(
+                *work_per_item < 8.0,
+                "work per item too high: {work_per_item}"
+            );
         }
         // Steps per log n may not grow by more than ~2x across a 16x size
         // range if the algorithm is O(log n).
         let first = ratios.first().expect("non-empty").1;
         let last = ratios.last().expect("non-empty").1;
-        assert!(last / first < 2.0, "steps are not O(log n): {first} -> {last}");
+        assert!(
+            last / first < 2.0,
+            "steps are not O(log n): {first} -> {last}"
+        );
     }
 
     #[test]

@@ -37,12 +37,16 @@ impl RootedTree {
                 seen_as_child[c] = true;
             }
         }
-        for v in 0..n {
+        for (v, &seen) in seen_as_child.iter().enumerate() {
             if v != root {
-                assert!(seen_as_child[v], "node {v} is not reachable as a child");
+                assert!(seen, "node {v} is not reachable as a child");
             }
         }
-        RootedTree { parent, children, root }
+        RootedTree {
+            parent,
+            children,
+            root,
+        }
     }
 
     /// Builds a tree from parent pointers only; children are ordered by node

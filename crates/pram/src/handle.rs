@@ -49,7 +49,11 @@ mod tests {
 
     #[test]
     fn address_computation() {
-        let h = ArrayHandle { id: 3, offset: 100, len: 8 };
+        let h = ArrayHandle {
+            id: 3,
+            offset: 100,
+            len: 8,
+        };
         assert_eq!(h.address(0), 100);
         assert_eq!(h.address(7), 107);
         assert_eq!(h.len(), 8);
@@ -60,13 +64,21 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of bounds")]
     fn address_out_of_bounds_panics() {
-        let h = ArrayHandle { id: 0, offset: 0, len: 4 };
+        let h = ArrayHandle {
+            id: 0,
+            offset: 0,
+            len: 4,
+        };
         h.address(4);
     }
 
     #[test]
     fn empty_handle() {
-        let h = ArrayHandle { id: 1, offset: 0, len: 0 };
+        let h = ArrayHandle {
+            id: 1,
+            offset: 0,
+            len: 0,
+        };
         assert!(h.is_empty());
     }
 }

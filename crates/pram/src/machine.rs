@@ -24,7 +24,11 @@ impl PramBuilder {
     /// Starts a builder for the given model variant and physical processor
     /// count.
     pub fn new(mode: Mode, processors: usize) -> Self {
-        PramBuilder { mode, processors: processors.max(1), strict: false }
+        PramBuilder {
+            mode,
+            processors: processors.max(1),
+            strict: false,
+        }
     }
 
     /// In strict mode an access-discipline violation panics instead of being
@@ -237,12 +241,7 @@ impl Pram {
         self.scratch_writes = writes;
     }
 
-    fn detect_conflicts(
-        &mut self,
-        step_index: u64,
-        reads: &mut Vec<ReadOp>,
-        writes: &mut Vec<WriteOp>,
-    ) {
+    fn detect_conflicts(&mut self, step_index: u64, reads: &mut [ReadOp], writes: &mut [WriteOp]) {
         let mut violations: Vec<Violation> = Vec::new();
 
         // Write/write conflicts.
@@ -346,7 +345,10 @@ impl ProcCtx<'_> {
     /// Reads one cell; observes the pre-step snapshot.
     pub fn read(&mut self, h: ArrayHandle, idx: usize) -> Word {
         let addr = h.address(idx);
-        self.reads.push(ReadOp { addr, proc: self.proc });
+        self.reads.push(ReadOp {
+            addr,
+            proc: self.proc,
+        });
         self.ops += 1;
         self.memory[addr]
     }
@@ -354,7 +356,11 @@ impl ProcCtx<'_> {
     /// Buffers a write to one cell; committed when the step ends.
     pub fn write(&mut self, h: ArrayHandle, idx: usize, value: Word) {
         let addr = h.address(idx);
-        self.writes.push(WriteOp { addr, value, proc: self.proc });
+        self.writes.push(WriteOp {
+            addr,
+            value,
+            proc: self.proc,
+        });
         self.ops += 1;
     }
 

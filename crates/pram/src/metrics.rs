@@ -104,10 +104,18 @@ impl Metrics {
         let first = self.phase_marks.first();
         if let Some((_, steps, work)) = first {
             if *steps > 0 || *work > 0 {
-                out.push(PhaseReport { name: "(preamble)".to_string(), steps: *steps, work: *work });
+                out.push(PhaseReport {
+                    name: "(preamble)".to_string(),
+                    steps: *steps,
+                    work: *work,
+                });
             }
         } else if self.steps > 0 || self.work > 0 {
-            out.push(PhaseReport { name: "(preamble)".to_string(), steps: self.steps, work: self.work });
+            out.push(PhaseReport {
+                name: "(preamble)".to_string(),
+                steps: self.steps,
+                work: self.work,
+            });
         }
         for (i, (name, steps, work)) in self.phase_marks.iter().enumerate() {
             let (end_steps, end_work) = self
@@ -143,7 +151,11 @@ mod tests {
 
     #[test]
     fn ratios() {
-        let m = Metrics { steps: 30, work: 4000, ..Default::default() };
+        let m = Metrics {
+            steps: 30,
+            work: 4000,
+            ..Default::default()
+        };
         assert!((m.work_per_item(1000) - 4.0).abs() < 1e-9);
         assert!((m.steps_per_log(1024) - 3.0).abs() < 1e-9);
         assert_eq!(m.work_per_item(0), 0.0);
@@ -160,14 +172,39 @@ mod tests {
         };
         let report = m.phase_report();
         assert_eq!(report.len(), 3);
-        assert_eq!(report[0], PhaseReport { name: "(preamble)".into(), steps: 4, work: 40 });
-        assert_eq!(report[1], PhaseReport { name: "a".into(), steps: 5, work: 50 });
-        assert_eq!(report[2], PhaseReport { name: "b".into(), steps: 1, work: 10 });
+        assert_eq!(
+            report[0],
+            PhaseReport {
+                name: "(preamble)".into(),
+                steps: 4,
+                work: 40
+            }
+        );
+        assert_eq!(
+            report[1],
+            PhaseReport {
+                name: "a".into(),
+                steps: 5,
+                work: 50
+            }
+        );
+        assert_eq!(
+            report[2],
+            PhaseReport {
+                name: "b".into(),
+                steps: 1,
+                work: 10
+            }
+        );
     }
 
     #[test]
     fn phase_report_without_marks() {
-        let m = Metrics { steps: 3, work: 9, ..Default::default() };
+        let m = Metrics {
+            steps: 3,
+            work: 9,
+            ..Default::default()
+        };
         let report = m.phase_report();
         assert_eq!(report.len(), 1);
         assert_eq!(report[0].name, "(preamble)");

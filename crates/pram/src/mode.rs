@@ -72,6 +72,9 @@ mod tests {
     fn display_names() {
         assert_eq!(Mode::Erew.to_string(), "EREW");
         assert_eq!(Mode::Crew.to_string(), "CREW");
-        assert_eq!(Mode::Crcw(WritePolicy::Priority).to_string(), "CRCW(priority)");
+        assert_eq!(
+            Mode::Crcw(WritePolicy::Priority).to_string(),
+            "CRCW(priority)"
+        );
     }
 }

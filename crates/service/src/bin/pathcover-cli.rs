@@ -1,0 +1,402 @@
+//! `pathcover-cli` — command-line front-end of the `pcservice` query engine.
+//!
+//! ```text
+//! pathcover-cli solve <graph|-> [--format F] [--query KIND] [--json] [--no-verify]
+//! pathcover-cli recognize <graph|-> [--format F] [--json]
+//! pathcover-cli batch <graph|-|none> <queries.jsonl|-> [--threads N] [--format F] [--human]
+//! pathcover-cli bench [--batches 1,64,4096] [--threads 1,2,4,8] [--n 64] [--json FILE]
+//! ```
+//!
+//! `<graph|->` is a file path or `-` for stdin. Formats are sniffed from
+//! content (edge list / DIMACS / cotree term) unless `--format` pins one.
+//! `batch` reads one JSON query object per line (see
+//! `QueryRequest::from_json_line`) and emits one JSON response line per
+//! query; per-job failures are reported in their own line and never abort
+//! the batch.
+
+use pcservice::{
+    Answer, CacheStatus, EngineConfig, GraphFormat, GraphSpec, QueryEngine, QueryKind,
+    QueryRequest, QueryResponse,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::io::Read;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match command.as_str() {
+        "solve" => cmd_solve(rest, false),
+        "recognize" => cmd_solve(rest, true),
+        "batch" => cmd_batch(rest),
+        "bench" => cmd_bench(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "pathcover-cli — batched minimum path cover queries on cographs
+
+USAGE:
+    pathcover-cli solve <graph|-> [--format F] [--query KIND] [--json] [--no-verify]
+    pathcover-cli recognize <graph|-> [--format F] [--json]
+    pathcover-cli batch <graph|-|none> <queries.jsonl|-> [--threads N] [--format F] [--human]
+    pathcover-cli bench [--batches 1,64,4096] [--threads 1,2,4,8] [--n 64] [--json FILE]
+
+FORMATS (sniffed from content when --format is omitted):
+    edge-list   '<u> <v>' per line, 0-based; a lone id declares a vertex; # comments
+    dimacs      'p edge <n> <m>' header, 'e <u> <v>' lines, 1-based
+    cotree      term notation: (u ...) union, (j ...) join, names as leaves
+
+QUERY KINDS:
+    min_cover_size | full_cover | hamiltonian_path | hamiltonian_cycle | recognize";
+
+/// Pull the value of `--flag VALUE` out of `args`, if present.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        if pos + 1 >= args.len() {
+            return Err(format!("{flag} needs a value"));
+        }
+        let value = args.remove(pos + 1);
+        args.remove(pos);
+        Ok(Some(value))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Pull a boolean `--flag` out of `args`.
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        args.remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
+fn read_input(path: &str) -> Result<String, String> {
+    if path == "-" {
+        let mut text = String::new();
+        std::io::stdin()
+            .read_to_string(&mut text)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        Ok(text)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
+    }
+}
+
+fn graph_spec(text: String, format: Option<&str>) -> Result<GraphSpec, String> {
+    let format = match format {
+        Some(name) => {
+            GraphFormat::parse_name(name).ok_or_else(|| format!("unknown format '{name}'"))?
+        }
+        None => GraphFormat::sniff(&text),
+    };
+    Ok(match format {
+        GraphFormat::EdgeList => GraphSpec::EdgeList(text),
+        GraphFormat::Dimacs => GraphSpec::Dimacs(text),
+        GraphFormat::CotreeTerm => GraphSpec::CotreeTerm(text),
+    })
+}
+
+fn cmd_solve(args: &[String], recognize_mode: bool) -> Result<ExitCode, String> {
+    let mut args = args.to_vec();
+    let format = take_flag(&mut args, "--format")?;
+    let query = take_flag(&mut args, "--query")?;
+    let json = take_switch(&mut args, "--json");
+    let no_verify = take_switch(&mut args, "--no-verify");
+    let [graph_path] = args.as_slice() else {
+        return Err(format!("expected exactly one <graph> argument\n{USAGE}"));
+    };
+    let kind = if recognize_mode {
+        if query.is_some() {
+            return Err("'recognize' does not take --query".to_string());
+        }
+        QueryKind::Recognize
+    } else {
+        match query.as_deref() {
+            None => QueryKind::FullCover,
+            Some(name) => {
+                QueryKind::parse(name).ok_or_else(|| format!("unknown query kind '{name}'"))?
+            }
+        }
+    };
+    let spec = graph_spec(read_input(graph_path)?, format.as_deref())?;
+    let engine = QueryEngine::new(EngineConfig {
+        verify_covers: !no_verify,
+        ..EngineConfig::default()
+    });
+    let response = engine.execute(&QueryRequest::new(kind, spec));
+    let failed = response.outcome.is_err();
+    if json {
+        println!("{}", response.to_json_line());
+    } else {
+        print_human(&response);
+    }
+    Ok(if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn print_human(response: &QueryResponse) {
+    match &response.outcome {
+        Err(error) => println!("error [{}]: {error}", error.code()),
+        Ok(Answer::MinCoverSize { size }) => {
+            println!("minimum path cover size: {size}");
+        }
+        Ok(Answer::FullCover { cover, verified }) => {
+            println!(
+                "minimum path cover: {} path(s){}",
+                cover.len(),
+                if *verified { " (verified)" } else { "" }
+            );
+            for (i, path) in cover.paths().iter().enumerate() {
+                let vs: Vec<String> = path.vertices().iter().map(u32::to_string).collect();
+                println!("  path {}: {}", i + 1, vs.join(" -> "));
+            }
+        }
+        Ok(Answer::HamiltonianPath { exists, path }) => {
+            println!("hamiltonian path: {}", if *exists { "yes" } else { "no" });
+            if let Some(path) = path {
+                let vs: Vec<String> = path.vertices().iter().map(u32::to_string).collect();
+                println!("  witness: {}", vs.join(" -> "));
+            }
+        }
+        Ok(Answer::HamiltonianCycle { exists }) => {
+            println!("hamiltonian cycle: {}", if *exists { "yes" } else { "no" });
+        }
+        Ok(Answer::Recognized {
+            vertices,
+            edges,
+            cotree_nodes,
+            height,
+            term,
+            ..
+        }) => {
+            println!("cograph: yes ({vertices} vertices, {edges} edges)");
+            println!("  cotree: {cotree_nodes} nodes, height {height}");
+            println!("  term: {term}");
+        }
+    }
+    println!(
+        "  [{} us solve, {} us total, cache {}{}]",
+        response.meta.solve_micros,
+        response.meta.total_micros,
+        response.meta.cache.as_str(),
+        response
+            .meta
+            .canonical_key
+            .map(|k| format!(", key {k:016x}"))
+            .unwrap_or_default()
+    );
+}
+
+fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
+    let mut args = args.to_vec();
+    let format = take_flag(&mut args, "--format")?;
+    let threads: usize = match take_flag(&mut args, "--threads")? {
+        Some(t) => t
+            .parse()
+            .map_err(|_| format!("--threads: '{t}' is not a number"))?,
+        None => 0,
+    };
+    let human = take_switch(&mut args, "--human");
+    let [graph_path, query_path] = args.as_slice() else {
+        return Err(format!(
+            "expected <graph|none> and <queries.jsonl> arguments\n{USAGE}"
+        ));
+    };
+    if graph_path == "-" && query_path == "-" {
+        return Err("only one of <graph> and <queries> can come from stdin".to_string());
+    }
+    let shared = if graph_path == "none" {
+        None
+    } else {
+        Some(graph_spec(read_input(graph_path)?, format.as_deref())?)
+    };
+    let query_text = read_input(query_path)?;
+    let mut requests = Vec::new();
+    let mut line_errors: Vec<(usize, QueryResponse)> = Vec::new();
+    for (idx, line) in query_text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match QueryRequest::from_json_line(line) {
+            Ok(request) => requests.push((idx + 1, request)),
+            Err(error) => {
+                // A malformed line fails alone, mirroring per-job isolation.
+                line_errors.push((
+                    idx + 1,
+                    QueryResponse {
+                        id: None,
+                        kind: QueryKind::Recognize,
+                        outcome: Err(error),
+                        meta: pcservice::ResponseMeta {
+                            solve_micros: 0,
+                            total_micros: 0,
+                            cache: CacheStatus::Bypass,
+                            canonical_key: None,
+                            vertices: 0,
+                        },
+                    },
+                ));
+            }
+        }
+    }
+    let engine = QueryEngine::new(EngineConfig {
+        threads,
+        ..EngineConfig::default()
+    });
+    let started = Instant::now();
+    let responses = engine.execute_batch(
+        shared.as_ref(),
+        &requests.iter().map(|(_, r)| r.clone()).collect::<Vec<_>>(),
+    );
+    let elapsed = started.elapsed();
+
+    // Merge solved responses and line errors back into input order.
+    let mut all: Vec<(usize, QueryResponse)> = requests
+        .iter()
+        .map(|(line, _)| *line)
+        .zip(responses)
+        .collect();
+    all.extend(line_errors);
+    all.sort_by_key(|(line, _)| *line);
+
+    let failures = all.iter().filter(|(_, r)| r.outcome.is_err()).count();
+    for (line, response) in &all {
+        if human {
+            let id = response
+                .id
+                .clone()
+                .unwrap_or_else(|| format!("line {line}"));
+            print!("[{id}] ");
+            print_human(response);
+        } else {
+            println!("{}", response.to_json_line());
+        }
+    }
+    let stats = engine.cache_stats();
+    eprintln!(
+        "batch: {} queries in {:.1} ms ({} failed) — cache: {} hits, {} misses, {} resident",
+        all.len(),
+        elapsed.as_secs_f64() * 1e3,
+        failures,
+        stats.hits,
+        stats.misses,
+        stats.entries
+    );
+    // The batch itself always completes (per-job isolation), but scripts
+    // chaining the CLI still need a signal when any job failed.
+    Ok(if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn parse_list(text: &str, flag: &str) -> Result<Vec<usize>, String> {
+    text.split(',')
+        .map(|t| {
+            t.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("{flag}: '{t}' is not a number"))
+        })
+        .collect()
+}
+
+fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
+    let mut args = args.to_vec();
+    let batches = match take_flag(&mut args, "--batches")? {
+        Some(text) => parse_list(&text, "--batches")?,
+        None => vec![1, 64, 4096],
+    };
+    let threads = match take_flag(&mut args, "--threads")? {
+        Some(text) => parse_list(&text, "--threads")?,
+        None => vec![1, 2, 4, 8],
+    };
+    let n: usize = match take_flag(&mut args, "--n")? {
+        Some(t) => t
+            .parse()
+            .map_err(|_| format!("--n: '{t}' is not a number"))?,
+        None => 64,
+    };
+    let json_out = take_flag(&mut args, "--json")?;
+    if !args.is_empty() {
+        return Err(format!("unexpected arguments: {args:?}"));
+    }
+
+    // A pool of distinct cotrees; batches cycle through it, so large batches
+    // exercise the cache the way repeated production traffic would.
+    const POOL: usize = 32;
+    let pool: Vec<GraphSpec> = (0..POOL)
+        .map(|i| {
+            let mut rng = ChaCha8Rng::seed_from_u64(i as u64);
+            let tree = cograph::random_cotree(n, cograph::CotreeShape::Mixed, &mut rng);
+            GraphSpec::Graph(tree.to_graph())
+        })
+        .collect();
+
+    let mut json_lines = Vec::new();
+    println!("batch-size  threads  queries/sec  ms/batch  cache-hit%");
+    for &batch in &batches {
+        let requests: Vec<QueryRequest> = (0..batch)
+            .map(|i| {
+                let kind = QueryKind::ALL[i % QueryKind::ALL.len()];
+                QueryRequest::new(kind, pool[i % POOL].clone())
+            })
+            .collect();
+        for &t in &threads {
+            let engine = QueryEngine::new(EngineConfig {
+                threads: t,
+                ..EngineConfig::default()
+            });
+            // Warm-up round fills the cache; timed round measures serving.
+            engine.execute_batch(None, &requests);
+            let started = Instant::now();
+            let responses = engine.execute_batch(None, &requests);
+            let elapsed = started.elapsed();
+            let failures = responses.iter().filter(|r| r.outcome.is_err()).count();
+            if failures > 0 {
+                return Err(format!("{failures} bench queries failed"));
+            }
+            let stats = engine.cache_stats();
+            let qps = batch as f64 / elapsed.as_secs_f64();
+            let hit_pct = 100.0 * stats.hits as f64 / (stats.hits + stats.misses).max(1) as f64;
+            println!(
+                "{batch:>10}  {t:>7}  {qps:>11.0}  {:>8.3}  {hit_pct:>9.1}",
+                elapsed.as_secs_f64() * 1e3
+            );
+            json_lines.push(format!(
+                "{{\"batch\":{batch},\"threads\":{t},\"n\":{n},\"qps\":{qps:.1},\"ms_per_batch\":{:.3},\"cache_hit_pct\":{hit_pct:.1}}}",
+                elapsed.as_secs_f64() * 1e3
+            ));
+        }
+    }
+    if let Some(path) = json_out {
+        std::fs::write(&path, json_lines.join("\n") + "\n")
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {} measurements to {path}", json_lines.len());
+    }
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,471 @@
+//! The cotree cache.
+//!
+//! Recognition (`O(n^2 log n)`) dominates the cost of serving a query that
+//! arrives as raw graph text, and binarisation plus the solver dominate the
+//! rest. The cache removes both for repeated graphs:
+//!
+//! * a **graph fingerprint** (hash of the exact vertex count and edge list)
+//!   maps previously-seen graphs to their cotree without re-running
+//!   recognition, and
+//! * a **canonical cotree key** — a hash of the cotree's canonical form,
+//!   invariant under reordering of children — maps equal cotrees (however
+//!   they were ingested) to one shared [`SolveEntry`] that memoises the
+//!   answers every query kind needs: minimum cover size and the two
+//!   Hamiltonian decisions.
+//!
+//! `FullCover` answers are *not* memoised: covers are `O(n)` big, the solver
+//! that produces them is `O(n)` too, and every returned cover is re-verified
+//! against the request's graph anyway.
+//!
+//! The cache is a bounded FIFO (default 1024 entries) behind a mutex; hits
+//! and misses are counted and surfaced through [`CacheStats`].
+
+use cograph::{Cotree, CotreeKind};
+use pathcover::{has_hamiltonian_cycle, has_hamiltonian_path, min_path_cover_size};
+use pcgraph::Graph;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[derive(Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        for byte in value.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Hash of the exact labelled graph (vertex count plus sorted edge list).
+pub fn graph_fingerprint(g: &Graph) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(g.num_vertices() as u64);
+    for (u, v) in g.edges() {
+        h.write_u64(((u as u64) << 32) | v as u64);
+    }
+    h.finish()
+}
+
+/// Hash of the cotree's canonical form.
+///
+/// Each node hashes its kind and its children's hashes *sorted*, so the key
+/// is invariant under child reordering — `(u a (j b c))` and `(u (j c b) a)`
+/// collide on purpose. Leaf labels are part of the hash: two cotrees get the
+/// same key only when they describe the same labelled graph, which is what
+/// makes cached covers safe to reuse.
+pub fn canonical_key(tree: &Cotree) -> u64 {
+    let hashes = node_hashes(tree);
+    hashes[tree.root()]
+}
+
+/// Per-node canonical hashes (see [`canonical_key`]).
+fn node_hashes(tree: &Cotree) -> Vec<u64> {
+    let mut node_hash = vec![0u64; tree.num_nodes()];
+    for u in tree.postorder() {
+        let mut h = Fnv::new();
+        match tree.kind(u) {
+            CotreeKind::Leaf(v) => {
+                h.write_u64(1);
+                h.write_u64(v as u64);
+            }
+            kind => {
+                h.write_u64(if kind == CotreeKind::Union { 2 } else { 3 });
+                let mut child_hashes: Vec<u64> =
+                    tree.children(u).iter().map(|&c| node_hash[c]).collect();
+                child_hashes.sort_unstable();
+                for ch in child_hashes {
+                    h.write_u64(ch);
+                }
+            }
+        }
+        node_hash[u] = h.finish();
+    }
+    node_hash
+}
+
+/// Exact canonical equality: `true` iff the two cotrees describe the same
+/// labelled graph up to reordering of children.
+///
+/// Children are paired in sorted-hash order and compared recursively, so a
+/// hash collision among siblings can only produce a false *negative* (the
+/// cache then treats the trees as distinct — lost sharing, never a wrong
+/// answer); a `true` result is an exact structural match of the pairing.
+pub fn canonical_eq(a: &Cotree, b: &Cotree) -> bool {
+    if a.num_nodes() != b.num_nodes() {
+        return false;
+    }
+    let ha = node_hashes(a);
+    let hb = node_hashes(b);
+    canonical_eq_at(a, a.root(), &ha, b, b.root(), &hb)
+}
+
+fn sorted_children(tree: &Cotree, u: usize, hashes: &[u64]) -> Vec<usize> {
+    let mut kids: Vec<usize> = tree.children(u).to_vec();
+    kids.sort_unstable_by_key(|&c| hashes[c]);
+    kids
+}
+
+fn canonical_eq_at(a: &Cotree, u: usize, ha: &[u64], b: &Cotree, v: usize, hb: &[u64]) -> bool {
+    match (a.kind(u), b.kind(v)) {
+        (CotreeKind::Leaf(x), CotreeKind::Leaf(y)) => x == y,
+        (ka, kb) if ka == kb => {
+            let ca = sorted_children(a, u, ha);
+            let cb = sorted_children(b, v, hb);
+            ca.len() == cb.len()
+                && ca
+                    .into_iter()
+                    .zip(cb)
+                    .all(|(cu, cv)| canonical_eq_at(a, cu, ha, b, cv, hb))
+        }
+        _ => false,
+    }
+}
+
+/// A cached cotree plus memoised scalar answers.
+#[derive(Debug)]
+pub struct SolveEntry {
+    /// The canonical key this entry is stored under.
+    pub key: u64,
+    /// The cotree itself.
+    pub cotree: Cotree,
+    min_size: OnceLock<usize>,
+    ham_path: OnceLock<bool>,
+    ham_cycle: OnceLock<bool>,
+}
+
+impl SolveEntry {
+    /// Wraps a cotree (computing its canonical key).
+    pub fn new(cotree: Cotree) -> Self {
+        SolveEntry {
+            key: canonical_key(&cotree),
+            cotree,
+            min_size: OnceLock::new(),
+            ham_path: OnceLock::new(),
+            ham_cycle: OnceLock::new(),
+        }
+    }
+
+    /// Minimum path-cover size (memoised).
+    pub fn min_cover_size(&self) -> usize {
+        *self
+            .min_size
+            .get_or_init(|| min_path_cover_size(&self.cotree))
+    }
+
+    /// Hamiltonian-path decision (memoised).
+    pub fn has_hamiltonian_path(&self) -> bool {
+        *self
+            .ham_path
+            .get_or_init(|| has_hamiltonian_path(&self.cotree))
+    }
+
+    /// Hamiltonian-cycle decision (memoised).
+    pub fn has_hamiltonian_cycle(&self) -> bool {
+        *self
+            .ham_cycle
+            .get_or_init(|| has_hamiltonian_cycle(&self.cotree))
+    }
+}
+
+/// Hit/miss counters, snapshot via [`CotreeCache::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to recognise/insert fresh.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+struct CacheInner {
+    /// graph fingerprint -> (the exact graph, its canonical key). The graph
+    /// is kept so a lookup can confirm the match exactly — a fingerprint
+    /// collision (the inputs are untrusted and FNV is not cryptographic)
+    /// must degrade to a miss, never serve another graph's answers.
+    by_graph: HashMap<u64, (Arc<Graph>, u64)>,
+    /// canonical key -> solve entry (exact cotree confirmed on lookup).
+    entries: HashMap<u64, Arc<SolveEntry>>,
+    /// canonical key -> fingerprint linked to it, for O(1) eviction.
+    key_to_fp: HashMap<u64, u64>,
+    /// FIFO of canonical keys for eviction.
+    order: VecDeque<u64>,
+}
+
+/// The bounded, thread-safe cotree cache.
+pub struct CotreeCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CotreeCache {
+    /// Creates a cache holding at most `capacity` cotrees (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        CotreeCache {
+            inner: Mutex::new(CacheInner {
+                by_graph: HashMap::new(),
+                entries: HashMap::new(),
+                key_to_fp: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a previously-recognised graph by fingerprint, confirming
+    /// the stored graph is *equal* to `graph` (a fingerprint collision is a
+    /// miss, never a wrong answer).
+    pub fn lookup_graph(&self, fingerprint: u64, graph: &Graph) -> Option<Arc<SolveEntry>> {
+        let inner = self.inner.lock().expect("cache mutex");
+        let entry = inner
+            .by_graph
+            .get(&fingerprint)
+            .filter(|(stored, _)| **stored == *graph)
+            .and_then(|(_, key)| inner.entries.get(key))
+            .cloned();
+        drop(inner);
+        match entry {
+            Some(e) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(e)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Looks up a cotree by its canonical key (cotree ingestion path),
+    /// confirming the stored cotree is canonically equal.
+    pub fn lookup_key(&self, key: u64, cotree: &Cotree) -> Option<Arc<SolveEntry>> {
+        let entry = self
+            .inner
+            .lock()
+            .expect("cache mutex")
+            .entries
+            .get(&key)
+            .filter(|e| canonical_eq(&e.cotree, cotree))
+            .cloned();
+        match entry {
+            Some(e) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(e)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly-built cotree, optionally linking the graph it was
+    /// recognised from, and returns the resident entry (which may be a
+    /// previously-cached equal cotree).
+    ///
+    /// If a *different* cotree already occupies the canonical key (a hash
+    /// collision), the new cotree is returned uncached: collisions degrade
+    /// to cache bypass for the newcomer, never to shared wrong answers.
+    pub fn insert(&self, graph: Option<(u64, Arc<Graph>)>, cotree: Cotree) -> Arc<SolveEntry> {
+        let entry = Arc::new(SolveEntry::new(cotree));
+        let mut inner = self.inner.lock().expect("cache mutex");
+        let resident = match inner.entries.get(&entry.key) {
+            Some(existing) if canonical_eq(&existing.cotree, &entry.cotree) => existing.clone(),
+            Some(_collision) => return entry,
+            None => {
+                while inner.order.len() >= self.capacity {
+                    if let Some(evicted) = inner.order.pop_front() {
+                        inner.entries.remove(&evicted);
+                        if let Some(fp) = inner.key_to_fp.remove(&evicted) {
+                            inner.by_graph.remove(&fp);
+                        }
+                    }
+                }
+                inner.order.push_back(entry.key);
+                inner.entries.insert(entry.key, entry.clone());
+                entry
+            }
+        };
+        if let Some((fp, graph)) = graph {
+            inner.by_graph.insert(fp, (graph, resident.key));
+            inner.key_to_fp.insert(resident.key, fp);
+        }
+        resident
+    }
+
+    /// Snapshot of the hit/miss counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.inner.lock().expect("cache mutex").entries.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::parse_cotree_term;
+
+    fn labelled_pair(reversed: bool) -> Cotree {
+        // union(0, join(1, 2)) with the union's children in both orders;
+        // explicit labels so both cotrees describe the same labelled graph.
+        let join = Cotree::join_of_labelled(vec![Cotree::single(1), Cotree::single(2)]);
+        let parts = if reversed {
+            vec![join, Cotree::single(0)]
+        } else {
+            vec![Cotree::single(0), join]
+        };
+        Cotree::union_of_labelled(parts)
+    }
+
+    #[test]
+    fn canonical_key_is_child_order_invariant() {
+        assert_eq!(
+            canonical_key(&labelled_pair(false)),
+            canonical_key(&labelled_pair(true))
+        );
+        // Term-notation leaves are labelled by first appearance, so the same
+        // *shape* with reordered children is a different labelled graph and
+        // must NOT collide.
+        let a = parse_cotree_term("(u a (j b c))").unwrap();
+        let b = parse_cotree_term("(u (j b c) a)").unwrap();
+        assert_ne!(canonical_key(&a), canonical_key(&b));
+    }
+
+    #[test]
+    fn canonical_key_separates_union_from_join() {
+        let a = parse_cotree_term("(u a b)").unwrap();
+        let b = parse_cotree_term("(j a b)").unwrap();
+        assert_ne!(canonical_key(&a), canonical_key(&b));
+    }
+
+    #[test]
+    fn canonical_key_is_label_sensitive() {
+        // Same shape, different leaf labels -> different labelled graphs.
+        let a = Cotree::join_of_labelled(vec![Cotree::single(0), Cotree::single(1)]);
+        let b = Cotree::join_of_labelled(vec![Cotree::single(0), Cotree::single(2)]);
+        assert_ne!(canonical_key(&a), canonical_key(&b));
+    }
+
+    #[test]
+    fn graph_fingerprint_distinguishes_graphs() {
+        let g1 = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let g2 = Graph::from_edges(3, &[(0, 2)]).unwrap();
+        let g3 = Graph::from_edges(4, &[(0, 1)]).unwrap();
+        assert_ne!(graph_fingerprint(&g1), graph_fingerprint(&g2));
+        assert_ne!(graph_fingerprint(&g1), graph_fingerprint(&g3));
+        assert_eq!(graph_fingerprint(&g1), graph_fingerprint(&g1.clone()));
+    }
+
+    #[test]
+    fn insert_then_lookup_hits() {
+        let cache = CotreeCache::new(8);
+        let tree = parse_cotree_term("(j a b c)").unwrap();
+        let graph = Arc::new(tree.to_graph());
+        let fp = graph_fingerprint(&graph);
+        assert!(cache.lookup_graph(fp, &graph).is_none());
+        let entry = cache.insert(Some((fp, graph.clone())), tree);
+        let hit = cache
+            .lookup_graph(fp, &graph)
+            .expect("fingerprint now cached");
+        assert_eq!(hit.key, entry.key);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn fingerprint_collision_degrades_to_miss() {
+        // Manufacture a collision by registering graph A's entry under a
+        // fingerprint, then probing with a *different* graph B claiming the
+        // same fingerprint: the exact-graph check must refuse the entry.
+        let cache = CotreeCache::new(8);
+        let tree_a = parse_cotree_term("(j a b c)").unwrap();
+        let graph_a = Arc::new(tree_a.to_graph());
+        let fp = graph_fingerprint(&graph_a);
+        cache.insert(Some((fp, graph_a)), tree_a);
+        let graph_b = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        assert!(cache.lookup_graph(fp, &graph_b).is_none());
+    }
+
+    #[test]
+    fn key_collision_returns_uncached_entry_not_shared_answers() {
+        // Simulate a canonical-key collision by handing insert a cotree
+        // whose key already maps to a different cotree: the second insert
+        // must come back as its own entry, not the resident one.
+        let cache = CotreeCache::new(8);
+        let t1 = parse_cotree_term("(j a b c)").unwrap();
+        let resident = cache.insert(None, t1.clone());
+        let t2 = parse_cotree_term("(u a b c)").unwrap();
+        // Different cotrees, different keys: sanity that normal inserts
+        // don't collide...
+        let other = cache.insert(None, t2.clone());
+        assert_ne!(resident.key, other.key);
+        // ...and that an exact-equal insert does share.
+        let same = cache.insert(None, t1.clone());
+        assert!(Arc::ptr_eq(&resident, &same));
+        // Exact-match guard on lookup: asking for t2 under t1's key misses.
+        assert!(cache.lookup_key(resident.key, &t2).is_none());
+        assert!(cache.lookup_key(resident.key, &t1).is_some());
+    }
+
+    #[test]
+    fn equal_cotrees_share_one_entry() {
+        let cache = CotreeCache::new(8);
+        let a = cache.insert(None, labelled_pair(false));
+        let b = cache.insert(None, labelled_pair(true));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn capacity_evicts_fifo() {
+        let cache = CotreeCache::new(2);
+        let t1 = parse_cotree_term("(u a b)").unwrap();
+        let t2 = parse_cotree_term("(j a b)").unwrap();
+        let t3 = parse_cotree_term("(u a b c)").unwrap();
+        let g1 = Arc::new(t1.to_graph());
+        let fp1 = graph_fingerprint(&g1);
+        let k1 = cache.insert(Some((fp1, g1.clone())), t1.clone()).key;
+        cache.insert(None, t2);
+        cache.insert(None, t3);
+        assert_eq!(cache.stats().entries, 2);
+        assert!(cache.lookup_key(k1, &t1).is_none(), "oldest entry evicted");
+        assert!(
+            cache.lookup_graph(fp1, &g1).is_none(),
+            "fingerprint link evicted too"
+        );
+    }
+
+    #[test]
+    fn memoised_answers_match_direct_calls() {
+        let tree = parse_cotree_term("(j (u a b) (u c d) e)").unwrap();
+        let entry = SolveEntry::new(tree.clone());
+        assert_eq!(entry.min_cover_size(), min_path_cover_size(&tree));
+        assert_eq!(entry.has_hamiltonian_path(), has_hamiltonian_path(&tree));
+        assert_eq!(entry.has_hamiltonian_cycle(), has_hamiltonian_cycle(&tree));
+        // Second calls return the memo (same values).
+        assert_eq!(entry.min_cover_size(), min_path_cover_size(&tree));
+    }
+}

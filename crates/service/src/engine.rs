@@ -1,0 +1,596 @@
+//! The query engine: ingest → recognize → cache → solve → verify.
+//!
+//! [`QueryEngine::execute`] serves one request; [`QueryEngine::execute_batch`]
+//! fans a slice of requests across a configurable pool of std threads. Jobs
+//! are isolated two ways:
+//!
+//! * every error is typed ([`ServiceError`]) and confined to the job's
+//!   response — a malformed input fails that job, never the batch;
+//! * the solver runs under `catch_unwind`, so even a panic inside the
+//!   algorithm stack is converted into [`ServiceError::JobPanicked`] for
+//!   that job alone.
+//!
+//! Every `FullCover` answer (and every Hamiltonian witness path) is checked
+//! with [`pcgraph::verify_path_cover`] against the request's graph before it
+//! is returned; a failure is reported as
+//! [`ServiceError::CoverVerificationFailed`] rather than silently passed on.
+
+use crate::cache::{graph_fingerprint, CacheStats, CotreeCache, SolveEntry};
+use crate::error::ServiceError;
+use crate::ingest::{self, GraphFormat, Ingested};
+use crate::model::{
+    Answer, CacheStatus, GraphSpec, QueryKind, QueryRequest, QueryResponse, ResponseMeta,
+};
+use cograph::recognize;
+use pathcover::{hamiltonian_path, path_cover};
+use pcgraph::{verify_path_cover, Graph, PathCover};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads for [`QueryEngine::execute_batch`]; `0` means one per
+    /// available CPU.
+    pub threads: usize,
+    /// Verify every returned cover / witness path against the graph.
+    pub verify_covers: bool,
+    /// Consult and fill the cotree cache.
+    pub use_cache: bool,
+    /// Maximum number of cotrees kept resident.
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: 0,
+            verify_covers: true,
+            use_cache: true,
+            cache_capacity: 1024,
+        }
+    }
+}
+
+/// A graph resolved to its cotree, ready to solve.
+struct Resolved {
+    entry: Arc<SolveEntry>,
+    /// The graph as ingested (kept for cover verification); absent when the
+    /// request arrived as a cotree and no graph was materialised yet.
+    graph: Option<Arc<Graph>>,
+    cache: CacheStatus,
+}
+
+/// The batch's shared graph, parsed once; every job using it still performs
+/// its own cache lookup so cache hits stay observable per response.
+enum SharedPrep {
+    Graph(Arc<Graph>),
+    Cotree(Arc<cograph::Cotree>),
+}
+
+/// The batched query engine.
+pub struct QueryEngine {
+    config: EngineConfig,
+    cache: CotreeCache,
+}
+
+impl Default for QueryEngine {
+    fn default() -> Self {
+        QueryEngine::new(EngineConfig::default())
+    }
+}
+
+impl QueryEngine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        let cache = CotreeCache::new(config.cache_capacity);
+        QueryEngine { config, cache }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Snapshot of the cotree cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Serves one request (requests using [`GraphSpec::Shared`] fail with
+    /// [`ServiceError::SharedGraphMissing`]; use a batch for those).
+    pub fn execute(&self, request: &QueryRequest) -> QueryResponse {
+        self.guarded_execute(request, None)
+    }
+
+    /// Serves a batch: resolves the optional shared graph once, then fans
+    /// the requests across the configured thread pool. The response order
+    /// matches the request order.
+    pub fn execute_batch(
+        &self,
+        shared: Option<&GraphSpec>,
+        requests: &[QueryRequest],
+    ) -> Vec<QueryResponse> {
+        let shared_resolved = shared.map(|spec| self.prepare_shared(spec));
+        let threads = self.effective_threads(requests.len());
+        if threads <= 1 {
+            return requests
+                .iter()
+                .map(|r| self.guarded_execute(r, shared_resolved.as_ref()))
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<OnceLock<QueryResponse>> =
+            requests.iter().map(|_| OnceLock::new()).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= requests.len() {
+                        break;
+                    }
+                    let response = self.guarded_execute(&requests[i], shared_resolved.as_ref());
+                    slots[i].set(response).expect("each slot is written once");
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("slot filled"))
+            .collect()
+    }
+
+    fn effective_threads(&self, jobs: usize) -> usize {
+        let hw = if self.config.threads > 0 {
+            self.config.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        hw.min(jobs.max(1))
+    }
+
+    /// Runs one job with panic containment.
+    fn guarded_execute(
+        &self,
+        request: &QueryRequest,
+        shared: Option<&Result<SharedPrep, ServiceError>>,
+    ) -> QueryResponse {
+        let started = Instant::now();
+        match catch_unwind(AssertUnwindSafe(|| self.execute_inner(request, shared))) {
+            Ok(response) => response,
+            Err(payload) => QueryResponse {
+                id: request.id.clone(),
+                kind: request.kind,
+                outcome: Err(ServiceError::JobPanicked(panic_message(payload))),
+                meta: ResponseMeta {
+                    solve_micros: 0,
+                    total_micros: started.elapsed().as_micros() as u64,
+                    cache: CacheStatus::Bypass,
+                    canonical_key: None,
+                    vertices: 0,
+                },
+            },
+        }
+    }
+
+    fn execute_inner(
+        &self,
+        request: &QueryRequest,
+        shared: Option<&Result<SharedPrep, ServiceError>>,
+    ) -> QueryResponse {
+        let started = Instant::now();
+        let resolved = self.resolve_request(&request.graph, shared);
+        let (outcome, meta) = match resolved {
+            Err(error) => (
+                Err(error),
+                ResponseMeta {
+                    solve_micros: 0,
+                    total_micros: 0,
+                    cache: CacheStatus::Bypass,
+                    canonical_key: None,
+                    vertices: 0,
+                },
+            ),
+            Ok(resolved) => {
+                let solve_started = Instant::now();
+                let outcome = self.solve(request.kind, &resolved);
+                (
+                    outcome,
+                    ResponseMeta {
+                        solve_micros: solve_started.elapsed().as_micros() as u64,
+                        total_micros: 0,
+                        cache: resolved.cache,
+                        canonical_key: Some(resolved.entry.key),
+                        vertices: resolved.entry.cotree.num_vertices(),
+                    },
+                )
+            }
+        };
+        let mut meta = meta;
+        meta.total_micros = started.elapsed().as_micros() as u64;
+        QueryResponse {
+            id: request.id.clone(),
+            kind: request.kind,
+            outcome,
+            meta,
+        }
+    }
+
+    fn resolve_request(
+        &self,
+        spec: &GraphSpec,
+        shared: Option<&Result<SharedPrep, ServiceError>>,
+    ) -> Result<Resolved, ServiceError> {
+        match spec {
+            GraphSpec::Shared => match shared {
+                Some(Ok(prep)) => self.resolve_prepared(prep),
+                Some(Err(error)) => Err(error.clone()),
+                None => Err(ServiceError::SharedGraphMissing),
+            },
+            other => self.resolve_spec(other),
+        }
+    }
+
+    /// Parses the batch's shared graph once; jobs resolve it per query via
+    /// [`QueryEngine::resolve_prepared`] so their cache metadata is real.
+    fn prepare_shared(&self, spec: &GraphSpec) -> Result<SharedPrep, ServiceError> {
+        Ok(match spec {
+            GraphSpec::Shared => return Err(ServiceError::SharedGraphMissing),
+            GraphSpec::EdgeList(text) => ingested_prep(ingest::parse(text, GraphFormat::EdgeList)?),
+            GraphSpec::Dimacs(text) => ingested_prep(ingest::parse(text, GraphFormat::Dimacs)?),
+            GraphSpec::CotreeTerm(text) => {
+                ingested_prep(ingest::parse(text, GraphFormat::CotreeTerm)?)
+            }
+            GraphSpec::Graph(g) => SharedPrep::Graph(Arc::new(g.clone())),
+            GraphSpec::Cotree(t) => SharedPrep::Cotree(Arc::new(t.clone())),
+        })
+    }
+
+    fn resolve_prepared(&self, prep: &SharedPrep) -> Result<Resolved, ServiceError> {
+        match prep {
+            SharedPrep::Graph(g) => self.resolve_graph(g.clone()),
+            SharedPrep::Cotree(t) => self.resolve_cotree(t),
+        }
+    }
+
+    fn resolve_spec(&self, spec: &GraphSpec) -> Result<Resolved, ServiceError> {
+        match spec {
+            GraphSpec::Shared => Err(ServiceError::SharedGraphMissing),
+            GraphSpec::EdgeList(text) => match ingest::parse(text, GraphFormat::EdgeList)? {
+                Ingested::Graph(g) => self.resolve_graph(Arc::new(g)),
+                Ingested::Cotree(t) => self.resolve_cotree(&t),
+            },
+            GraphSpec::Dimacs(text) => match ingest::parse(text, GraphFormat::Dimacs)? {
+                Ingested::Graph(g) => self.resolve_graph(Arc::new(g)),
+                Ingested::Cotree(t) => self.resolve_cotree(&t),
+            },
+            GraphSpec::CotreeTerm(text) => match ingest::parse(text, GraphFormat::CotreeTerm)? {
+                Ingested::Graph(g) => self.resolve_graph(Arc::new(g)),
+                Ingested::Cotree(t) => self.resolve_cotree(&t),
+            },
+            GraphSpec::Graph(g) => self.resolve_graph(Arc::new(g.clone())),
+            GraphSpec::Cotree(t) => self.resolve_cotree(t),
+        }
+    }
+
+    fn resolve_graph(&self, graph: Arc<Graph>) -> Result<Resolved, ServiceError> {
+        if graph.num_vertices() == 0 {
+            return Err(ServiceError::EmptyGraph);
+        }
+        if !self.config.use_cache {
+            let cotree = recognize(&graph).ok_or(ServiceError::NotACograph {
+                vertices: graph.num_vertices(),
+            })?;
+            return Ok(Resolved {
+                entry: Arc::new(SolveEntry::new(cotree)),
+                graph: Some(graph),
+                cache: CacheStatus::Bypass,
+            });
+        }
+        let fingerprint = graph_fingerprint(&graph);
+        if let Some(entry) = self.cache.lookup_graph(fingerprint, &graph) {
+            return Ok(Resolved {
+                entry,
+                graph: Some(graph),
+                cache: CacheStatus::Hit,
+            });
+        }
+        let cotree = recognize(&graph).ok_or(ServiceError::NotACograph {
+            vertices: graph.num_vertices(),
+        })?;
+        let entry = self
+            .cache
+            .insert(Some((fingerprint, graph.clone())), cotree);
+        Ok(Resolved {
+            entry,
+            graph: Some(graph),
+            cache: CacheStatus::Miss,
+        })
+    }
+
+    fn resolve_cotree(&self, cotree: &cograph::Cotree) -> Result<Resolved, ServiceError> {
+        if !self.config.use_cache {
+            return Ok(Resolved {
+                entry: Arc::new(SolveEntry::new(cotree.clone())),
+                graph: None,
+                cache: CacheStatus::Bypass,
+            });
+        }
+        let key = crate::cache::canonical_key(cotree);
+        if let Some(entry) = self.cache.lookup_key(key, cotree) {
+            return Ok(Resolved {
+                entry,
+                graph: None,
+                cache: CacheStatus::Hit,
+            });
+        }
+        let entry = self.cache.insert(None, cotree.clone());
+        Ok(Resolved {
+            entry,
+            graph: None,
+            cache: CacheStatus::Miss,
+        })
+    }
+
+    fn solve(&self, kind: QueryKind, resolved: &Resolved) -> Result<Answer, ServiceError> {
+        let entry = &resolved.entry;
+        match kind {
+            QueryKind::MinCoverSize => Ok(Answer::MinCoverSize {
+                size: entry.min_cover_size(),
+            }),
+            QueryKind::FullCover => {
+                let cover = path_cover(&entry.cotree);
+                let verified = self.verify(resolved, &cover)?;
+                Ok(Answer::FullCover { cover, verified })
+            }
+            QueryKind::HamiltonianPath => {
+                let exists = entry.has_hamiltonian_path();
+                let path = if exists {
+                    hamiltonian_path(&entry.cotree)
+                } else {
+                    None
+                };
+                if let Some(path) = &path {
+                    self.verify(resolved, &PathCover::from_paths(vec![path.clone()]))?;
+                }
+                Ok(Answer::HamiltonianPath { exists, path })
+            }
+            QueryKind::HamiltonianCycle => Ok(Answer::HamiltonianCycle {
+                exists: entry.has_hamiltonian_cycle(),
+            }),
+            QueryKind::Recognize => {
+                let graph = self.graph_of(resolved);
+                Ok(Answer::Recognized {
+                    is_cograph: true,
+                    vertices: graph.num_vertices(),
+                    edges: graph.num_edges(),
+                    cotree_nodes: entry.cotree.num_nodes(),
+                    height: entry.cotree.height(),
+                    term: ingest::cotree_to_term(&entry.cotree),
+                })
+            }
+        }
+    }
+
+    /// The graph to verify against: the ingested one when available,
+    /// otherwise the cotree materialised.
+    fn graph_of(&self, resolved: &Resolved) -> Arc<Graph> {
+        match &resolved.graph {
+            Some(g) => g.clone(),
+            None => Arc::new(resolved.entry.cotree.to_graph()),
+        }
+    }
+
+    fn verify(&self, resolved: &Resolved, cover: &PathCover) -> Result<bool, ServiceError> {
+        if !self.config.verify_covers {
+            return Ok(false);
+        }
+        let graph = self.graph_of(resolved);
+        let report = verify_path_cover(&graph, cover);
+        if report.is_valid() {
+            Ok(true)
+        } else {
+            Err(ServiceError::CoverVerificationFailed(format!(
+                "missing={:?} duplicated={:?} non_edges={:?} out_of_range={:?}",
+                report.missing, report.duplicated, report.non_edges, report.out_of_range
+            )))
+        }
+    }
+}
+
+fn ingested_prep(ingested: Ingested) -> SharedPrep {
+    match ingested {
+        Ingested::Graph(g) => SharedPrep::Graph(Arc::new(g)),
+        Ingested::Cotree(t) => SharedPrep::Cotree(Arc::new(t)),
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> QueryEngine {
+        QueryEngine::default()
+    }
+
+    #[test]
+    fn full_cover_on_edge_list_is_verified() {
+        let e = engine();
+        let req = QueryRequest::new(
+            QueryKind::FullCover,
+            GraphSpec::EdgeList("0 1\n1 2\n0 2\n3\n".to_string()),
+        );
+        let resp = e.execute(&req);
+        match resp.outcome.expect("triangle plus isolate is a cograph") {
+            Answer::FullCover { cover, verified } => {
+                assert!(verified);
+                assert_eq!(cover.len(), 2); // triangle path + isolated vertex
+            }
+            other => panic!("wrong answer variant: {other:?}"),
+        }
+        assert_eq!(resp.meta.cache, CacheStatus::Miss);
+        assert_eq!(resp.meta.vertices, 4);
+        assert!(resp.meta.canonical_key.is_some());
+    }
+
+    #[test]
+    fn repeated_graph_hits_the_cache() {
+        let e = engine();
+        let spec = GraphSpec::EdgeList("0 1\n1 2\n0 2\n".to_string());
+        let first = e.execute(&QueryRequest::new(QueryKind::MinCoverSize, spec.clone()));
+        let second = e.execute(&QueryRequest::new(QueryKind::HamiltonianPath, spec));
+        assert_eq!(first.meta.cache, CacheStatus::Miss);
+        assert_eq!(second.meta.cache, CacheStatus::Hit);
+        assert_eq!(first.meta.canonical_key, second.meta.canonical_key);
+        let stats = e.cache_stats();
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn p4_is_reported_not_a_cograph() {
+        let e = engine();
+        let req = QueryRequest::new(
+            QueryKind::MinCoverSize,
+            GraphSpec::EdgeList("0 1\n1 2\n2 3\n".to_string()),
+        );
+        let resp = e.execute(&req);
+        assert_eq!(resp.outcome, Err(ServiceError::NotACograph { vertices: 4 }));
+    }
+
+    #[test]
+    fn bad_input_fails_only_its_own_job() {
+        let e = engine();
+        let requests = vec![
+            QueryRequest::new(
+                QueryKind::MinCoverSize,
+                GraphSpec::EdgeList("0 x".to_string()),
+            )
+            .with_id("bad"),
+            QueryRequest::new(
+                QueryKind::MinCoverSize,
+                GraphSpec::CotreeTerm("(j a b)".to_string()),
+            )
+            .with_id("good"),
+        ];
+        let responses = e.execute_batch(None, &requests);
+        assert_eq!(responses.len(), 2);
+        assert!(responses[0].outcome.is_err());
+        assert_eq!(
+            responses[1].outcome,
+            Ok(Answer::MinCoverSize { size: 1 }),
+            "the malformed job must not poison its neighbour"
+        );
+        assert_eq!(responses[0].id.as_deref(), Some("bad"));
+        assert_eq!(responses[1].id.as_deref(), Some("good"));
+    }
+
+    #[test]
+    fn shared_graph_requests_need_a_shared_graph() {
+        let e = engine();
+        let req = QueryRequest::new(QueryKind::Recognize, GraphSpec::Shared);
+        assert_eq!(
+            e.execute(&req).outcome,
+            Err(ServiceError::SharedGraphMissing)
+        );
+        let shared = GraphSpec::EdgeList("0 1\n".to_string());
+        let responses = e.execute_batch(Some(&shared), std::slice::from_ref(&req));
+        match responses[0].outcome.as_ref().expect("edge is a cograph") {
+            Answer::Recognized {
+                is_cograph,
+                vertices,
+                edges,
+                ..
+            } => {
+                assert!(is_cograph);
+                assert_eq!(*vertices, 2);
+                assert_eq!(*edges, 1);
+            }
+            other => panic!("wrong answer variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hamiltonian_answers_are_consistent() {
+        let e = engine();
+        // K4: Hamiltonian path and cycle both exist.
+        let k4 = GraphSpec::CotreeTerm("(j a b c d)".to_string());
+        let path = e.execute(&QueryRequest::new(QueryKind::HamiltonianPath, k4.clone()));
+        match path.outcome.expect("K4 solves") {
+            Answer::HamiltonianPath { exists, path } => {
+                assert!(exists);
+                assert_eq!(path.expect("witness").len(), 4);
+            }
+            other => panic!("wrong answer variant: {other:?}"),
+        }
+        let cycle = e.execute(&QueryRequest::new(QueryKind::HamiltonianCycle, k4));
+        assert_eq!(cycle.outcome, Ok(Answer::HamiltonianCycle { exists: true }));
+        // Two disjoint vertices: neither exists.
+        let e2 = e.execute(&QueryRequest::new(
+            QueryKind::HamiltonianPath,
+            GraphSpec::CotreeTerm("(u a b)".to_string()),
+        ));
+        assert_eq!(
+            e2.outcome,
+            Ok(Answer::HamiltonianPath {
+                exists: false,
+                path: None
+            })
+        );
+    }
+
+    #[test]
+    fn cache_bypass_is_reported() {
+        let config = EngineConfig {
+            use_cache: false,
+            ..EngineConfig::default()
+        };
+        let e = QueryEngine::new(config);
+        let spec = GraphSpec::EdgeList("0 1\n".to_string());
+        let r1 = e.execute(&QueryRequest::new(QueryKind::MinCoverSize, spec.clone()));
+        let r2 = e.execute(&QueryRequest::new(QueryKind::MinCoverSize, spec));
+        assert_eq!(r1.meta.cache, CacheStatus::Bypass);
+        assert_eq!(r2.meta.cache, CacheStatus::Bypass);
+    }
+
+    #[test]
+    fn batch_order_is_preserved_across_threads() {
+        let e = QueryEngine::new(EngineConfig {
+            threads: 4,
+            ..EngineConfig::default()
+        });
+        let requests: Vec<QueryRequest> = (2..40u32)
+            .map(|k| {
+                // Complete graph K_k as a join of k leaves: min cover 1.
+                let leaves = (0..k)
+                    .map(|i| format!("v{i}"))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                QueryRequest::new(
+                    QueryKind::MinCoverSize,
+                    GraphSpec::CotreeTerm(format!("(j {leaves})")),
+                )
+                .with_id(format!("job-{k}"))
+            })
+            .collect();
+        let responses = e.execute_batch(None, &requests);
+        assert_eq!(responses.len(), requests.len());
+        for (i, resp) in responses.iter().enumerate() {
+            assert_eq!(resp.id, requests[i].id, "response {i} out of order");
+            assert_eq!(resp.outcome, Ok(Answer::MinCoverSize { size: 1 }));
+        }
+    }
+}

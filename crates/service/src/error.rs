@@ -1,0 +1,85 @@
+//! Typed errors of the query engine.
+//!
+//! Every failure a job can hit — malformed input, a non-cograph graph, a
+//! cover that fails self-verification, a panic inside the solver — is mapped
+//! to a [`ServiceError`] variant so that batch execution can report it per
+//! job without aborting the batch, and so the CLI can render it both as
+//! human-readable text and as a machine-readable JSON object.
+
+use crate::ingest::IngestError;
+use std::fmt;
+
+/// Any error a single query can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The graph input could not be parsed.
+    Ingest(IngestError),
+    /// The input graph is not a cograph (it contains an induced `P_4`), so
+    /// the cotree pipeline cannot run.
+    NotACograph {
+        /// Number of vertices of the offending graph.
+        vertices: usize,
+    },
+    /// The input graph has no vertices; the path-cover problem is trivial
+    /// but the paper's pipeline (and recognition) require `n >= 1`.
+    EmptyGraph,
+    /// The request referenced the batch-level shared graph, but the batch
+    /// was started without one.
+    SharedGraphMissing,
+    /// A produced cover failed [`pcgraph::verify_path_cover`]; this
+    /// indicates a solver bug and is reported rather than returned silently.
+    CoverVerificationFailed(String),
+    /// The solver panicked; the panic was contained to this job.
+    JobPanicked(String),
+    /// The request itself was malformed (bad JSON line, unknown kind, ...).
+    BadRequest(String),
+}
+
+impl ServiceError {
+    /// Stable machine-readable error tag used in JSON output.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServiceError::Ingest(_) => "ingest",
+            ServiceError::NotACograph { .. } => "not_a_cograph",
+            ServiceError::EmptyGraph => "empty_graph",
+            ServiceError::SharedGraphMissing => "shared_graph_missing",
+            ServiceError::CoverVerificationFailed(_) => "cover_verification_failed",
+            ServiceError::JobPanicked(_) => "job_panicked",
+            ServiceError::BadRequest(_) => "bad_request",
+        }
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Ingest(e) => write!(f, "ingest error: {e}"),
+            ServiceError::NotACograph { vertices } => {
+                write!(
+                    f,
+                    "graph on {vertices} vertices is not a cograph (contains an induced P4)"
+                )
+            }
+            ServiceError::EmptyGraph => write!(f, "graph has no vertices"),
+            ServiceError::SharedGraphMissing => {
+                write!(
+                    f,
+                    "request uses the shared batch graph, but none was provided"
+                )
+            }
+            ServiceError::CoverVerificationFailed(detail) => {
+                write!(f, "produced cover failed verification: {detail}")
+            }
+            ServiceError::JobPanicked(msg) => write!(f, "job panicked: {msg}"),
+            ServiceError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<IngestError> for ServiceError {
+    fn from(e: IngestError) -> Self {
+        ServiceError::Ingest(e)
+    }
+}

@@ -1,0 +1,61 @@
+//! # pcservice — the batched path-cover query engine
+//!
+//! The algorithm crates of this workspace answer one question about one
+//! cotree at a time. This crate is the serving layer above them: it takes
+//! jobs from raw input all the way to verified answers, in batches, with
+//! caching — the shape a production deployment of the Nakano–Olariu–Zomaya
+//! pipeline needs.
+//!
+//! The flow is **ingest → recognize → cache → solve → verify**:
+//!
+//! 1. [`ingest`] parses edge-list text, DIMACS text or cotree term notation
+//!    (`(u (j a b) c)`) into a graph or cotree, with typed errors
+//!    ([`IngestError`]) locating the defect.
+//! 2. Graphs are run through [`cograph::recognize`]; non-cographs fail their
+//!    job with [`ServiceError::NotACograph`].
+//! 3. The [`cache`] keys cotrees by a canonical-form hash (child-order
+//!    invariant) and remembers graph fingerprints, so a repeated graph skips
+//!    recognition entirely and equal cotrees share memoised answers.
+//! 4. [`engine::QueryEngine`] answers the five [`QueryKind`]s —
+//!    `MinCoverSize`, `FullCover`, `HamiltonianPath`, `HamiltonianCycle`,
+//!    `Recognize` — one request at a time or fanned across a std-thread pool
+//!    with per-job isolation (typed errors *and* panic containment).
+//! 5. Every returned cover and Hamiltonian witness is re-checked with
+//!    [`pcgraph::verify_path_cover`] before the response leaves the engine.
+//!
+//! The `pathcover-cli` binary in this crate exposes the engine on the
+//! command line (`solve`, `batch`, `bench`, `recognize`) reading files or
+//! stdin and emitting human-readable text or JSON lines.
+//!
+//! ```
+//! use pcservice::{EngineConfig, GraphSpec, QueryEngine, QueryKind, QueryRequest};
+//!
+//! let engine = QueryEngine::new(EngineConfig::default());
+//! let request = QueryRequest::new(
+//!     QueryKind::MinCoverSize,
+//!     GraphSpec::CotreeTerm("(u (j a b) c)".to_string()),
+//! );
+//! let response = engine.execute(&request);
+//! assert!(response.outcome.is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod error;
+pub mod ingest;
+pub mod json;
+pub mod model;
+
+pub use cache::{
+    canonical_eq, canonical_key, graph_fingerprint, CacheStats, CotreeCache, SolveEntry,
+};
+pub use engine::{EngineConfig, QueryEngine};
+pub use error::ServiceError;
+pub use ingest::{cotree_to_term, GraphFormat, IngestError, Ingested};
+pub use json::{Json, JsonError};
+pub use model::{
+    Answer, CacheStatus, GraphSpec, QueryKind, QueryRequest, QueryResponse, ResponseMeta,
+};

@@ -1,0 +1,448 @@
+//! The request/response model of the query engine.
+//!
+//! A [`QueryRequest`] names a graph (inline text in one of the ingestion
+//! formats, a programmatic object, or the batch-level shared graph) and one
+//! of five [`QueryKind`]s. A [`QueryResponse`] carries the typed
+//! [`Answer`] (or a [`ServiceError`]) plus [`ResponseMeta`]: solve and total
+//! wall time, the cotree cache disposition and the canonical cotree key.
+//!
+//! Requests and responses both have JSON-lines encodings (see
+//! [`QueryRequest::from_json_line`] / [`QueryResponse::to_json_line`]) used
+//! by `pathcover-cli batch`.
+
+use crate::error::ServiceError;
+use crate::json::Json;
+use cograph::Cotree;
+use pcgraph::{Graph, Path, PathCover};
+
+/// The five query kinds the engine answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// Only the minimum number of paths.
+    MinCoverSize,
+    /// The full minimum path cover, self-verified before it is returned.
+    FullCover,
+    /// Hamiltonian-path decision (plus a witness path when one exists).
+    HamiltonianPath,
+    /// Hamiltonian-cycle decision.
+    HamiltonianCycle,
+    /// Cograph recognition: is the graph a cograph, and what is its cotree?
+    Recognize,
+}
+
+impl QueryKind {
+    /// All kinds, for iteration in tests and benches.
+    pub const ALL: [QueryKind; 5] = [
+        QueryKind::MinCoverSize,
+        QueryKind::FullCover,
+        QueryKind::HamiltonianPath,
+        QueryKind::HamiltonianCycle,
+        QueryKind::Recognize,
+    ];
+
+    /// The snake_case wire name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            QueryKind::MinCoverSize => "min_cover_size",
+            QueryKind::FullCover => "full_cover",
+            QueryKind::HamiltonianPath => "hamiltonian_path",
+            QueryKind::HamiltonianCycle => "hamiltonian_cycle",
+            QueryKind::Recognize => "recognize",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(name: &str) -> Option<QueryKind> {
+        QueryKind::ALL.into_iter().find(|k| k.as_str() == name)
+    }
+}
+
+/// Where a request's graph comes from.
+#[derive(Debug, Clone)]
+pub enum GraphSpec {
+    /// Inline edge-list text.
+    EdgeList(String),
+    /// Inline DIMACS text.
+    Dimacs(String),
+    /// Inline cotree term notation.
+    CotreeTerm(String),
+    /// A programmatic graph object (library callers).
+    Graph(Graph),
+    /// A programmatic cotree object (library callers; skips recognition).
+    Cotree(Cotree),
+    /// The batch-level shared graph supplied next to the query file.
+    Shared,
+}
+
+/// One query job.
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    /// Caller-chosen id echoed back in the response.
+    pub id: Option<String>,
+    /// What to compute.
+    pub kind: QueryKind,
+    /// Which graph to compute it on.
+    pub graph: GraphSpec,
+}
+
+impl QueryRequest {
+    /// Creates a request without an id.
+    pub fn new(kind: QueryKind, graph: GraphSpec) -> Self {
+        QueryRequest {
+            id: None,
+            kind,
+            graph,
+        }
+    }
+
+    /// Sets the echo id.
+    pub fn with_id(mut self, id: impl Into<String>) -> Self {
+        self.id = Some(id.into());
+        self
+    }
+
+    /// Parses one JSON query line.
+    ///
+    /// Recognised fields: `"kind"` (required), `"id"` (string or number),
+    /// and at most one of `"edge_list"` / `"dimacs"` / `"cotree"` carrying
+    /// inline graph text; with none of them the request targets the batch's
+    /// shared graph.
+    pub fn from_json_line(line: &str) -> Result<QueryRequest, ServiceError> {
+        let value = Json::parse(line)
+            .map_err(|e| ServiceError::BadRequest(format!("invalid JSON: {e}")))?;
+        if !matches!(value, Json::Obj(_)) {
+            return Err(ServiceError::BadRequest(
+                "query line must be a JSON object".to_string(),
+            ));
+        }
+        let kind_name = value
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ServiceError::BadRequest("missing string field 'kind'".to_string()))?;
+        let kind = QueryKind::parse(kind_name).ok_or_else(|| {
+            ServiceError::BadRequest(format!(
+                "unknown kind '{kind_name}' (expected one of {})",
+                QueryKind::ALL.map(|k| k.as_str()).join(", ")
+            ))
+        })?;
+        let id = match value.get("id") {
+            None | Some(Json::Null) => None,
+            Some(Json::Str(s)) => Some(s.clone()),
+            Some(Json::Num(_)) => Some(value.get("id").unwrap().to_string()),
+            Some(other) => {
+                return Err(ServiceError::BadRequest(format!(
+                    "field 'id' must be a string or number, got {other}"
+                )))
+            }
+        };
+        let mut graph: Option<GraphSpec> = None;
+        for (field, make) in [
+            ("edge_list", GraphSpec::EdgeList as fn(String) -> GraphSpec),
+            ("dimacs", GraphSpec::Dimacs as fn(String) -> GraphSpec),
+            ("cotree", GraphSpec::CotreeTerm as fn(String) -> GraphSpec),
+        ] {
+            if let Some(text) = value.get(field) {
+                let text = text.as_str().ok_or_else(|| {
+                    ServiceError::BadRequest(format!("field '{field}' must be a string"))
+                })?;
+                if graph.is_some() {
+                    return Err(ServiceError::BadRequest(
+                        "at most one of 'edge_list'/'dimacs'/'cotree' may be given".to_string(),
+                    ));
+                }
+                graph = Some(make(text.to_string()));
+            }
+        }
+        Ok(QueryRequest {
+            id,
+            kind,
+            graph: graph.unwrap_or(GraphSpec::Shared),
+        })
+    }
+}
+
+/// Cotree-cache disposition of one response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// The canonical cotree (and memoised answers) came from the cache.
+    Hit,
+    /// The graph was recognised/binarised fresh and the result cached.
+    Miss,
+    /// The cache was disabled for this request.
+    Bypass,
+}
+
+impl CacheStatus {
+    /// The snake_case wire name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CacheStatus::Hit => "hit",
+            CacheStatus::Miss => "miss",
+            CacheStatus::Bypass => "bypass",
+        }
+    }
+}
+
+/// Timing and cache metadata attached to every response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResponseMeta {
+    /// Microseconds spent in the solver proper (after ingest/recognition).
+    pub solve_micros: u64,
+    /// Microseconds for the whole job (ingest + recognition + solve + verify).
+    pub total_micros: u64,
+    /// Cache disposition.
+    pub cache: CacheStatus,
+    /// Canonical cotree key (present whenever the graph was a cograph).
+    pub canonical_key: Option<u64>,
+    /// Vertex count of the request's graph (0 when ingest failed).
+    pub vertices: usize,
+}
+
+/// A typed answer, one variant per [`QueryKind`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Answer {
+    /// Answer to [`QueryKind::MinCoverSize`].
+    MinCoverSize {
+        /// The minimum number of paths covering the graph.
+        size: usize,
+    },
+    /// Answer to [`QueryKind::FullCover`].
+    FullCover {
+        /// The minimum path cover.
+        cover: PathCover,
+        /// `true`: the cover passed [`pcgraph::verify_path_cover`] before
+        /// being returned (always true for successful responses).
+        verified: bool,
+    },
+    /// Answer to [`QueryKind::HamiltonianPath`].
+    HamiltonianPath {
+        /// Whether a Hamiltonian path exists.
+        exists: bool,
+        /// A witness path when one exists.
+        path: Option<Path>,
+    },
+    /// Answer to [`QueryKind::HamiltonianCycle`].
+    HamiltonianCycle {
+        /// Whether a Hamiltonian cycle exists.
+        exists: bool,
+    },
+    /// Answer to [`QueryKind::Recognize`].
+    Recognized {
+        /// Whether the graph is a cograph (always true for successful
+        /// responses; non-cographs answer with an error instead).
+        is_cograph: bool,
+        /// Vertex count.
+        vertices: usize,
+        /// Edge count.
+        edges: usize,
+        /// Number of cotree nodes.
+        cotree_nodes: usize,
+        /// Cotree height.
+        height: usize,
+        /// The cotree in term notation.
+        term: String,
+    },
+}
+
+/// The engine's reply to one [`QueryRequest`].
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// Echo of the request id.
+    pub id: Option<String>,
+    /// Echo of the request kind.
+    pub kind: QueryKind,
+    /// The answer, or the typed error that stopped this job.
+    pub outcome: Result<Answer, ServiceError>,
+    /// Timing and cache metadata.
+    pub meta: ResponseMeta,
+}
+
+impl QueryResponse {
+    /// Renders the response as one JSON line.
+    pub fn to_json_line(&self) -> String {
+        let mut fields: Vec<(&str, Json)> = Vec::new();
+        if let Some(id) = &self.id {
+            fields.push(("id", Json::str(id.clone())));
+        }
+        fields.push(("kind", Json::str(self.kind.as_str())));
+        match &self.outcome {
+            Ok(answer) => {
+                fields.push(("ok", Json::Bool(true)));
+                fields.push(("answer", answer_json(answer)));
+            }
+            Err(error) => {
+                fields.push(("ok", Json::Bool(false)));
+                fields.push((
+                    "error",
+                    Json::obj(vec![
+                        ("code", Json::str(error.code())),
+                        ("message", Json::str(error.to_string())),
+                    ]),
+                ));
+            }
+        }
+        let mut meta = vec![
+            ("solve_us", Json::num(self.meta.solve_micros)),
+            ("total_us", Json::num(self.meta.total_micros)),
+            ("cache", Json::str(self.meta.cache.as_str())),
+            ("n", Json::num(self.meta.vertices as u64)),
+        ];
+        if let Some(key) = self.meta.canonical_key {
+            meta.push(("key", Json::str(format!("{key:016x}"))));
+        }
+        fields.push(("meta", Json::obj(meta)));
+        Json::obj(fields).to_string()
+    }
+}
+
+fn paths_json(paths: &[Path]) -> Json {
+    Json::Arr(
+        paths
+            .iter()
+            .map(|p| Json::Arr(p.vertices().iter().map(|&v| Json::num(v as u64)).collect()))
+            .collect(),
+    )
+}
+
+fn answer_json(answer: &Answer) -> Json {
+    match answer {
+        Answer::MinCoverSize { size } => Json::obj(vec![("size", Json::num(*size as u64))]),
+        Answer::FullCover { cover, verified } => Json::obj(vec![
+            ("size", Json::num(cover.len() as u64)),
+            ("verified", Json::Bool(*verified)),
+            ("paths", paths_json(cover.paths())),
+        ]),
+        Answer::HamiltonianPath { exists, path } => {
+            let mut fields = vec![("exists", Json::Bool(*exists))];
+            if let Some(path) = path {
+                fields.push(("path", paths_json(std::slice::from_ref(path))));
+            }
+            Json::obj(fields)
+        }
+        Answer::HamiltonianCycle { exists } => Json::obj(vec![("exists", Json::Bool(*exists))]),
+        Answer::Recognized {
+            is_cograph,
+            vertices,
+            edges,
+            cotree_nodes,
+            height,
+            term,
+        } => Json::obj(vec![
+            ("is_cograph", Json::Bool(*is_cograph)),
+            ("n", Json::num(*vertices as u64)),
+            ("m", Json::num(*edges as u64)),
+            ("cotree_nodes", Json::num(*cotree_nodes as u64)),
+            ("height", Json::num(*height as u64)),
+            ("term", Json::str(term.clone())),
+        ]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in QueryKind::ALL {
+            assert_eq!(QueryKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(QueryKind::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn request_parsing_happy_path() {
+        let req =
+            QueryRequest::from_json_line(r#"{"id":"a","kind":"full_cover","edge_list":"0 1"}"#)
+                .unwrap();
+        assert_eq!(req.id.as_deref(), Some("a"));
+        assert_eq!(req.kind, QueryKind::FullCover);
+        assert!(matches!(req.graph, GraphSpec::EdgeList(ref t) if t == "0 1"));
+
+        let shared = QueryRequest::from_json_line(r#"{"kind":"recognize"}"#).unwrap();
+        assert!(matches!(shared.graph, GraphSpec::Shared));
+        assert!(shared.id.is_none());
+
+        let numeric_id = QueryRequest::from_json_line(r#"{"kind":"recognize","id":7}"#).unwrap();
+        assert_eq!(numeric_id.id.as_deref(), Some("7"));
+    }
+
+    #[test]
+    fn request_parsing_typed_failures() {
+        for bad in [
+            "not json",
+            "[1,2]",
+            r#"{"id":"x"}"#,
+            r#"{"kind":"which_cover"}"#,
+            r#"{"kind":"recognize","edge_list":"0 1","dimacs":"p edge 1 0"}"#,
+            r#"{"kind":"recognize","edge_list":17}"#,
+            r#"{"kind":"recognize","id":[1]}"#,
+        ] {
+            assert!(
+                matches!(
+                    QueryRequest::from_json_line(bad),
+                    Err(ServiceError::BadRequest(_))
+                ),
+                "expected BadRequest for {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn response_json_shape() {
+        let resp = QueryResponse {
+            id: Some("q9".to_string()),
+            kind: QueryKind::MinCoverSize,
+            outcome: Ok(Answer::MinCoverSize { size: 3 }),
+            meta: ResponseMeta {
+                solve_micros: 12,
+                total_micros: 40,
+                cache: CacheStatus::Hit,
+                canonical_key: Some(0xdeadbeef),
+                vertices: 10,
+            },
+        };
+        let line = resp.to_json_line();
+        let value = Json::parse(&line).unwrap();
+        assert_eq!(value.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            value
+                .get("answer")
+                .and_then(|a| a.get("size"))
+                .and_then(Json::as_u64),
+            Some(3)
+        );
+        let meta = value.get("meta").unwrap();
+        assert_eq!(meta.get("cache").and_then(Json::as_str), Some("hit"));
+        assert_eq!(
+            meta.get("key").and_then(Json::as_str),
+            Some("00000000deadbeef")
+        );
+    }
+
+    #[test]
+    fn error_response_json_shape() {
+        let resp = QueryResponse {
+            id: None,
+            kind: QueryKind::FullCover,
+            outcome: Err(ServiceError::EmptyGraph),
+            meta: ResponseMeta {
+                solve_micros: 0,
+                total_micros: 5,
+                cache: CacheStatus::Bypass,
+                canonical_key: None,
+                vertices: 0,
+            },
+        };
+        let value = Json::parse(&resp.to_json_line()).unwrap();
+        assert_eq!(value.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            value
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some("empty_graph")
+        );
+        assert!(value.get("meta").unwrap().get("key").is_none());
+    }
+}

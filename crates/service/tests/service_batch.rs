@@ -1,0 +1,239 @@
+//! Service-layer integration tests: batch answers must agree with direct
+//! library calls on a hundred seeded random cotrees, cache hits must return
+//! exactly what cold solves return, and per-job isolation must hold under
+//! the threaded executor.
+
+use cograph::{random_cotree, CotreeShape};
+use pathcover::prelude::*;
+use pcservice::{
+    Answer, CacheStatus, EngineConfig, GraphSpec, QueryEngine, QueryKind, QueryRequest,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn hundred_cotrees() -> Vec<Cotree> {
+    let mut rng = ChaCha8Rng::seed_from_u64(555);
+    let shapes = CotreeShape::ALL;
+    (0..100)
+        .map(|i| {
+            let n = 2 + (i * 7) % 60;
+            random_cotree(n, shapes[i % shapes.len()], &mut rng)
+        })
+        .collect()
+}
+
+#[test]
+fn batch_agrees_with_direct_calls_on_100_cotrees() {
+    let cotrees = hundred_cotrees();
+    let engine = QueryEngine::new(EngineConfig {
+        threads: 4,
+        ..EngineConfig::default()
+    });
+
+    // One MinCoverSize and one FullCover query per cotree, all in one batch.
+    let mut requests = Vec::new();
+    for (i, tree) in cotrees.iter().enumerate() {
+        requests.push(
+            QueryRequest::new(QueryKind::MinCoverSize, GraphSpec::Cotree(tree.clone()))
+                .with_id(format!("size-{i}")),
+        );
+        requests.push(
+            QueryRequest::new(QueryKind::FullCover, GraphSpec::Cotree(tree.clone()))
+                .with_id(format!("cover-{i}")),
+        );
+    }
+    let responses = engine.execute_batch(None, &requests);
+    assert_eq!(responses.len(), 200);
+
+    for (i, tree) in cotrees.iter().enumerate() {
+        // Direct library answers: the parallel pipeline and the sequential
+        // baseline (Lin–Olariu–Pruesse) agree on the minimum size.
+        let direct_parallel = path_cover(tree).len();
+        let direct_sequential = sequential_path_cover(tree).len();
+        assert_eq!(
+            direct_parallel, direct_sequential,
+            "library baselines disagree at {i}"
+        );
+
+        match &responses[2 * i].outcome {
+            Ok(Answer::MinCoverSize { size }) => {
+                assert_eq!(*size, direct_parallel, "service size diverges at {i}")
+            }
+            other => panic!("request size-{i} failed: {other:?}"),
+        }
+        match &responses[2 * i + 1].outcome {
+            Ok(Answer::FullCover { cover, verified }) => {
+                assert!(*verified, "cover-{i} not verified");
+                assert_eq!(
+                    cover.len(),
+                    direct_parallel,
+                    "service cover size diverges at {i}"
+                );
+                let report = verify_path_cover(&tree.to_graph(), cover);
+                assert!(report.is_valid(), "cover-{i} invalid: {report:?}");
+            }
+            other => panic!("request cover-{i} failed: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn cache_hits_return_identical_answers_to_cold_solves() {
+    let cotrees = hundred_cotrees();
+    // Cold engine: every answer is a miss (cache starts empty).
+    let cold = QueryEngine::new(EngineConfig {
+        threads: 2,
+        ..EngineConfig::default()
+    });
+    // Warm engine: solve everything once, then ask again and compare.
+    let warm = QueryEngine::new(EngineConfig {
+        threads: 2,
+        ..EngineConfig::default()
+    });
+
+    let requests: Vec<QueryRequest> = cotrees
+        .iter()
+        .flat_map(|tree| {
+            QueryKind::ALL
+                .into_iter()
+                .filter(|k| *k != QueryKind::Recognize) // recognize needs a Graph source
+                .map(|kind| QueryRequest::new(kind, GraphSpec::Cotree(tree.clone())))
+        })
+        .collect();
+
+    let cold_responses = cold.execute_batch(None, &requests);
+    warm.execute_batch(None, &requests); // fill the warm cache
+    let warm_responses = warm.execute_batch(None, &requests);
+
+    assert!(
+        warm.cache_stats().hits > 0,
+        "second pass must hit the cache"
+    );
+    for ((req, cold_resp), warm_resp) in requests.iter().zip(&cold_responses).zip(&warm_responses) {
+        assert_eq!(
+            warm_resp.meta.cache,
+            CacheStatus::Hit,
+            "expected hit for {:?}",
+            req.kind
+        );
+        let cold_answer = cold_resp.outcome.as_ref().expect("cold solve succeeds");
+        let warm_answer = warm_resp.outcome.as_ref().expect("warm solve succeeds");
+        assert_eq!(
+            warm_answer, cold_answer,
+            "cache changed the answer for {:?}",
+            req.kind
+        );
+        assert_eq!(warm_resp.meta.canonical_key, cold_resp.meta.canonical_key);
+    }
+}
+
+#[test]
+fn graph_ingested_queries_match_cotree_ingested_queries() {
+    // The same graph submitted as raw edges and as its cotree must produce
+    // the same minimum size (exercising recognition inside the service).
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let engine = QueryEngine::default();
+    for _ in 0..20 {
+        let tree = random_cotree(24, CotreeShape::Mixed, &mut rng);
+        let graph = tree.to_graph();
+        let via_graph = engine
+            .execute(&QueryRequest::new(
+                QueryKind::MinCoverSize,
+                GraphSpec::Graph(graph),
+            ))
+            .outcome
+            .expect("graph path");
+        let via_cotree = engine
+            .execute(&QueryRequest::new(
+                QueryKind::MinCoverSize,
+                GraphSpec::Cotree(tree),
+            ))
+            .outcome
+            .expect("cotree path");
+        assert_eq!(via_graph, via_cotree);
+    }
+}
+
+#[test]
+fn hamiltonian_batch_answers_match_library_decisions() {
+    let cotrees = hundred_cotrees();
+    let engine = QueryEngine::new(EngineConfig {
+        threads: 8,
+        ..EngineConfig::default()
+    });
+    let requests: Vec<QueryRequest> = cotrees
+        .iter()
+        .flat_map(|tree| {
+            [
+                QueryRequest::new(QueryKind::HamiltonianPath, GraphSpec::Cotree(tree.clone())),
+                QueryRequest::new(QueryKind::HamiltonianCycle, GraphSpec::Cotree(tree.clone())),
+            ]
+        })
+        .collect();
+    let responses = engine.execute_batch(None, &requests);
+    for (i, tree) in cotrees.iter().enumerate() {
+        match &responses[2 * i].outcome {
+            Ok(Answer::HamiltonianPath { exists, path }) => {
+                assert_eq!(
+                    *exists,
+                    has_hamiltonian_path(tree),
+                    "ham-path diverges at {i}"
+                );
+                assert_eq!(path.is_some(), *exists, "witness presence mismatch at {i}");
+            }
+            other => panic!("ham-path {i} failed: {other:?}"),
+        }
+        match &responses[2 * i + 1].outcome {
+            Ok(Answer::HamiltonianCycle { exists }) => {
+                assert_eq!(
+                    *exists,
+                    has_hamiltonian_cycle(tree),
+                    "ham-cycle diverges at {i}"
+                )
+            }
+            other => panic!("ham-cycle {i} failed: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn malformed_jobs_do_not_poison_a_large_threaded_batch() {
+    let engine = QueryEngine::new(EngineConfig {
+        threads: 8,
+        ..EngineConfig::default()
+    });
+    let requests: Vec<QueryRequest> = (0..200)
+        .map(|i| {
+            if i % 5 == 0 {
+                // Bad: P4 inline — typed per-job failure.
+                QueryRequest::new(
+                    QueryKind::MinCoverSize,
+                    GraphSpec::EdgeList("0 1\n1 2\n2 3".to_string()),
+                )
+            } else {
+                QueryRequest::new(
+                    QueryKind::MinCoverSize,
+                    GraphSpec::CotreeTerm(format!(
+                        "(j {})",
+                        (0..2 + i % 6)
+                            .map(|k| format!("v{k}"))
+                            .collect::<Vec<_>>()
+                            .join(" ")
+                    )),
+                )
+            }
+        })
+        .collect();
+    let responses = engine.execute_batch(None, &requests);
+    for (i, resp) in responses.iter().enumerate() {
+        if i % 5 == 0 {
+            assert!(resp.outcome.is_err(), "job {i} should fail");
+        } else {
+            assert_eq!(
+                resp.outcome,
+                Ok(Answer::MinCoverSize { size: 1 }),
+                "healthy job {i} was poisoned"
+            );
+        }
+    }
+}

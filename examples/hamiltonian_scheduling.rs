@@ -18,11 +18,18 @@ fn main() {
     let network = Cotree::join_of(vec![edge_network, group(2)]);
 
     let graph = network.to_graph();
-    println!("network with {} stations and {} links", graph.num_vertices(), graph.num_edges());
+    println!(
+        "network with {} stations and {} links",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
 
     match hamiltonian_path(&network) {
         Some(route) => {
-            println!("token route visiting every station once: {:?}", route.vertices());
+            println!(
+                "token route visiting every station once: {:?}",
+                route.vertices()
+            );
             assert!(route.is_valid_in(&graph));
         }
         None => {

@@ -51,7 +51,11 @@ fn main() {
 
     let cotree = to_cotree(&program);
     let graph = cotree.to_graph();
-    println!("{} tasks, {} compatibility pairs", graph.num_vertices(), graph.num_edges());
+    println!(
+        "{} tasks, {} compatibility pairs",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
 
     let cover = path_cover(&cotree);
     assert!(verify_path_cover(&graph, &cover).is_valid());
@@ -64,7 +68,11 @@ fn main() {
     // the metered run shows the cost and certifies the EREW discipline.
     let outcome = pram_path_cover(
         &cotree,
-        PramConfig { mode: Mode::Erew, processors: None, strict: false },
+        PramConfig {
+            mode: Mode::Erew,
+            processors: None,
+            strict: false,
+        },
     );
     println!(
         "PRAM schedule computation: {} steps, {} work, {} EREW violations",

@@ -46,7 +46,10 @@ fn main() {
         outcome.metrics.violations.len()
     );
     for phase in outcome.metrics.phase_report() {
-        println!("  {:<32} steps = {:>8}  work = {:>10}", phase.name, phase.steps, phase.work);
+        println!(
+            "  {:<32} steps = {:>8}  work = {:>10}",
+            phase.name, phase.steps, phase.work
+        );
     }
     assert!(verify_path_cover(&graph, &outcome.cover).is_valid());
 

@@ -23,9 +23,7 @@ fn channel(buses: &[Vec<usize>]) -> Cotree {
         .map(|groups| {
             let group_trees: Vec<Cotree> = groups
                 .iter()
-                .map(|&size| {
-                    Cotree::join_of((0..size.max(1)).map(|_| Cotree::single(0)).collect())
-                })
+                .map(|&size| Cotree::join_of((0..size.max(1)).map(|_| Cotree::single(0)).collect()))
                 .collect();
             Cotree::union_of(group_trees)
         })
@@ -39,13 +37,21 @@ fn main() {
     let cotree = channel(&layout);
     let graph = cotree.to_graph();
     let modules = graph.num_vertices();
-    println!("channel with {} modules, {} compatibility edges", modules, graph.num_edges());
+    println!(
+        "channel with {} modules, {} compatibility edges",
+        modules,
+        graph.num_edges()
+    );
 
     let cover = path_cover(&cotree);
     assert!(verify_path_cover(&graph, &cover).is_valid());
     println!("minimum number of daisy-chained tracks: {}", cover.len());
     for (i, path) in cover.paths().iter().enumerate() {
-        println!("  track {i:>2}: {} modules {:?}", path.len(), path.vertices());
+        println!(
+            "  track {i:>2}: {} modules {:?}",
+            path.len(),
+            path.vertices()
+        );
     }
 
     // The channel is routable on a single track exactly when the
@@ -54,10 +60,7 @@ fn main() {
 
     // What-if analysis: making the second bus compatible with nothing else
     // (union instead of join at the top) increases the number of tracks.
-    let degraded = Cotree::union_of(vec![
-        channel(&layout[..1].to_vec()),
-        channel(&layout[1..].to_vec()),
-    ]);
+    let degraded = Cotree::union_of(vec![channel(&layout[..1]), channel(&layout[1..])]);
     let degraded_cover = path_cover(&degraded);
     println!(
         "tracks if the buses were electrically isolated: {} (was {})",

@@ -1,0 +1,244 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! small API subset the workspace benches use (`benchmark_group`,
+//! `bench_with_input`, `BenchmarkId`, `Bencher::iter`, the `criterion_group!`
+//! / `criterion_main!` macros) backed by a plain wall-clock harness:
+//!
+//! * every benchmark takes `sample_size` timed samples after one warm-up run
+//!   and reports min / median / mean per iteration on stdout;
+//! * when the `CRITERION_JSON` environment variable names a file, one JSON
+//!   line per benchmark (`{"group":..,"bench":..,"median_ns":..}`) is
+//!   appended to it, which is how the repository's `BENCH_*.json` baselines
+//!   are recorded.
+//!
+//! There is no statistical outlier analysis; treat the numbers as honest but
+//! simple wall-clock measurements.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to benchmark functions by [`criterion_group!`].
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("\n== {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 20,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut group = BenchmarkGroup {
+            name: name.clone(),
+            sample_size: 20,
+        };
+        group.run(&name, f);
+        self
+    }
+}
+
+/// A named benchmark id: a function name plus a parameter rendered with
+/// [`Display`].
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates the id `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// A group of benchmarks sharing a name and a sample count.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.to_string();
+        self.run(&label, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a closure with no explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.to_string();
+        self.run(&label, f);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        // One untimed warm-up sample, then `sample_size` timed ones.
+        for timed in [false, true] {
+            let rounds = if timed { self.sample_size } else { 1 };
+            for _ in 0..rounds {
+                let mut bencher = Bencher {
+                    elapsed: Duration::ZERO,
+                    iterations: 0,
+                };
+                f(&mut bencher);
+                if timed && bencher.iterations > 0 {
+                    samples.push(bencher.elapsed.as_nanos() as f64 / bencher.iterations as f64);
+                }
+            }
+        }
+        if samples.is_empty() {
+            println!("{label}: no iterations recorded");
+            return;
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{label}: median {} (min {}, mean {}, {} samples)",
+            fmt_ns(median),
+            fmt_ns(min),
+            fmt_ns(mean),
+            samples.len()
+        );
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            let line = format!(
+                "{{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{:.1},\"min_ns\":{:.1},\"mean_ns\":{:.1},\"samples\":{}}}\n",
+                self.name, label, median, min, mean, samples.len()
+            );
+            let _ = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut file| file.write_all(line.as_bytes()));
+        }
+    }
+
+    /// Ends the group (printing nothing extra in this shim).
+    pub fn finish(self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Times closures inside a benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Runs `f` once, timing it; the harness calls the body repeatedly to
+    /// collect samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.elapsed += start.elapsed();
+        self.iterations += 1;
+    }
+}
+
+/// Bundles benchmark functions into a runnable group, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_with_input_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_selftest");
+        group.sample_size(3);
+        let data: Vec<u64> = (0..100).collect();
+        let mut runs = 0u32;
+        group.bench_with_input(BenchmarkId::new("sum", data.len()), &data, |b, d| {
+            runs += 1;
+            b.iter(|| d.iter().sum::<u64>())
+        });
+        group.finish();
+        // one warm-up + three samples
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn benchmark_id_renders_as_function_slash_param() {
+        assert_eq!(BenchmarkId::new("scan", 1024).to_string(), "scan/1024");
+    }
+}

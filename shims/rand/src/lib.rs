@@ -1,0 +1,214 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the handful of `rand 0.8` APIs the workspace actually uses are
+//! re-implemented here and wired in through a `[patch]`-free path dependency.
+//! The subset is deliberately tiny:
+//!
+//! * [`RngCore`] — the raw 64-bit generator interface,
+//! * [`Rng`] — `gen_bool` and `gen_range` over integer ranges,
+//! * [`SeedableRng`] — `seed_from_u64` only,
+//! * [`seq::SliceRandom`] — Fisher–Yates `shuffle`.
+//!
+//! Sampling is unbiased in the Lemire multiply-shift sense (the bias for a
+//! 64-bit generator over the range sizes used here is < 2^-32), and
+//! `gen_bool` uses the standard 53-bit mantissa construction. The concrete
+//! generator lives in the sibling `rand_chacha` shim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The raw generator interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// Returns the next uniform 64-bit word of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next uniform 32-bit word (high half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        // 53 uniform mantissa bits -> a double in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+
+    /// Samples uniformly from an integer range (`a..b` or `a..=b`).
+    ///
+    /// Panics on an empty range, matching `rand`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator constructible from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a single `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from, producing a `T`.
+///
+/// `T` is a type parameter rather than an associated type so that inference
+/// can flow *backwards* from the use site (e.g. a struct field of type `i64`)
+/// into the literal range, exactly as in `rand 0.8`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample using `rng`.
+    fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> T;
+}
+
+/// Multiply-shift reduction of a uniform word onto `0..span`.
+fn bounded(rng: &mut (impl RngCore + ?Sized), span: u128) -> u128 {
+    debug_assert!(span > 0);
+    // Two words give a 128-bit numerator so spans beyond 2^64 stay uniform.
+    let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+    // (wide * span) >> 128 without overflowing u128: split wide into halves.
+    let (hi, lo) = (wide >> 64, wide & u128::from(u64::MAX));
+    let (span_hi, span_lo) = (span >> 64, span & u128::from(u64::MAX));
+    // Only the top 128 bits of the 256-bit product are needed.
+    let ll = lo * span_lo;
+    let lh = lo * span_hi;
+    let hl = hi * span_lo;
+    let hh = hi * span_hi;
+    let carry = ((ll >> 64) + (lh & u128::from(u64::MAX)) + (hl & u128::from(u64::MAX))) >> 64;
+    hh + (lh >> 64) + (hl >> 64) + carry
+}
+
+/// Integer types [`Rng::gen_range`] can produce.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// `hi - lo` as an unsigned 128-bit span (callers guarantee `lo <= hi`).
+    fn span(lo: Self, hi: Self) -> u128;
+    /// `lo + offset`, where `offset < span(lo, hi)` so wrapping is safe.
+    fn offset(lo: Self, offset: u128) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn span(lo: Self, hi: Self) -> u128 {
+                (hi as i128 - lo as i128) as u128
+            }
+            fn offset(lo: Self, offset: u128) -> Self {
+                lo.wrapping_add(offset as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(usize, u8, u16, u32, u64, isize, i8, i16, i32, i64);
+
+// A single generic impl per range shape (rather than one impl per integer
+// type) so that type inference can unify `T` with the literal range's
+// element type, exactly as in `rand 0.8`.
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> T {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        let span = T::span(self.start, self.end);
+        T::offset(self.start, bounded(rng, span))
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample from empty range");
+        let span = T::span(lo, hi) + 1;
+        T::offset(lo, bounded(rng, span))
+    }
+}
+
+/// Sequence helpers (`rand::seq`).
+pub mod seq {
+    use super::{bounded, RngCore};
+
+    /// In-place uniform shuffling of slices.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle driven by `rng`.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = bounded(rng, i as u128 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Counter(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(-5..=5i64);
+            assert!((-5..=5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Counter(2);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn gen_bool_roughly_fair() {
+        let mut rng = Counter(3);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "heads = {heads}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Counter(4);
+        let mut xs: Vec<usize> = (0..100).collect();
+        xs.shuffle(&mut rng);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(xs, sorted, "a 100-element shuffle should move something");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = Counter(5);
+        let _ = rng.gen_range(3..3usize);
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The workspace annotates its data types with `#[derive(Serialize,
+//! Deserialize)]` so that a real serde can be dropped in once the build
+//! environment has network access. Until then, these derives expand to
+//! nothing: the annotations stay source-compatible and the `pcservice` crate
+//! does its JSON I/O through its own hand-written encoder instead.
+
+use proc_macro::TokenStream;
+
+/// No-op replacement for `serde::Serialize`'s derive macro.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op replacement for `serde::Deserialize`'s derive macro.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

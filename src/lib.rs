@@ -1,0 +1,9 @@
+//! Workspace umbrella crate.
+//!
+//! `pc-suite` carries no code of its own: it exists so the workspace-level
+//! integration tests in `tests/` and the runnable examples in `examples/`
+//! have a package to hang off. The real functionality lives in the member
+//! crates — `pcgraph`, `cograph`, `parprims`, `pram`, `pathcover`,
+//! `pc-bench` and `pcservice`.
+
+#![forbid(unsafe_code)]

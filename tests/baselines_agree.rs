@@ -18,7 +18,10 @@ fn all_algorithms_agree_on_cover_size() {
         let outcomes = vec![
             ("sequential", sequential_path_cover(&cotree)),
             ("parallel", path_cover(&cotree)),
-            ("pram", pram_path_cover(&cotree, PramConfig::default()).cover),
+            (
+                "pram",
+                pram_path_cover(&cotree, PramConfig::default()).cover,
+            ),
             ("naive", naive_parallel_cover(&cotree).cover),
             ("lin et al.", lin_etal_cover(&cotree).cover),
             ("adhar-peng", adhar_peng_like_cover(&cotree).cover),

@@ -34,10 +34,20 @@ fn all_families_and_sizes_round_trip() {
             let graph = cotree.to_graph();
             let parallel = path_cover(&cotree);
             let sequential = sequential_path_cover(&cotree);
-            assert!(verify_path_cover(&graph, &parallel).is_valid(), "{shape:?} n={n}");
-            assert!(verify_path_cover(&graph, &sequential).is_valid(), "{shape:?} n={n}");
+            assert!(
+                verify_path_cover(&graph, &parallel).is_valid(),
+                "{shape:?} n={n}"
+            );
+            assert!(
+                verify_path_cover(&graph, &sequential).is_valid(),
+                "{shape:?} n={n}"
+            );
             assert_eq!(parallel.len(), sequential.len(), "{shape:?} n={n}");
-            assert_eq!(parallel.len(), min_path_cover_size(&cotree), "{shape:?} n={n}");
+            assert_eq!(
+                parallel.len(),
+                min_path_cover_size(&cotree),
+                "{shape:?} n={n}"
+            );
         }
     }
 }
@@ -64,9 +74,16 @@ fn pram_and_native_agree_across_modes() {
     for mode in [pram::Mode::Erew, pram::Mode::Crew] {
         let outcome = pram_path_cover(
             &cotree,
-            PramConfig { mode, processors: None, strict: false },
+            PramConfig {
+                mode,
+                processors: None,
+                strict: false,
+            },
         );
         assert_eq!(outcome.cover.len(), native.len(), "{mode}");
-        assert!(verify_path_cover(&graph, &outcome.cover).is_valid(), "{mode}");
+        assert!(
+            verify_path_cover(&graph, &outcome.cover).is_valid(),
+            "{mode}"
+        );
     }
 }

@@ -30,7 +30,11 @@ fn full_pipeline_reports_conflict_counts() {
     // Under CREW accounting the pipeline must be entirely clean.
     let crew = pram_path_cover(
         &cotree,
-        PramConfig { mode: Mode::Crew, processors: None, strict: false },
+        PramConfig {
+            mode: Mode::Crew,
+            processors: None,
+            strict: false,
+        },
     );
     assert!(crew.metrics.is_clean(), "CREW run reported violations");
     // Under EREW accounting the only tolerated conflicts are the concurrent
@@ -38,7 +42,11 @@ fn full_pipeline_reports_conflict_counts() {
     // phase (the documented approximation); no concurrent writes ever.
     let erew = pram_path_cover(
         &cotree,
-        PramConfig { mode: Mode::Erew, processors: None, strict: false },
+        PramConfig {
+            mode: Mode::Erew,
+            processors: None,
+            strict: false,
+        },
     );
     assert!(erew
         .metrics
@@ -69,10 +77,17 @@ fn processor_sweep_respects_brents_principle() {
     for p in [1usize, 4, 16, 64, 256] {
         let outcome = pram_path_cover(
             &cotree,
-            PramConfig { mode: Mode::Erew, processors: Some(p), strict: false },
+            PramConfig {
+                mode: Mode::Erew,
+                processors: Some(p),
+                strict: false,
+            },
         );
         if let Some(prev) = prev_steps {
-            assert!(outcome.metrics.steps <= prev, "more processors must not be slower");
+            assert!(
+                outcome.metrics.steps <= prev,
+                "more processors must not be slower"
+            );
         }
         prev_steps = Some(outcome.metrics.steps);
     }

@@ -1,99 +1,168 @@
 //! Property-based tests over random cotrees: every algorithm must produce a
 //! valid, minimum cover, and the core invariants of the substrate crates must
 //! hold for arbitrary inputs.
+//!
+//! The build environment has no crates.io access, so instead of `proptest`
+//! these properties are driven by seeded `ChaCha8Rng` case generators: each
+//! property checks a few dozen deterministic pseudo-random cases, mirroring
+//! the original `ProptestConfig::with_cases(48)` budget.
 
 use cograph::{BinaryCotree, Cotree};
 use parprims::brackets::{match_brackets_seq, BracketKind};
 use parprims::scan::{prefix_sums_seq, ScanOp};
 use pathcover::prelude::*;
 use pcgraph::path::brute_force_min_path_cover;
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
-/// Strategy producing arbitrary cotrees with up to `max_leaves` leaves.
-fn arb_cotree(max_leaves: usize) -> impl Strategy<Value = Cotree> {
-    let leaf = Just(Cotree::single(0));
-    leaf.prop_recursive(6, max_leaves as u32, 4, |inner| {
-        (prop::collection::vec(inner, 2..4), any::<bool>()).prop_map(|(parts, join)| {
-            if join {
-                Cotree::join_of(parts)
-            } else {
-                Cotree::union_of(parts)
-            }
-        })
-    })
+const CASES: usize = 48;
+
+/// Arbitrary cotree with between 1 and `max_leaves` leaves: recursively
+/// union/join 2–3 random parts, splitting the leaf budget at random.
+fn arb_cotree<R: Rng>(max_leaves: usize, rng: &mut R) -> Cotree {
+    let leaves = rng.gen_range(1..=max_leaves.max(1));
+    build_cotree(leaves, rng)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn build_cotree<R: Rng>(leaves: usize, rng: &mut R) -> Cotree {
+    if leaves <= 1 {
+        return Cotree::single(0);
+    }
+    let arity = rng.gen_range(2..=3usize).min(leaves);
+    // Split `leaves` into `arity` nonempty parts.
+    let mut budgets = vec![1usize; arity];
+    for _ in 0..leaves - arity {
+        let i = rng.gen_range(0..arity);
+        budgets[i] += 1;
+    }
+    let parts: Vec<Cotree> = budgets.into_iter().map(|b| build_cotree(b, rng)).collect();
+    if rng.gen_bool(0.5) {
+        Cotree::join_of(parts)
+    } else {
+        Cotree::union_of(parts)
+    }
+}
 
-    #[test]
-    fn parallel_cover_is_valid_and_minimum(cotree in arb_cotree(24)) {
+#[test]
+fn parallel_cover_is_valid_and_minimum() {
+    let mut rng = ChaCha8Rng::seed_from_u64(101);
+    for _ in 0..CASES {
+        let cotree = arb_cotree(24, &mut rng);
         let graph = cotree.to_graph();
         let cover = path_cover(&cotree);
         let report = verify_path_cover(&graph, &cover);
-        prop_assert!(report.is_valid(), "{report:?}");
-        prop_assert_eq!(cover.len(), min_path_cover_size(&cotree));
-        prop_assert_eq!(cover.total_vertices(), graph.num_vertices());
+        assert!(report.is_valid(), "{report:?}");
+        assert_eq!(cover.len(), min_path_cover_size(&cotree));
+        assert_eq!(cover.total_vertices(), graph.num_vertices());
     }
+}
 
-    #[test]
-    fn sequential_and_parallel_covers_have_equal_size(cotree in arb_cotree(24)) {
-        prop_assert_eq!(sequential_path_cover(&cotree).len(), path_cover(&cotree).len());
+#[test]
+fn sequential_and_parallel_covers_have_equal_size() {
+    let mut rng = ChaCha8Rng::seed_from_u64(102);
+    for _ in 0..CASES {
+        let cotree = arb_cotree(24, &mut rng);
+        assert_eq!(
+            sequential_path_cover(&cotree).len(),
+            path_cover(&cotree).len()
+        );
     }
+}
 
-    #[test]
-    fn cover_size_matches_brute_force_on_small_instances(cotree in arb_cotree(6)) {
+#[test]
+fn cover_size_matches_brute_force_on_small_instances() {
+    let mut rng = ChaCha8Rng::seed_from_u64(103);
+    for _ in 0..CASES {
+        let cotree = arb_cotree(6, &mut rng);
         let graph = cotree.to_graph();
         if graph.num_vertices() <= 12 {
-            prop_assert_eq!(min_path_cover_size(&cotree), brute_force_min_path_cover(&graph));
+            assert_eq!(
+                min_path_cover_size(&cotree),
+                brute_force_min_path_cover(&graph)
+            );
         }
     }
+}
 
-    #[test]
-    fn path_counts_match_between_sequential_and_pram(cotree in arb_cotree(20)) {
+#[test]
+fn path_counts_match_between_sequential_and_pram() {
+    let mut rng = ChaCha8Rng::seed_from_u64(104);
+    for _ in 0..CASES {
+        let cotree = arb_cotree(20, &mut rng);
         let (tree, leaf_counts) = BinaryCotree::leftist_from_cotree(&cotree);
         let seq = cograph::path_counts_seq(&tree, &leaf_counts);
         let mut machine = pram::Pram::strict(pram::Mode::Erew, 8);
         let par = cograph::path_counts_pram(&mut machine, &tree, &leaf_counts);
-        prop_assert_eq!(seq, par);
+        assert_eq!(seq, par);
     }
+}
 
-    #[test]
-    fn hamiltonian_path_iff_single_path_cover(cotree in arb_cotree(16)) {
-        prop_assert_eq!(has_hamiltonian_path(&cotree), path_cover(&cotree).len() == 1);
+#[test]
+fn hamiltonian_path_iff_single_path_cover() {
+    let mut rng = ChaCha8Rng::seed_from_u64(105);
+    for _ in 0..CASES {
+        let cotree = arb_cotree(16, &mut rng);
+        assert_eq!(
+            has_hamiltonian_path(&cotree),
+            path_cover(&cotree).len() == 1
+        );
     }
+}
 
-    #[test]
-    fn or_reduction_is_correct(bits in prop::collection::vec(any::<bool>(), 1..40)) {
+#[test]
+fn or_reduction_is_correct() {
+    let mut rng = ChaCha8Rng::seed_from_u64(106);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..40usize);
+        let bits: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.3)).collect();
         let expected = bits.iter().any(|&b| b);
-        prop_assert_eq!(or_via_path_cover(&bits, min_path_cover_size), expected);
+        assert_eq!(or_via_path_cover(&bits, min_path_cover_size), expected);
     }
+    // The all-false and all-true corners, which random sampling can miss.
+    for value in [false, true] {
+        let bits = vec![value; 17];
+        assert_eq!(or_via_path_cover(&bits, min_path_cover_size), value);
+    }
+}
 
-    #[test]
-    fn scan_is_associative_oracle(values in prop::collection::vec(-100i64..100, 0..200)) {
+#[test]
+fn scan_is_associative_oracle() {
+    let mut rng = ChaCha8Rng::seed_from_u64(107);
+    for _ in 0..CASES {
+        let n = rng.gen_range(0..200usize);
+        let values: Vec<i64> = (0..n).map(|_| rng.gen_range(-100..100i64)).collect();
         let sums = prefix_sums_seq(&values, ScanOp::Sum);
         if let Some(last) = sums.last() {
-            prop_assert_eq!(*last, values.iter().sum::<i64>());
+            assert_eq!(*last, values.iter().sum::<i64>());
         }
         let maxes = prefix_sums_seq(&values, ScanOp::Max);
         if let Some(last) = maxes.last() {
-            prop_assert_eq!(*last, values.iter().copied().max().unwrap_or(i64::MIN));
+            assert_eq!(*last, values.iter().copied().max().unwrap_or(i64::MIN));
         }
     }
+}
 
-    #[test]
-    fn bracket_matching_pairs_are_consistent(kinds in prop::collection::vec(any::<bool>(), 0..300)) {
-        let kinds: Vec<BracketKind> = kinds
-            .into_iter()
-            .map(|b| if b { BracketKind::Open } else { BracketKind::Close })
+#[test]
+fn bracket_matching_pairs_are_consistent() {
+    let mut rng = ChaCha8Rng::seed_from_u64(108);
+    for _ in 0..CASES {
+        let n = rng.gen_range(0..300usize);
+        let kinds: Vec<BracketKind> = (0..n)
+            .map(|_| {
+                if rng.gen_bool(0.5) {
+                    BracketKind::Open
+                } else {
+                    BracketKind::Close
+                }
+            })
             .collect();
         let partner = match_brackets_seq(&kinds);
         for (i, p) in partner.iter().enumerate() {
             if let Some(j) = p {
-                prop_assert_eq!(partner[*j], Some(i));
+                assert_eq!(partner[*j], Some(i));
                 let (open, close) = if i < *j { (i, *j) } else { (*j, i) };
-                prop_assert_eq!(kinds[open], BracketKind::Open);
-                prop_assert_eq!(kinds[close], BracketKind::Close);
+                assert_eq!(kinds[open], BracketKind::Open);
+                assert_eq!(kinds[close], BracketKind::Close);
             }
         }
     }

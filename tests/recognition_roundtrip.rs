@@ -1,0 +1,119 @@
+//! Recognition round-trips: materialising a cotree and recognising the
+//! resulting graph must reproduce the same adjacency structure, for every
+//! generator shape, and non-cographs must be rejected with the right error
+//! at every layer (library `Option` and service `ServiceError`).
+
+use cograph::{random_cotree, recognize, CotreeShape};
+use pcgraph::{generators, Graph};
+use pcservice::{GraphSpec, QueryEngine, QueryKind, QueryRequest, ServiceError};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn every_shape_round_trips_through_recognition() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2026);
+    for shape in CotreeShape::ALL {
+        for n in [1usize, 2, 3, 7, 16, 33, 64] {
+            let cotree = random_cotree(n, shape, &mut rng);
+            let graph = cotree.to_graph();
+            let recognised = recognize(&graph)
+                .unwrap_or_else(|| panic!("{shape:?} n={n}: materialised cotree must recognise"));
+            assert!(
+                recognised.validate().is_ok(),
+                "{shape:?} n={n}: invalid cotree"
+            );
+            // Adjacency equality: `Graph: Eq` compares sorted adjacency lists,
+            // i.e. the exact (labelled) adjacency structure.
+            assert_eq!(
+                recognised.to_graph(),
+                graph,
+                "{shape:?} n={n}: adjacency changed"
+            );
+            // And the round trip is a fixed point from here on.
+            let again = recognize(&recognised.to_graph()).expect("still a cograph");
+            assert_eq!(
+                again.to_graph(),
+                graph,
+                "{shape:?} n={n}: second round trip drifted"
+            );
+        }
+    }
+}
+
+#[test]
+fn recognition_is_label_faithful() {
+    // The recognised cotree must carry the *original* vertex ids, not a
+    // relabelling: check that each leaf set matches 0..n.
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let cotree = random_cotree(40, CotreeShape::Mixed, &mut rng);
+    let graph = cotree.to_graph();
+    let recognised = recognize(&graph).expect("cograph");
+    let mut leaves = recognised.vertices();
+    leaves.sort_unstable();
+    let expected: Vec<u32> = (0..40).collect();
+    assert_eq!(leaves, expected);
+}
+
+#[test]
+fn p4_family_is_rejected_everywhere() {
+    // Library layer: recognition returns None for P4 and supergraphs of it.
+    assert!(recognize(&generators::p4()).is_none());
+    assert!(recognize(&generators::path_graph(5)).is_none());
+    assert!(recognize(&generators::cycle_graph(5)).is_none());
+    // Service layer: the same inputs produce the typed NotACograph error.
+    let engine = QueryEngine::default();
+    for (n, edges) in [
+        (4usize, vec![(0u32, 1u32), (1, 2), (2, 3)]), // P4 itself
+        (5, vec![(0, 1), (1, 2), (2, 3), (3, 4)]),    // P5
+        (5, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]), // C5
+    ] {
+        let graph = Graph::from_edges(n, &edges).unwrap();
+        let response = engine.execute(&QueryRequest::new(
+            QueryKind::Recognize,
+            GraphSpec::Graph(graph),
+        ));
+        assert_eq!(
+            response.outcome,
+            Err(ServiceError::NotACograph { vertices: n }),
+            "expected typed rejection for n={n} {edges:?}"
+        );
+        assert_eq!(response.meta.canonical_key, None);
+    }
+}
+
+#[test]
+fn cographs_pass_the_service_recognize_query() {
+    // C4 = K_{2,2} is the classic just-barely-a-cograph; its recognised
+    // cotree must materialise back to the same graph.
+    let c4 = generators::cycle_graph(4);
+    let engine = QueryEngine::default();
+    let response = engine.execute(&QueryRequest::new(
+        QueryKind::Recognize,
+        GraphSpec::Graph(c4.clone()),
+    ));
+    match response.outcome.expect("C4 is a cograph") {
+        pcservice::Answer::Recognized {
+            is_cograph,
+            vertices,
+            edges,
+            term,
+            ..
+        } => {
+            assert!(is_cograph);
+            assert_eq!(vertices, 4);
+            assert_eq!(edges, 4);
+            // The emitted term re-ingests to an isomorphic graph: term leaf
+            // names are renumbered by first appearance, so compare counts
+            // and degree multisets rather than exact adjacency.
+            let reparsed = pcservice::ingest::parse_cotree_term(&term)
+                .unwrap()
+                .to_graph();
+            assert_eq!(reparsed.num_vertices(), 4);
+            assert_eq!(reparsed.num_edges(), 4);
+            let mut degrees: Vec<usize> = (0..4).map(|v| reparsed.degree(v)).collect();
+            degrees.sort_unstable();
+            assert_eq!(degrees, vec![2, 2, 2, 2]);
+        }
+        other => panic!("wrong answer variant: {other:?}"),
+    }
+}
