@@ -6,9 +6,18 @@
 //! warmed cotree cache — so the numbers measure the engine (dispatch, cache,
 //! solve, verify), not recognition of brand-new graphs.
 //!
+//! A second group, `service_cache_contention`, models the worst case for
+//! the sharded cotree cache: many worker threads hammering a *tiny* pool of
+//! distinct graphs, so nearly every query is a cache hit and the lock
+//! traffic itself is what is measured. Each configuration runs with a
+//! single-shard cache (the old design: one global mutex) and the default
+//! shard count, and reports the cache hit rate observed per configuration
+//! on stderr.
+//!
 //! Recording a baseline: `CRITERION_JSON=BENCH_service.json cargo bench
 //! -p pc-bench --bench batch_throughput` appends one JSON line per
-//! measurement.
+//! measurement. Single-core containers cannot show contention relief
+//! (threads time-slice one core); label such runs in the baseline notes.
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pcservice::{EngineConfig, GraphSpec, QueryEngine, QueryKind, QueryRequest};
 use rand::SeedableRng;
@@ -59,5 +68,67 @@ fn bench(c: &mut Criterion) {
     }
     group.finish();
 }
-criterion_group!(benches, bench);
+
+/// Cache-contention workload: few distinct graphs, every thread fighting
+/// for the same cache entries.
+fn bench_contention(c: &mut Criterion) {
+    const HOT_POOL: usize = 4;
+    const BATCH: usize = 4096;
+    let mut group = c.benchmark_group("service_cache_contention");
+    group.sample_size(10);
+    let pool: Vec<GraphSpec> = request_pool().into_iter().take(HOT_POOL).collect();
+    let requests: Vec<QueryRequest> = (0..BATCH)
+        .map(|i| {
+            // Scalar kinds only: the point is cache/lock traffic, not the
+            // O(n) cover reconstruction.
+            let kinds = [
+                QueryKind::MinCoverSize,
+                QueryKind::HamiltonianPath,
+                QueryKind::HamiltonianCycle,
+            ];
+            QueryRequest::new(kinds[i % kinds.len()], pool[i % HOT_POOL].clone())
+        })
+        .collect();
+    for threads in [1usize, 2, 4, 8] {
+        for shards in [1usize, 0] {
+            let engine = QueryEngine::new(EngineConfig {
+                threads,
+                cache_shards: shards,
+                ..EngineConfig::default()
+            });
+            engine.execute_batch(None, &requests); // warm the cotree cache
+            let shard_label = if shards == 0 {
+                "shards-default"
+            } else {
+                "shards1"
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("hot{HOT_POOL}_t{threads}"), shard_label),
+                &requests,
+                |b, reqs| {
+                    b.iter(|| {
+                        let responses = engine.execute_batch(None, reqs);
+                        assert!(responses.iter().all(|r| r.outcome.is_ok()));
+                        responses.len()
+                    })
+                },
+            );
+            let stats = engine.cache_stats();
+            let per_shard: Vec<String> = engine
+                .cache_shard_stats()
+                .iter()
+                .map(|s| format!("{}/{}", s.hits, s.hits + s.misses))
+                .collect();
+            eprintln!(
+                "contention t{threads} {shard_label}: hit rate {:.3} ({} shards; per-shard hits/lookups: {})",
+                stats.hit_rate(),
+                stats.shards,
+                per_shard.join(" ")
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench, bench_contention);
 criterion_main!(benches);

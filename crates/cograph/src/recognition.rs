@@ -27,11 +27,51 @@ pub fn recognize(g: &Graph) -> Option<Cotree> {
 }
 
 /// `true` when `g` is a cograph.
+///
+/// This is the *decision* version of [`recognize`]: it runs the same
+/// component/co-component decomposition but never materialises a cotree —
+/// no node allocations, no label bookkeeping — and it short-circuits out of
+/// a level as soon as one part fails. Use it when only the yes/no answer is
+/// needed (e.g. input validation before queueing work); call [`recognize`]
+/// when the cotree itself is wanted.
 pub fn is_cograph(g: &Graph) -> bool {
     if g.num_vertices() == 0 {
         return false;
     }
-    recognize(g).is_some()
+    let all: Vec<VertexId> = g.vertices().collect();
+    is_cograph_subset(g, &all)
+}
+
+/// Decision-only mirror of [`recognize_subset`]: identical decomposition,
+/// zero cotree construction, early exit on the first non-cograph part.
+fn is_cograph_subset(original: &Graph, vertices: &[VertexId]) -> bool {
+    if vertices.len() == 1 {
+        return true;
+    }
+    let (sub, map) = ops::induced_subgraph(original, vertices);
+    let (comp, count) = sub.connected_components();
+    if count > 1 {
+        return (0..count).all(|c| {
+            let members: Vec<VertexId> = (0..sub.num_vertices())
+                .filter(|&v| comp[v] == c)
+                .map(|v| map[v])
+                .collect();
+            is_cograph_subset(original, &members)
+        });
+    }
+    let co = ops::complement(&sub);
+    let (co_comp, co_count) = co.connected_components();
+    if co_count > 1 {
+        return (0..co_count).all(|c| {
+            let members: Vec<VertexId> = (0..sub.num_vertices())
+                .filter(|&v| co_comp[v] == c)
+                .map(|v| map[v])
+                .collect();
+            is_cograph_subset(original, &members)
+        });
+    }
+    // Both the graph and its complement are connected on >= 2 vertices.
+    false
 }
 
 fn recognize_subset(original: &Graph, vertices: &[VertexId]) -> Option<Cotree> {
@@ -146,6 +186,40 @@ mod tests {
                 let t2 = recognize(&g).expect("materialised cotrees are cographs");
                 assert_eq!(t2.to_graph(), g, "{shape:?} n={n}");
             }
+        }
+    }
+
+    #[test]
+    fn is_cograph_agrees_with_recognize_on_all_generator_shapes() {
+        // Positives: materialised random cotrees of every shape are
+        // cographs, and the cheap decision must say so.
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        for shape in CotreeShape::ALL {
+            for n in [1usize, 2, 5, 13, 31] {
+                let g = random_cotree(n, shape, &mut rng).to_graph();
+                assert_eq!(is_cograph(&g), recognize(&g).is_some(), "{shape:?} n={n}");
+                assert!(is_cograph(&g), "{shape:?} n={n} must be a cograph");
+            }
+        }
+        // Mixed verdicts: perturb each cograph with one extra edge; whatever
+        // recognize decides, is_cograph must decide identically.
+        use rand::Rng as _;
+        for trial in 0..40 {
+            let shape = CotreeShape::ALL[trial % CotreeShape::ALL.len()];
+            let tree = random_cotree(12, shape, &mut rng);
+            let g = tree.to_graph();
+            let (u, v) = (rng.gen_range(0..12u32), rng.gen_range(0..12u32));
+            if u == v || g.has_edge(u, v) {
+                continue;
+            }
+            let mut edges: Vec<(u32, u32)> = g.edges().collect();
+            edges.push((u, v));
+            let perturbed = Graph::from_edges(12, &edges).unwrap();
+            assert_eq!(
+                is_cograph(&perturbed),
+                recognize(&perturbed).is_some(),
+                "trial {trial}: decision diverges from recognition"
+            );
         }
     }
 

@@ -1,9 +1,12 @@
 //! `pathcover-cli` — command-line front-end of the `pcservice` query engine.
 //!
 //! ```text
-//! pathcover-cli solve <graph|-> [--format F] [--query KIND] [--json] [--no-verify]
-//! pathcover-cli recognize <graph|-> [--format F] [--json]
-//! pathcover-cli batch <graph|-|none> <queries.jsonl|-> [--threads N] [--format F] [--human]
+//! pathcover-cli solve <graph|-> [--format F] [--query KIND] [--json] [--no-verify] [--remote SOCK]
+//! pathcover-cli recognize <graph|-> [--format F] [--json] [--remote SOCK]
+//! pathcover-cli batch <graph|-|none> <queries.jsonl|-> [--threads N] [--format F] [--human] [--remote SOCK]
+//! pathcover-cli serve --socket SOCK [--threads N] [--cache-capacity N] [--cache-shards N] [--idle-timeout-ms MS] [--no-verify]
+//! pathcover-cli stats --remote SOCK [--json]
+//! pathcover-cli shutdown --remote SOCK
 //! pathcover-cli bench [--batches 1,64,4096] [--threads 1,2,4,8] [--n 64] [--json FILE]
 //! ```
 //!
@@ -13,10 +16,16 @@
 //! `QueryRequest::from_json_line`) and emits one JSON response line per
 //! query; per-job failures are reported in their own line and never abort
 //! the batch.
+//!
+//! `serve` runs the engine as a long-lived daemon on a unix socket;
+//! `--remote SOCK` turns `solve`/`recognize`/`batch` into thin clients of
+//! one, so repeated invocations share the daemon's warm cotree cache
+//! instead of paying recognition each time. Without `--remote` the
+//! subcommands run in-process exactly as before.
 
 use pcservice::{
-    Answer, CacheStatus, EngineConfig, GraphFormat, GraphSpec, QueryEngine, QueryKind,
-    QueryRequest, QueryResponse,
+    CacheStatus, EngineConfig, GraphFormat, GraphSpec, Json, QueryEngine, QueryKind, QueryRequest,
+    QueryResponse,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -35,6 +44,9 @@ fn main() -> ExitCode {
         "recognize" => cmd_solve(rest, true),
         "batch" => cmd_batch(rest),
         "bench" => cmd_bench(rest),
+        "serve" => cmd_serve(rest),
+        "stats" => cmd_stats(rest),
+        "shutdown" => cmd_shutdown(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -53,9 +65,13 @@ fn main() -> ExitCode {
 const USAGE: &str = "pathcover-cli — batched minimum path cover queries on cographs
 
 USAGE:
-    pathcover-cli solve <graph|-> [--format F] [--query KIND] [--json] [--no-verify]
-    pathcover-cli recognize <graph|-> [--format F] [--json]
-    pathcover-cli batch <graph|-|none> <queries.jsonl|-> [--threads N] [--format F] [--human]
+    pathcover-cli solve <graph|-> [--format F] [--query KIND] [--json] [--no-verify] [--remote SOCK]
+    pathcover-cli recognize <graph|-> [--format F] [--json] [--remote SOCK]
+    pathcover-cli batch <graph|-|none> <queries.jsonl|-> [--threads N] [--format F] [--human] [--remote SOCK]
+    pathcover-cli serve --socket SOCK [--threads N] [--cache-capacity N] [--cache-shards N]
+                        [--idle-timeout-ms MS] [--no-verify]
+    pathcover-cli stats --remote SOCK [--json]
+    pathcover-cli shutdown --remote SOCK
     pathcover-cli bench [--batches 1,64,4096] [--threads 1,2,4,8] [--n 64] [--json FILE]
 
 FORMATS (sniffed from content when --format is omitted):
@@ -64,7 +80,12 @@ FORMATS (sniffed from content when --format is omitted):
     cotree      term notation: (u ...) union, (j ...) join, names as leaves
 
 QUERY KINDS:
-    min_cover_size | full_cover | hamiltonian_path | hamiltonian_cycle | recognize";
+    min_cover_size | full_cover | hamiltonian_path | hamiltonian_cycle | recognize
+
+SERVING:
+    'serve' owns a unix socket and a shared cotree cache; '--remote SOCK' makes
+    solve/recognize/batch thin clients of it. 'stats' snapshots the daemon's
+    cache counters; 'shutdown' stops it gracefully.";
 
 /// Pull the value of `--flag VALUE` out of `args`, if present.
 fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
@@ -77,6 +98,17 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, Strin
         Ok(Some(value))
     } else {
         Ok(None)
+    }
+}
+
+/// Pull the numeric value of `--flag N` out of `args`, defaulting when the
+/// flag is absent.
+fn take_num_flag(args: &mut Vec<String>, flag: &str, default: usize) -> Result<usize, String> {
+    match take_flag(args, flag)? {
+        Some(t) => t
+            .parse()
+            .map_err(|_| format!("{flag}: '{t}' is not a number")),
+        None => Ok(default),
     }
 }
 
@@ -120,6 +152,7 @@ fn cmd_solve(args: &[String], recognize_mode: bool) -> Result<ExitCode, String> 
     let mut args = args.to_vec();
     let format = take_flag(&mut args, "--format")?;
     let query = take_flag(&mut args, "--query")?;
+    let remote = take_flag(&mut args, "--remote")?;
     let json = take_switch(&mut args, "--json");
     let no_verify = take_switch(&mut args, "--no-verify");
     let [graph_path] = args.as_slice() else {
@@ -139,16 +172,30 @@ fn cmd_solve(args: &[String], recognize_mode: bool) -> Result<ExitCode, String> 
         }
     };
     let spec = graph_spec(read_input(graph_path)?, format.as_deref())?;
-    let engine = QueryEngine::new(EngineConfig {
-        verify_covers: !no_verify,
-        ..EngineConfig::default()
-    });
-    let response = engine.execute(&QueryRequest::new(kind, spec));
-    let failed = response.outcome.is_err();
+    let request = QueryRequest::new(kind, spec);
+    let response_json = match remote {
+        Some(socket) => {
+            if no_verify {
+                return Err("--no-verify is a server-side setting; configure it on 'serve'".into());
+            }
+            let mut client = remote_client(&socket)?;
+            client
+                .solve(&request)
+                .map_err(|e| format!("remote solve: {e}"))?
+        }
+        None => {
+            let engine = QueryEngine::new(EngineConfig {
+                verify_covers: !no_verify,
+                ..EngineConfig::default()
+            });
+            engine.execute(&request).to_json()
+        }
+    };
+    let failed = response_json.get("ok").and_then(Json::as_bool) != Some(true);
     if json {
-        println!("{}", response.to_json_line());
+        println!("{response_json}");
     } else {
-        print_human(&response);
+        print_human_json(&response_json);
     }
     Ok(if failed {
         ExitCode::FAILURE
@@ -157,63 +204,112 @@ fn cmd_solve(args: &[String], recognize_mode: bool) -> Result<ExitCode, String> 
     })
 }
 
-fn print_human(response: &QueryResponse) {
-    match &response.outcome {
-        Err(error) => println!("error [{}]: {error}", error.code()),
-        Ok(Answer::MinCoverSize { size }) => {
-            println!("minimum path cover size: {size}");
-        }
-        Ok(Answer::FullCover { cover, verified }) => {
-            println!(
-                "minimum path cover: {} path(s){}",
-                cover.len(),
-                if *verified { " (verified)" } else { "" }
-            );
-            for (i, path) in cover.paths().iter().enumerate() {
-                let vs: Vec<String> = path.vertices().iter().map(u32::to_string).collect();
-                println!("  path {}: {}", i + 1, vs.join(" -> "));
+/// Renders a path (a JSON array of vertex ids) as `0 -> 1 -> 2`.
+fn render_path(path: &Json) -> String {
+    let Json::Arr(vs) = path else {
+        return path.to_string();
+    };
+    vs.iter()
+        .map(|v| v.as_u64().map_or_else(|| v.to_string(), |v| v.to_string()))
+        .collect::<Vec<_>>()
+        .join(" -> ")
+}
+
+/// Human-readable rendering of one response object (the
+/// [`QueryResponse::to_json`] shape). Working on the JSON form keeps the
+/// printer identical for in-process responses and frames relayed from a
+/// remote daemon.
+fn print_human_json(response: &Json) {
+    let kind = response.get("kind").and_then(Json::as_str).unwrap_or("?");
+    if response.get("ok").and_then(Json::as_bool) != Some(true) {
+        let code = response
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str)
+            .unwrap_or("unknown");
+        let message = response
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .unwrap_or("(no message)");
+        println!("error [{code}]: {message}");
+    } else if let Some(answer) = response.get("answer") {
+        let flag = |field: &str| answer.get(field).and_then(Json::as_bool) == Some(true);
+        match kind {
+            "min_cover_size" => {
+                let size = answer.get("size").and_then(Json::as_u64).unwrap_or(0);
+                println!("minimum path cover size: {size}");
             }
-        }
-        Ok(Answer::HamiltonianPath { exists, path }) => {
-            println!("hamiltonian path: {}", if *exists { "yes" } else { "no" });
-            if let Some(path) = path {
-                let vs: Vec<String> = path.vertices().iter().map(u32::to_string).collect();
-                println!("  witness: {}", vs.join(" -> "));
+            "full_cover" => {
+                let size = answer.get("size").and_then(Json::as_u64).unwrap_or(0);
+                let verified = if flag("verified") { " (verified)" } else { "" };
+                println!("minimum path cover: {size} path(s){verified}");
+                if let Some(Json::Arr(paths)) = answer.get("paths") {
+                    for (i, path) in paths.iter().enumerate() {
+                        println!("  path {}: {}", i + 1, render_path(path));
+                    }
+                }
             }
-        }
-        Ok(Answer::HamiltonianCycle { exists }) => {
-            println!("hamiltonian cycle: {}", if *exists { "yes" } else { "no" });
-        }
-        Ok(Answer::Recognized {
-            vertices,
-            edges,
-            cotree_nodes,
-            height,
-            term,
-            ..
-        }) => {
-            println!("cograph: yes ({vertices} vertices, {edges} edges)");
-            println!("  cotree: {cotree_nodes} nodes, height {height}");
-            println!("  term: {term}");
+            "hamiltonian_path" => {
+                println!(
+                    "hamiltonian path: {}",
+                    if flag("exists") { "yes" } else { "no" }
+                );
+                if let Some(Json::Arr(paths)) = answer.get("path") {
+                    for path in paths {
+                        println!("  witness: {}", render_path(path));
+                    }
+                }
+            }
+            "hamiltonian_cycle" => {
+                println!(
+                    "hamiltonian cycle: {}",
+                    if flag("exists") { "yes" } else { "no" }
+                );
+            }
+            "recognize" => {
+                let num = |field: &str| answer.get(field).and_then(Json::as_u64).unwrap_or(0);
+                println!("cograph: yes ({} vertices, {} edges)", num("n"), num("m"));
+                println!(
+                    "  cotree: {} nodes, height {}",
+                    num("cotree_nodes"),
+                    num("height")
+                );
+                println!(
+                    "  term: {}",
+                    answer.get("term").and_then(Json::as_str).unwrap_or("?")
+                );
+            }
+            other => println!("{other}: {answer}"),
         }
     }
-    println!(
-        "  [{} us solve, {} us total, cache {}{}]",
-        response.meta.solve_micros,
-        response.meta.total_micros,
-        response.meta.cache.as_str(),
-        response
-            .meta
-            .canonical_key
-            .map(|k| format!(", key {k:016x}"))
-            .unwrap_or_default()
-    );
+    if let Some(meta) = response.get("meta") {
+        let num = |field: &str| meta.get(field).and_then(Json::as_u64).unwrap_or(0);
+        println!(
+            "  [{} us solve, {} us total, cache {}{}]",
+            num("solve_us"),
+            num("total_us"),
+            meta.get("cache").and_then(Json::as_str).unwrap_or("?"),
+            meta.get("key")
+                .and_then(Json::as_str)
+                .map(|k| format!(", key {k}"))
+                .unwrap_or_default()
+        );
+    }
 }
 
 fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
     let mut args = args.to_vec();
     let format = take_flag(&mut args, "--format")?;
-    let threads: usize = match take_flag(&mut args, "--threads")? {
+    let remote = take_flag(&mut args, "--remote")?;
+    let threads_flag = take_flag(&mut args, "--threads")?;
+    if remote.is_some() && threads_flag.is_some() {
+        return Err(
+            "--threads is a server-side setting when --remote is used; configure it on 'serve'"
+                .to_string(),
+        );
+    }
+    let threads: usize = match threads_flag {
         Some(t) => t
             .parse()
             .map_err(|_| format!("--threads: '{t}' is not a number"))?,
@@ -234,8 +330,8 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
         Some(graph_spec(read_input(graph_path)?, format.as_deref())?)
     };
     let query_text = read_input(query_path)?;
-    let mut requests = Vec::new();
-    let mut line_errors: Vec<(usize, QueryResponse)> = Vec::new();
+    let mut requests: Vec<(usize, QueryRequest)> = Vec::new();
+    let mut line_errors: Vec<(usize, Json)> = Vec::new();
     for (idx, line) in query_text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -245,37 +341,57 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
             Ok(request) => requests.push((idx + 1, request)),
             Err(error) => {
                 // A malformed line fails alone, mirroring per-job isolation.
-                line_errors.push((
-                    idx + 1,
-                    QueryResponse {
-                        id: None,
-                        kind: QueryKind::Recognize,
-                        outcome: Err(error),
-                        meta: pcservice::ResponseMeta {
-                            solve_micros: 0,
-                            total_micros: 0,
-                            cache: CacheStatus::Bypass,
-                            canonical_key: None,
-                            vertices: 0,
-                        },
+                let response = QueryResponse {
+                    id: None,
+                    kind: QueryKind::Recognize,
+                    outcome: Err(error),
+                    meta: pcservice::ResponseMeta {
+                        solve_micros: 0,
+                        total_micros: 0,
+                        cache: CacheStatus::Bypass,
+                        canonical_key: None,
+                        vertices: 0,
                     },
-                ));
+                };
+                line_errors.push((idx + 1, response.to_json()));
             }
         }
     }
-    let engine = QueryEngine::new(EngineConfig {
-        threads,
-        ..EngineConfig::default()
-    });
+    let request_objs: Vec<QueryRequest> = requests.iter().map(|(_, r)| r.clone()).collect();
     let started = Instant::now();
-    let responses = engine.execute_batch(
-        shared.as_ref(),
-        &requests.iter().map(|(_, r)| r.clone()).collect::<Vec<_>>(),
-    );
+    let (responses, stats_line) = match &remote {
+        Some(socket) => {
+            let mut client = remote_client(socket)?;
+            let responses = client
+                .batch(shared, request_objs)
+                .map_err(|e| format!("remote batch: {e}"))?;
+            let stats = client.stats().map_err(|e| format!("remote stats: {e}"))?;
+            (responses, render_stats_summary(&stats))
+        }
+        None => {
+            let engine = QueryEngine::new(EngineConfig {
+                threads,
+                ..EngineConfig::default()
+            });
+            let responses: Vec<Json> = engine
+                .execute_batch(shared.as_ref(), &request_objs)
+                .iter()
+                .map(QueryResponse::to_json)
+                .collect();
+            let stats = engine.cache_stats();
+            (
+                responses,
+                format!(
+                    "{} hits, {} misses, {} evictions, {} resident",
+                    stats.hits, stats.misses, stats.evictions, stats.entries
+                ),
+            )
+        }
+    };
     let elapsed = started.elapsed();
 
     // Merge solved responses and line errors back into input order.
-    let mut all: Vec<(usize, QueryResponse)> = requests
+    let mut all: Vec<(usize, Json)> = requests
         .iter()
         .map(|(line, _)| *line)
         .zip(responses)
@@ -283,28 +399,30 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
     all.extend(line_errors);
     all.sort_by_key(|(line, _)| *line);
 
-    let failures = all.iter().filter(|(_, r)| r.outcome.is_err()).count();
+    let failures = all
+        .iter()
+        .filter(|(_, r)| r.get("ok").and_then(Json::as_bool) != Some(true))
+        .count();
     for (line, response) in &all {
         if human {
             let id = response
-                .id
-                .clone()
+                .get("id")
+                .and_then(Json::as_str)
+                .map(str::to_string)
                 .unwrap_or_else(|| format!("line {line}"));
             print!("[{id}] ");
-            print_human(response);
+            print_human_json(response);
         } else {
-            println!("{}", response.to_json_line());
+            println!("{response}");
         }
     }
-    let stats = engine.cache_stats();
     eprintln!(
-        "batch: {} queries in {:.1} ms ({} failed) — cache: {} hits, {} misses, {} resident",
+        "batch{}: {} queries in {:.1} ms ({} failed) — cache: {}",
+        if remote.is_some() { " (remote)" } else { "" },
         all.len(),
         elapsed.as_secs_f64() * 1e3,
         failures,
-        stats.hits,
-        stats.misses,
-        stats.entries
+        stats_line
     );
     // The batch itself always completes (per-job isolation), but scripts
     // chaining the CLI still need a signal when any job failed.
@@ -313,6 +431,131 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
     } else {
         ExitCode::SUCCESS
     })
+}
+
+/// One-line summary of a daemon `stats` payload, for batch footers.
+fn render_stats_summary(stats: &Json) -> String {
+    let num = |field: &str| stats.get(field).and_then(Json::as_u64).unwrap_or(0);
+    format!(
+        "{} hits, {} misses, {} evictions, {} resident (daemon totals)",
+        num("hits"),
+        num("misses"),
+        num("evictions"),
+        num("entries")
+    )
+}
+
+#[cfg(unix)]
+fn remote_client(
+    socket: &str,
+) -> Result<pcservice::proto::Client<std::os::unix::net::UnixStream>, String> {
+    pcservice::daemon::connect(socket).map_err(|e| format!("connecting to {socket}: {e}"))
+}
+
+#[cfg(not(unix))]
+fn remote_client(_socket: &str) -> Result<pcservice::proto::Client<std::io::Empty>, String> {
+    Err("--remote requires unix domain sockets, unavailable on this platform".to_string())
+}
+
+fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    #[cfg(not(unix))]
+    {
+        let _ = args;
+        Err("'serve' requires unix domain sockets, unavailable on this platform".to_string())
+    }
+    #[cfg(unix)]
+    {
+        let mut args = args.to_vec();
+        let socket = take_flag(&mut args, "--socket")?
+            .ok_or_else(|| format!("'serve' needs --socket PATH\n{USAGE}"))?;
+        let threads = take_num_flag(&mut args, "--threads", 0)?;
+        let cache_capacity = take_num_flag(
+            &mut args,
+            "--cache-capacity",
+            EngineConfig::default().cache_capacity,
+        )?;
+        let cache_shards = take_num_flag(&mut args, "--cache-shards", 0)?;
+        let idle_timeout_ms = take_num_flag(&mut args, "--idle-timeout-ms", 30_000)?;
+        let no_verify = take_switch(&mut args, "--no-verify");
+        if !args.is_empty() {
+            return Err(format!("unexpected arguments: {args:?}"));
+        }
+        let mut config = pcservice::DaemonConfig::new(&socket);
+        config.idle_timeout = std::time::Duration::from_millis(idle_timeout_ms.max(1) as u64);
+        config.engine = EngineConfig {
+            threads,
+            verify_covers: !no_verify,
+            cache_capacity,
+            cache_shards,
+            ..EngineConfig::default()
+        };
+        let daemon =
+            pcservice::Daemon::bind(config).map_err(|e| format!("binding {socket}: {e}"))?;
+        eprintln!(
+            "pathcover daemon serving on {socket} (proto pcp{}; send a shutdown frame or run \
+             'pathcover-cli shutdown --remote {socket}' to stop)",
+            pcservice::PROTO_VERSION
+        );
+        daemon.run().map_err(|e| format!("serving: {e}"))?;
+        eprintln!("pathcover daemon on {socket} stopped");
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+fn cmd_stats(args: &[String]) -> Result<ExitCode, String> {
+    let mut args = args.to_vec();
+    let socket = take_flag(&mut args, "--remote")?
+        .ok_or_else(|| format!("'stats' needs --remote SOCK\n{USAGE}"))?;
+    let json = take_switch(&mut args, "--json");
+    if !args.is_empty() {
+        return Err(format!("unexpected arguments: {args:?}"));
+    }
+    let mut client = remote_client(&socket)?;
+    let stats = client.stats().map_err(|e| format!("remote stats: {e}"))?;
+    if json {
+        println!("{stats}");
+        return Ok(ExitCode::SUCCESS);
+    }
+    let num = |field: &str| stats.get(field).and_then(Json::as_u64).unwrap_or(0);
+    println!(
+        "cache: {} hits, {} misses, {} evictions, {} resident across {} shards",
+        num("hits"),
+        num("misses"),
+        num("evictions"),
+        num("entries"),
+        num("shards"),
+    );
+    if let Some(Json::Num(rate)) = stats.get("hit_rate") {
+        println!("hit rate: {:.1}%", rate * 100.0);
+    }
+    if let Some(Json::Arr(shards)) = stats.get("per_shard") {
+        for (i, shard) in shards.iter().enumerate() {
+            let num = |field: &str| shard.get(field).and_then(Json::as_u64).unwrap_or(0);
+            println!(
+                "  shard {i}: {} hits, {} misses, {} evictions, {} resident",
+                num("hits"),
+                num("misses"),
+                num("evictions"),
+                num("entries"),
+            );
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_shutdown(args: &[String]) -> Result<ExitCode, String> {
+    let mut args = args.to_vec();
+    let socket = take_flag(&mut args, "--remote")?
+        .ok_or_else(|| format!("'shutdown' needs --remote SOCK\n{USAGE}"))?;
+    if !args.is_empty() {
+        return Err(format!("unexpected arguments: {args:?}"));
+    }
+    let mut client = remote_client(&socket)?;
+    client
+        .shutdown()
+        .map_err(|e| format!("remote shutdown: {e}"))?;
+    eprintln!("daemon on {socket} acknowledged shutdown");
+    Ok(ExitCode::SUCCESS)
 }
 
 fn parse_list(text: &str, flag: &str) -> Result<Vec<usize>, String> {
@@ -335,12 +578,7 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
         Some(text) => parse_list(&text, "--threads")?,
         None => vec![1, 2, 4, 8],
     };
-    let n: usize = match take_flag(&mut args, "--n")? {
-        Some(t) => t
-            .parse()
-            .map_err(|_| format!("--n: '{t}' is not a number"))?,
-        None => 64,
-    };
+    let n = take_num_flag(&mut args, "--n", 64)?;
     let json_out = take_flag(&mut args, "--json")?;
     if !args.is_empty() {
         return Err(format!("unexpected arguments: {args:?}"));

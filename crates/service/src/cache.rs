@@ -1,4 +1,4 @@
-//! The cotree cache.
+//! The sharded cotree cache.
 //!
 //! Recognition (`O(n^2 log n)`) dominates the cost of serving a query that
 //! arrives as raw graph text, and binarisation plus the solver dominate the
@@ -17,15 +17,44 @@
 //! that produces them is `O(n)` too, and every returned cover is re-verified
 //! against the request's graph anyway.
 //!
-//! The cache is a bounded FIFO (default 1024 entries) behind a mutex; hits
-//! and misses are counted and surfaced through [`CacheStats`].
+//! ## Sharding and eviction
+//!
+//! The cache is split into `N` shards (a power of two, default
+//! [`DEFAULT_SHARDS`]) selected by the low bits of the hash being probed, so
+//! concurrent batch workers contend on `1/N`-th of the lock traffic. Each
+//! shard holds two independently bounded LRU maps:
+//!
+//! * `entries`: canonical key → [`SolveEntry`] (for cotree-keyed lookups),
+//! * `by_graph`: graph fingerprint → (exact graph, [`SolveEntry`]) (for
+//!   graph-keyed lookups that skip recognition).
+//!
+//! Both are true LRUs: a hit touches the entry, eviction removes the least
+//! recently used one. Keeping `by_graph` values as direct `Arc`s to the
+//! solve entry (rather than indirecting through the canonical key) means the
+//! two maps never need cross-shard bookkeeping: evicting a canonical key
+//! never strands a fingerprint link, and many fingerprints mapping to one
+//! canonical key stay bounded by the fingerprint map's own capacity. (The
+//! pre-sharding design kept a `key -> fingerprint` reverse link and leaked
+//! `by_graph` entries whenever several fingerprints shared a key; see
+//! `by_graph_stays_bounded_under_many_graphs_one_cotree`.)
+//!
+//! Collision discipline is unchanged from the unsharded cache: every hit is
+//! confirmed by an exact comparison (graph equality or canonical cotree
+//! equality), so a hash collision degrades to a miss or an uncached entry —
+//! never to another graph's answers.
+//!
+//! Per-shard hit/miss/eviction counters are aggregated into [`CacheStats`]
+//! by [`CotreeCache::stats`]; the per-shard breakdown is available through
+//! [`CotreeCache::shard_stats`].
 
 use cograph::{Cotree, CotreeKind};
 use pathcover::{has_hamiltonian_cycle, has_hamiltonian_path, min_path_cover_size};
 use pcgraph::Graph;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+
+/// Default shard count of [`CotreeCache::new`] (must be a power of two).
+pub const DEFAULT_SHARDS: usize = 8;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -181,97 +210,237 @@ impl SolveEntry {
     }
 }
 
-/// Hit/miss counters, snapshot via [`CotreeCache::stats`].
+/// Aggregated counters, snapshot via [`CotreeCache::stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Lookups answered from the cache.
+    /// Lookups answered from the cache (all shards).
     pub hits: u64,
-    /// Lookups that had to recognise/insert fresh.
+    /// Lookups that had to recognise/insert fresh (all shards).
     pub misses: u64,
-    /// Entries currently resident.
+    /// Entries removed by LRU capacity pressure (all shards, both maps).
+    pub evictions: u64,
+    /// Cotree entries currently resident (all shards).
+    pub entries: usize,
+    /// Number of shards.
+    pub shards: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]` (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One shard's counters, snapshot via [`CotreeCache::shard_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Lookups answered from this shard.
+    pub hits: u64,
+    /// Lookups this shard could not answer.
+    pub misses: u64,
+    /// LRU evictions in this shard (both maps).
+    pub evictions: u64,
+    /// Cotree entries resident in this shard.
     pub entries: usize,
 }
 
-struct CacheInner {
-    /// graph fingerprint -> (the exact graph, its canonical key). The graph
-    /// is kept so a lookup can confirm the match exactly — a fingerprint
-    /// collision (the inputs are untrusted and FNV is not cryptographic)
-    /// must degrade to a miss, never serve another graph's answers.
-    by_graph: HashMap<u64, (Arc<Graph>, u64)>,
-    /// canonical key -> solve entry (exact cotree confirmed on lookup).
-    entries: HashMap<u64, Arc<SolveEntry>>,
-    /// canonical key -> fingerprint linked to it, for O(1) eviction.
-    key_to_fp: HashMap<u64, u64>,
-    /// FIFO of canonical keys for eviction.
-    order: VecDeque<u64>,
+/// A bounded LRU map from `u64` hash keys to values.
+///
+/// Recency is tracked with lazy invalidation: every touch pushes a
+/// `(key, tick)` marker onto a queue and records the same tick in the map;
+/// eviction pops markers until one still matches its entry's current tick —
+/// stale markers (the entry was touched again later, or already evicted)
+/// are discarded. Each operation pushes at most one marker and eviction
+/// pops each marker at most once, so touch and insert are amortised `O(1)`
+/// at any capacity; the queue is compacted when it outgrows the live map
+/// by a constant factor.
+struct Lru<V> {
+    /// key -> (value, tick of last use).
+    map: HashMap<u64, (V, u64)>,
+    /// Touch markers, oldest first; stale entries dropped lazily.
+    order: VecDeque<(u64, u64)>,
+    tick: u64,
+    cap: usize,
 }
 
-/// The bounded, thread-safe cotree cache.
+impl<V> Lru<V> {
+    fn new(cap: usize) -> Self {
+        Lru {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            tick: 0,
+            cap: cap.max(1),
+        }
+    }
+
+    /// Records a marker for `key` at `tick` — which must already be the
+    /// entry's current tick in the map, so compaction never discards a
+    /// live entry's only marker.
+    fn push_marker(&mut self, key: u64, tick: u64) {
+        self.order.push_back((key, tick));
+        if self.order.len() > self.map.len().saturating_mul(4).max(64) {
+            let map = &self.map;
+            self.order
+                .retain(|&(k, t)| map.get(&k).is_some_and(|(_, used)| *used == t));
+        }
+    }
+
+    /// Looks up `key`, marking it most recently used on a hit.
+    fn get_touch(&mut self, key: u64) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(&key) {
+            Some((_, used)) => *used = tick,
+            None => return None,
+        }
+        self.push_marker(key, tick);
+        self.map.get(&key).map(|(value, _)| value)
+    }
+
+    /// Inserts (or replaces) `key`, evicting the least recently used entry
+    /// when over capacity. Returns the number of evictions performed.
+    fn insert(&mut self, key: u64, value: V) -> u64 {
+        let mut evicted = 0;
+        if !self.map.contains_key(&key) {
+            while self.map.len() >= self.cap {
+                // Only a marker matching its entry's latest tick names the
+                // true LRU; anything else is stale and skipped. Every live
+                // entry has a current marker, so the queue cannot run dry
+                // while the map is at capacity — but degrade to accepting
+                // the overflow rather than panicking under the shard lock.
+                let Some((k, t)) = self.order.pop_front() else {
+                    break;
+                };
+                if self.map.get(&k).is_some_and(|(_, used)| *used == t) {
+                    self.map.remove(&k);
+                    evicted += 1;
+                }
+            }
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.insert(key, (value, tick));
+        self.push_marker(key, tick);
+        evicted
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+struct Shard {
+    /// canonical key -> solve entry (exact cotree confirmed on lookup).
+    entries: Lru<Arc<SolveEntry>>,
+    /// graph fingerprint -> (the exact graph, its solve entry). The graph is
+    /// kept so a lookup can confirm the match exactly — a fingerprint
+    /// collision (the inputs are untrusted and FNV is not cryptographic)
+    /// must degrade to a miss, never serve another graph's answers.
+    by_graph: Lru<(Arc<Graph>, Arc<SolveEntry>)>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl Shard {
+    fn new(cap: usize) -> Self {
+        Shard {
+            entries: Lru::new(cap),
+            by_graph: Lru::new(cap),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+}
+
+/// The bounded, sharded, thread-safe cotree cache.
 pub struct CotreeCache {
-    inner: Mutex<CacheInner>,
-    capacity: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    shards: Vec<Mutex<Shard>>,
+    mask: u64,
 }
 
 impl CotreeCache {
-    /// Creates a cache holding at most `capacity` cotrees (minimum 1).
+    /// Creates a cache with [`DEFAULT_SHARDS`] shards holding at least
+    /// `capacity` cotrees in total.
     pub fn new(capacity: usize) -> Self {
+        CotreeCache::with_shards(capacity, DEFAULT_SHARDS)
+    }
+
+    /// Creates a cache with `shards` shards (rounded up to a power of two,
+    /// minimum 1) holding at least `capacity` cotrees in total. Capacity is
+    /// split evenly, rounding up, so the effective total is
+    /// `ceil(capacity / shards) * shards`.
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        let per_shard = capacity.max(1).div_ceil(shards);
         CotreeCache {
-            inner: Mutex::new(CacheInner {
-                by_graph: HashMap::new(),
-                entries: HashMap::new(),
-                key_to_fp: HashMap::new(),
-                order: VecDeque::new(),
-            }),
-            capacity: capacity.max(1),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            shards: (0..shards)
+                .map(|_| Mutex::new(Shard::new(per_shard)))
+                .collect(),
+            mask: shards as u64 - 1,
         }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, hash: u64) -> std::sync::MutexGuard<'_, Shard> {
+        // Low bits select the shard; both FNV-derived key families spread
+        // them uniformly. The in-shard HashMap re-hashes, so reusing the low
+        // bits costs nothing.
+        self.shards[(hash & self.mask) as usize]
+            .lock()
+            .expect("cache shard mutex")
     }
 
     /// Looks up a previously-recognised graph by fingerprint, confirming
     /// the stored graph is *equal* to `graph` (a fingerprint collision is a
-    /// miss, never a wrong answer).
+    /// miss, never a wrong answer). A hit touches the link's LRU position.
     pub fn lookup_graph(&self, fingerprint: u64, graph: &Graph) -> Option<Arc<SolveEntry>> {
-        let inner = self.inner.lock().expect("cache mutex");
-        let entry = inner
+        let mut shard = self.shard(fingerprint);
+        let entry = shard
             .by_graph
-            .get(&fingerprint)
+            .get_touch(fingerprint)
             .filter(|(stored, _)| **stored == *graph)
-            .and_then(|(_, key)| inner.entries.get(key))
-            .cloned();
-        drop(inner);
+            .map(|(_, entry)| entry.clone());
         match entry {
             Some(e) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                shard.hits += 1;
                 Some(e)
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                shard.misses += 1;
                 None
             }
         }
     }
 
     /// Looks up a cotree by its canonical key (cotree ingestion path),
-    /// confirming the stored cotree is canonically equal.
+    /// confirming the stored cotree is canonically equal. A hit touches the
+    /// entry's LRU position.
     pub fn lookup_key(&self, key: u64, cotree: &Cotree) -> Option<Arc<SolveEntry>> {
-        let entry = self
-            .inner
-            .lock()
-            .expect("cache mutex")
+        let mut shard = self.shard(key);
+        let entry = shard
             .entries
-            .get(&key)
+            .get_touch(key)
             .filter(|e| canonical_eq(&e.cotree, cotree))
             .cloned();
         match entry {
             Some(e) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                shard.hits += 1;
                 Some(e)
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                shard.misses += 1;
                 None
             }
         }
@@ -286,38 +455,56 @@ impl CotreeCache {
     /// to cache bypass for the newcomer, never to shared wrong answers.
     pub fn insert(&self, graph: Option<(u64, Arc<Graph>)>, cotree: Cotree) -> Arc<SolveEntry> {
         let entry = Arc::new(SolveEntry::new(cotree));
-        let mut inner = self.inner.lock().expect("cache mutex");
-        let resident = match inner.entries.get(&entry.key) {
-            Some(existing) if canonical_eq(&existing.cotree, &entry.cotree) => existing.clone(),
-            Some(_collision) => return entry,
-            None => {
-                while inner.order.len() >= self.capacity {
-                    if let Some(evicted) = inner.order.pop_front() {
-                        inner.entries.remove(&evicted);
-                        if let Some(fp) = inner.key_to_fp.remove(&evicted) {
-                            inner.by_graph.remove(&fp);
-                        }
-                    }
+        let resident = {
+            let mut shard = self.shard(entry.key);
+            match shard.entries.get_touch(entry.key) {
+                Some(existing) if canonical_eq(&existing.cotree, &entry.cotree) => existing.clone(),
+                Some(_collision) => return entry,
+                None => {
+                    let evicted = shard.entries.insert(entry.key, entry.clone());
+                    shard.evictions += evicted;
+                    entry
                 }
-                inner.order.push_back(entry.key);
-                inner.entries.insert(entry.key, entry.clone());
-                entry
             }
         };
         if let Some((fp, graph)) = graph {
-            inner.by_graph.insert(fp, (graph, resident.key));
-            inner.key_to_fp.insert(resident.key, fp);
+            let mut shard = self.shard(fp);
+            let evicted = shard.by_graph.insert(fp, (graph, resident.clone()));
+            shard.evictions += evicted;
         }
         resident
     }
 
-    /// Snapshot of the hit/miss counters and occupancy.
+    /// Aggregated snapshot of all shards' counters and occupancy.
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            entries: self.inner.lock().expect("cache mutex").entries.len(),
+        let mut stats = CacheStats {
+            shards: self.shards.len(),
+            ..CacheStats::default()
+        };
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard mutex");
+            stats.hits += shard.hits;
+            stats.misses += shard.misses;
+            stats.evictions += shard.evictions;
+            stats.entries += shard.entries.len();
         }
+        stats
+    }
+
+    /// Per-shard counter snapshot, in shard order.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let shard = shard.lock().expect("cache shard mutex");
+                ShardStats {
+                    hits: shard.hits,
+                    misses: shard.misses,
+                    evictions: shard.evictions,
+                    entries: shard.entries.len(),
+                }
+            })
+            .collect()
     }
 }
 
@@ -336,6 +523,12 @@ mod tests {
             vec![Cotree::single(0), join]
         };
         Cotree::union_of_labelled(parts)
+    }
+
+    /// A join of `k+2` distinct leaves: distinct canonical key per `k`.
+    fn distinct_tree(k: usize) -> Cotree {
+        let leaves: Vec<Cotree> = (0..k + 2).map(|v| Cotree::single(v as u32)).collect();
+        Cotree::join_of_labelled(leaves)
     }
 
     #[test]
@@ -393,6 +586,7 @@ mod tests {
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.entries, 1);
+        assert_eq!(stats.shards, DEFAULT_SHARDS);
     }
 
     #[test]
@@ -440,22 +634,152 @@ mod tests {
     }
 
     #[test]
-    fn capacity_evicts_fifo() {
-        let cache = CotreeCache::new(2);
+    fn capacity_evicts_least_recently_used() {
+        // Single shard so capacity pressure is deterministic.
+        let cache = CotreeCache::with_shards(2, 1);
         let t1 = parse_cotree_term("(u a b)").unwrap();
         let t2 = parse_cotree_term("(j a b)").unwrap();
         let t3 = parse_cotree_term("(u a b c)").unwrap();
-        let g1 = Arc::new(t1.to_graph());
-        let fp1 = graph_fingerprint(&g1);
-        let k1 = cache.insert(Some((fp1, g1.clone())), t1.clone()).key;
-        cache.insert(None, t2);
-        cache.insert(None, t3);
+        let k1 = cache.insert(None, t1.clone()).key;
+        let k2 = cache.insert(None, t2.clone()).key;
+        cache.insert(None, t3.clone());
         assert_eq!(cache.stats().entries, 2);
+        assert_eq!(cache.stats().evictions, 1);
         assert!(cache.lookup_key(k1, &t1).is_none(), "oldest entry evicted");
+        assert!(cache.lookup_key(k2, &t2).is_some(), "newer entry kept");
+    }
+
+    #[test]
+    fn lru_touch_on_hit_protects_hot_entries() {
+        // FIFO would evict t1 (inserted first); LRU must evict t2 because a
+        // hit on t1 made it the more recently used of the two.
+        let cache = CotreeCache::with_shards(2, 1);
+        let t1 = parse_cotree_term("(u a b)").unwrap();
+        let t2 = parse_cotree_term("(j a b)").unwrap();
+        let t3 = parse_cotree_term("(u a b c)").unwrap();
+        let k1 = cache.insert(None, t1.clone()).key;
+        let k2 = cache.insert(None, t2.clone()).key;
+        assert!(cache.lookup_key(k1, &t1).is_some(), "touch t1");
+        cache.insert(None, t3.clone());
         assert!(
-            cache.lookup_graph(fp1, &g1).is_none(),
-            "fingerprint link evicted too"
+            cache.lookup_key(k1, &t1).is_some(),
+            "touched entry survives"
         );
+        assert!(cache.lookup_key(k2, &t2).is_none(), "LRU entry evicted");
+    }
+
+    #[test]
+    fn graph_links_are_lru_too() {
+        let cache = CotreeCache::with_shards(2, 1);
+        let trees: Vec<Cotree> = (0..3).map(distinct_tree).collect();
+        let graphs: Vec<Arc<Graph>> = trees.iter().map(|t| Arc::new(t.to_graph())).collect();
+        let fps: Vec<u64> = graphs.iter().map(|g| graph_fingerprint(g)).collect();
+        cache.insert(Some((fps[0], graphs[0].clone())), trees[0].clone());
+        cache.insert(Some((fps[1], graphs[1].clone())), trees[1].clone());
+        // Touch link 0, then insert link 2: link 1 is the LRU one.
+        assert!(cache.lookup_graph(fps[0], &graphs[0]).is_some());
+        cache.insert(Some((fps[2], graphs[2].clone())), trees[2].clone());
+        assert!(cache.lookup_graph(fps[0], &graphs[0]).is_some());
+        assert!(cache.lookup_graph(fps[1], &graphs[1]).is_none());
+        assert!(cache.lookup_graph(fps[2], &graphs[2]).is_some());
+    }
+
+    #[test]
+    fn by_graph_stays_bounded_under_many_graphs_one_cotree() {
+        // Hammer one shard with many distinct fingerprint links all pointing
+        // at equal cotrees: the graph-link map must stay bounded by its
+        // capacity instead of stranding old links (the pre-sharding cache
+        // kept only the latest key->fp link and leaked the rest).
+        let cache = CotreeCache::with_shards(4, 1);
+        let tree = parse_cotree_term("(j a b c)").unwrap();
+        let real_graph = Arc::new(tree.to_graph());
+        for fp in 0..100u64 {
+            // Synthetic fingerprints simulate distinct graphs resolving to
+            // one canonical cotree; each insert adds one graph link.
+            cache.insert(Some((fp, real_graph.clone())), tree.clone());
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1, "one canonical cotree resident");
+        // 100 links through a capacity-4 link map: 96 must have been evicted
+        // and the survivors stay within capacity.
+        assert_eq!(stats.evictions, 96);
+        let resident_links = (0..100u64)
+            .filter(|&fp| cache.lookup_graph(fp, &real_graph).is_some())
+            .count();
+        assert_eq!(resident_links, 4, "links bounded by capacity");
+    }
+
+    #[test]
+    fn stats_aggregate_across_shards() {
+        // Generous capacity (32 per shard) so skew in the key distribution
+        // cannot evict anything: the second pass must be pure hits.
+        let cache = CotreeCache::with_shards(256, 8);
+        let trees: Vec<Cotree> = (0..32).map(distinct_tree).collect();
+        for t in &trees {
+            let k = canonical_key(t);
+            assert!(cache.lookup_key(k, t).is_none()); // 32 misses
+            cache.insert(None, t.clone());
+        }
+        for t in &trees {
+            let k = canonical_key(t);
+            assert!(cache.lookup_key(k, t).is_some()); // 32 hits
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 32);
+        assert_eq!(stats.misses, 32);
+        assert_eq!(stats.entries, 32);
+        assert_eq!(stats.shards, 8);
+        let shards = cache.shard_stats();
+        assert_eq!(shards.len(), 8);
+        assert_eq!(shards.iter().map(|s| s.hits).sum::<u64>(), stats.hits);
+        assert_eq!(shards.iter().map(|s| s.misses).sum::<u64>(), stats.misses);
+        assert_eq!(
+            shards.iter().map(|s| s.entries).sum::<usize>(),
+            stats.entries
+        );
+        // 32 distinct keys across 8 shards: sharding actually spreads them.
+        assert!(
+            shards.iter().filter(|s| s.entries > 0).count() > 1,
+            "keys all landed in one shard: {shards:?}"
+        );
+    }
+
+    #[test]
+    fn per_shard_eviction_under_capacity_pressure() {
+        let cache = CotreeCache::with_shards(8, 8); // capacity 1 per shard
+        let trees: Vec<Cotree> = (0..64).map(distinct_tree).collect();
+        for t in &trees {
+            cache.insert(None, t.clone());
+        }
+        let stats = cache.stats();
+        assert!(stats.entries <= 8, "at most one entry per shard");
+        assert_eq!(stats.evictions as usize + stats.entries, 64);
+        for s in cache.shard_stats() {
+            assert!(s.entries <= 1, "shard over its capacity: {s:?}");
+        }
+    }
+
+    #[test]
+    fn lru_stays_correct_under_churn() {
+        // Heavy churn through a small single-shard cache exercises the lazy
+        // marker queue (stale markers, compaction): a key touched before
+        // every insert must survive the entire sweep, occupancy must never
+        // exceed capacity, and eviction accounting must balance.
+        let cache = CotreeCache::with_shards(16, 1);
+        let pinned = distinct_tree(0);
+        let pinned_key = cache.insert(None, pinned.clone()).key;
+        for i in 1..1000 {
+            assert!(
+                cache.lookup_key(pinned_key, &pinned).is_some(),
+                "pinned entry evicted at step {i}"
+            );
+            cache.insert(None, distinct_tree(i));
+            let stats = cache.stats();
+            assert!(stats.entries <= 16, "over capacity at step {i}: {stats:?}");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.evictions as usize + stats.entries, 1000);
+        assert!(cache.lookup_key(pinned_key, &pinned).is_some());
     }
 
     #[test]
@@ -467,5 +791,16 @@ mod tests {
         assert_eq!(entry.has_hamiltonian_cycle(), has_hamiltonian_cycle(&tree));
         // Second calls return the memo (same values).
         assert_eq!(entry.min_cover_size(), min_path_cover_size(&tree));
+    }
+
+    #[test]
+    fn hit_rate_is_computed() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        let stats = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..CacheStats::default()
+        };
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
     }
 }

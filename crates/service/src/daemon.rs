@@ -1,0 +1,373 @@
+//! The unix-socket daemon: a long-lived [`QueryEngine`] behind an accept
+//! loop.
+//!
+//! The engine's cotree cache only pays off when it outlives a single
+//! process invocation — this module is the transport that makes that true.
+//! A [`Daemon`] binds a unix domain socket, accepts connections in a loop
+//! and serves each one on its own thread. All handlers share one
+//! `Arc<QueryEngine>`, so every client warms the same sharded cache and
+//! batches fan out through the engine's existing thread pool.
+//!
+//! Protocol semantics live in [`crate::proto`] ([`proto::dispatch`] is the
+//! entire request → reply mapping); this module only adds:
+//!
+//! * **connection lifecycle** — one handler thread per connection, reads
+//!   bounded by an idle timeout after which the connection is dropped;
+//! * **fault isolation** — a malformed frame earns an `error` reply and the
+//!   connection keeps serving; a framing violation closes that connection;
+//!   neither ever stops the daemon;
+//! * **graceful shutdown** — a `shutdown` frame is acknowledged, then the
+//!   accept loop stops, open connections are shut down, handler threads are
+//!   joined and the socket file is removed.
+
+use crate::engine::{EngineConfig, QueryEngine};
+use crate::proto::{self, ProtoError, Request};
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter};
+use std::net::Shutdown as SocketShutdown;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Path of the unix socket to listen on.
+    pub socket_path: PathBuf,
+    /// A connection idle (no complete frame read) for this long is closed.
+    pub idle_timeout: Duration,
+    /// Configuration of the shared query engine.
+    pub engine: EngineConfig,
+}
+
+impl DaemonConfig {
+    /// Defaults: 30 s idle timeout, default engine configuration.
+    pub fn new(socket_path: impl Into<PathBuf>) -> Self {
+        DaemonConfig {
+            socket_path: socket_path.into(),
+            idle_timeout: Duration::from_secs(30),
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+/// A bound, not-yet-running daemon.
+pub struct Daemon {
+    engine: Arc<QueryEngine>,
+    listener: UnixListener,
+    socket_path: PathBuf,
+    shutdown: Arc<AtomicBool>,
+    idle_timeout: Duration,
+}
+
+impl Daemon {
+    /// Binds the socket and builds the shared engine.
+    ///
+    /// A leftover socket file from a crashed daemon is removed if nothing
+    /// answers on it; a *live* socket (another daemon is serving) is
+    /// refused with [`io::ErrorKind::AddrInUse`].
+    pub fn bind(config: DaemonConfig) -> io::Result<Daemon> {
+        let path = config.socket_path;
+        if let Ok(meta) = std::fs::symlink_metadata(&path) {
+            use std::os::unix::fs::FileTypeExt as _;
+            if !meta.file_type().is_socket() {
+                // Refuse to clobber a regular file / directory / symlink the
+                // user pointed at by mistake.
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    format!("{} exists and is not a socket", path.display()),
+                ));
+            }
+            match UnixStream::connect(&path) {
+                Ok(_) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::AddrInUse,
+                        format!("a daemon is already serving on {}", path.display()),
+                    ))
+                }
+                Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => {
+                    // Definitely a dead listener (unclean exit): reclaim.
+                    // Known limitation: probe-then-remove is not atomic, so
+                    // two daemons racing to reclaim the same stale path can
+                    // unlink each other's fresh socket — supervisors must
+                    // serialise restarts per socket path (a kernel-held
+                    // flock would close this, but needs unsafe/libc).
+                    let _ = std::fs::remove_file(&path);
+                }
+                Err(e) => {
+                    return Err(io::Error::new(
+                        e.kind(),
+                        format!("probing existing socket {}: {e}", path.display()),
+                    ))
+                }
+            }
+        }
+        let listener = UnixListener::bind(&path)?;
+        Ok(Daemon {
+            engine: Arc::new(QueryEngine::new(config.engine)),
+            listener,
+            socket_path: path,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            idle_timeout: config.idle_timeout,
+        })
+    }
+
+    /// The shared engine (e.g. for in-process inspection in tests).
+    pub fn engine(&self) -> Arc<QueryEngine> {
+        self.engine.clone()
+    }
+
+    /// The socket path the daemon is bound to.
+    pub fn socket_path(&self) -> &Path {
+        &self.socket_path
+    }
+
+    /// Serves until a client sends a `shutdown` frame. Joins every handler
+    /// thread and removes the socket file before returning.
+    pub fn run(self) -> io::Result<()> {
+        // Registry of live connections, keyed by a connection id so a
+        // handler can deregister itself on exit — otherwise a long-lived
+        // daemon would hold one cloned fd per *historical* connection and
+        // eventually exhaust the fd limit.
+        let connections: Arc<Mutex<HashMap<u64, UnixStream>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let mut next_id: u64 = 0;
+        let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let stream = match stream {
+                Ok(stream) => stream,
+                // A failed accept (peer vanished mid-handshake, or fd
+                // exhaustion under connection pressure) affects nobody
+                // else; the pause keeps a *persistent* failure (EMFILE
+                // until connections drain) from busy-spinning a core.
+                Err(_) => {
+                    std::thread::sleep(Duration::from_millis(50));
+                    continue;
+                }
+            };
+            let _ = stream.set_read_timeout(Some(self.idle_timeout));
+            let conn_id = next_id;
+            next_id += 1;
+            if let Ok(clone) = stream.try_clone() {
+                connections
+                    .lock()
+                    .expect("connection registry")
+                    .insert(conn_id, clone);
+            }
+            let engine = self.engine.clone();
+            let shutdown = self.shutdown.clone();
+            let wake_path = self.socket_path.clone();
+            let registry = connections.clone();
+            handlers.push(std::thread::spawn(move || {
+                handle_connection(stream, &engine, &shutdown, &wake_path);
+                registry
+                    .lock()
+                    .expect("connection registry")
+                    .remove(&conn_id);
+            }));
+            // Reap finished handlers so a long-lived daemon's handle list
+            // tracks live connections, not its connection history.
+            handlers.retain(|h| !h.is_finished());
+        }
+        // Shutdown: unblock any handler waiting in a read, then join all.
+        for (_, conn) in connections.lock().expect("connection registry").drain() {
+            let _ = conn.shutdown(SocketShutdown::Both);
+        }
+        for handler in handlers {
+            let _ = handler.join();
+        }
+        let _ = std::fs::remove_file(&self.socket_path);
+        Ok(())
+    }
+}
+
+/// `true` for the read-timeout errors produced by an idle connection.
+fn is_idle_timeout(error: &ProtoError) -> bool {
+    matches!(
+        error,
+        ProtoError::Io(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+    )
+}
+
+fn handle_connection(
+    stream: UnixStream,
+    engine: &QueryEngine,
+    shutdown: &AtomicBool,
+    wake_path: &Path,
+) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(write_half);
+    while !shutdown.load(Ordering::Acquire) {
+        match serve_frame(&mut reader, &mut writer, engine) {
+            Ok(proto::Action::Continue) => {}
+            Ok(proto::Action::Shutdown) => {
+                shutdown.store(true, Ordering::Release);
+                // The accept loop is blocked in accept(2); poke it with a
+                // throwaway connection so it sees the flag.
+                let _ = UnixStream::connect(wake_path);
+                break;
+            }
+            Err(ProtoError::Closed) => break,
+            Err(error) if error.is_recoverable() => {
+                // The frame was consumed cleanly: report and keep serving.
+                let reply = proto::error_reply(error.code(), &error.to_string());
+                if proto::write_frame(&mut writer, &reply).is_err() {
+                    break;
+                }
+            }
+            Err(error) => {
+                // Idle connections are dropped silently; framing violations
+                // get a best-effort error frame. Either way this connection
+                // is done — and only this connection.
+                if !is_idle_timeout(&error) {
+                    let reply = proto::error_reply(error.code(), &error.to_string());
+                    let _ = proto::write_frame(&mut writer, &reply);
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// Serves one frame: read, decode, dispatch, reply. The returned action is
+/// authoritative even when the reply could not be written — a `shutdown`
+/// whose acknowledgement hits a dead client must still stop the daemon.
+fn serve_frame(
+    reader: &mut BufReader<UnixStream>,
+    writer: &mut BufWriter<UnixStream>,
+    engine: &QueryEngine,
+) -> Result<proto::Action, ProtoError> {
+    let payload = proto::read_frame(reader)?;
+    let request = Request::from_json(&payload)?;
+    let (reply, action) = proto::dispatch(engine, &request);
+    let written = match proto::write_frame(writer, &reply) {
+        // An oversized reply was refused before any bytes were written:
+        // the stream is still in sync, so tell the client what happened
+        // instead of dying.
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+            let reply = proto::error_reply("frame_too_large", &e.to_string());
+            proto::write_frame(writer, &reply)
+        }
+        other => other,
+    };
+    if action == proto::Action::Shutdown {
+        return Ok(action);
+    }
+    written?;
+    Ok(action)
+}
+
+/// Connects to a daemon and performs the protocol handshake.
+pub fn connect(socket_path: impl AsRef<Path>) -> Result<proto::Client<UnixStream>, ProtoError> {
+    let stream = UnixStream::connect(socket_path.as_ref())?;
+    proto::Client::connect(stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use crate::model::{GraphSpec, QueryKind, QueryRequest};
+    use std::sync::atomic::AtomicU32;
+
+    fn temp_socket(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU32 = AtomicU32::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "pcservice-test-{}-{tag}-{n}.sock",
+            std::process::id()
+        ))
+    }
+
+    fn spawn_daemon(tag: &str) -> (PathBuf, std::thread::JoinHandle<io::Result<()>>) {
+        let path = temp_socket(tag);
+        let mut config = DaemonConfig::new(&path);
+        config.idle_timeout = Duration::from_secs(5);
+        let daemon = Daemon::bind(config).expect("bind");
+        let handle = std::thread::spawn(move || daemon.run());
+        (path, handle)
+    }
+
+    #[test]
+    fn solve_shutdown_round_trip() {
+        let (path, handle) = spawn_daemon("roundtrip");
+        let mut client = connect(&path).expect("connect");
+        let request = QueryRequest::new(
+            QueryKind::MinCoverSize,
+            GraphSpec::CotreeTerm("(j a b c)".to_string()),
+        );
+        let response = client.solve(&request).expect("solve");
+        assert_eq!(
+            response
+                .get("answer")
+                .and_then(|a| a.get("size"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        client.shutdown().expect("shutdown");
+        handle.join().expect("daemon thread").expect("clean exit");
+        assert!(!path.exists(), "socket file removed on shutdown");
+    }
+
+    #[test]
+    fn malformed_frames_do_not_kill_the_connection_or_daemon() {
+        let (path, handle) = spawn_daemon("malformed");
+        // Raw stream: send a syntactically framed but non-JSON payload...
+        let raw = UnixStream::connect(&path).expect("connect raw");
+        let mut reader = BufReader::new(raw.try_clone().expect("clone"));
+        let mut writer = raw;
+        use std::io::Write as _;
+        writer.write_all(b"pcp1 9\nnot json!\n").expect("send junk");
+        writer.flush().unwrap();
+        let reply = proto::read_frame(&mut reader).expect("error reply");
+        assert_eq!(reply.get("type").and_then(Json::as_str), Some("error"));
+        assert_eq!(reply.get("code").and_then(Json::as_str), Some("bad_json"));
+        // ...the same connection still serves properly-formed frames...
+        proto::write_frame(&mut writer, &Request::Stats.to_json()).expect("send stats");
+        let reply = proto::read_frame(&mut reader).expect("stats reply");
+        assert_eq!(reply.get("type").and_then(Json::as_str), Some("stats"));
+        drop((reader, writer));
+        // ...and the daemon is still alive for fresh connections.
+        let mut client = connect(&path).expect("daemon survived");
+        client.shutdown().expect("shutdown");
+        handle.join().expect("daemon thread").expect("clean exit");
+    }
+
+    #[test]
+    fn stale_socket_file_is_reclaimed_live_socket_and_foreign_files_refused() {
+        // A dropped listener leaves its socket file behind — the classic
+        // crashed-daemon leftover. Binding over it must succeed.
+        let path = temp_socket("stale");
+        drop(UnixListener::bind(&path).expect("plant stale socket"));
+        assert!(path.exists(), "stale socket file left behind");
+        let daemon = Daemon::bind(DaemonConfig::new(&path)).expect("stale socket reclaimed");
+        // While it is bound (alive), a second bind must be refused.
+        let err = match Daemon::bind(DaemonConfig::new(&path)) {
+            Err(err) => err,
+            Ok(_) => panic!("live socket must be refused"),
+        };
+        assert_eq!(err.kind(), io::ErrorKind::AddrInUse);
+        drop(daemon);
+        let _ = std::fs::remove_file(&path);
+
+        // A path holding a non-socket must never be deleted.
+        let file_path = temp_socket("notasocket");
+        std::fs::write(&file_path, b"precious").expect("plant regular file");
+        let err = match Daemon::bind(DaemonConfig::new(&file_path)) {
+            Err(err) => err,
+            Ok(_) => panic!("regular file must be refused"),
+        };
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+        assert_eq!(std::fs::read(&file_path).expect("file intact"), b"precious");
+        let _ = std::fs::remove_file(&file_path);
+    }
+}

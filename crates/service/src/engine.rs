@@ -39,8 +39,11 @@ pub struct EngineConfig {
     pub verify_covers: bool,
     /// Consult and fill the cotree cache.
     pub use_cache: bool,
-    /// Maximum number of cotrees kept resident.
+    /// Maximum number of cotrees kept resident (split across the shards).
     pub cache_capacity: usize,
+    /// Cotree cache shard count (rounded up to a power of two); `0` means
+    /// [`crate::cache::DEFAULT_SHARDS`].
+    pub cache_shards: usize,
 }
 
 impl Default for EngineConfig {
@@ -50,6 +53,7 @@ impl Default for EngineConfig {
             verify_covers: true,
             use_cache: true,
             cache_capacity: 1024,
+            cache_shards: 0,
         }
     }
 }
@@ -85,7 +89,12 @@ impl Default for QueryEngine {
 impl QueryEngine {
     /// Creates an engine with the given configuration.
     pub fn new(config: EngineConfig) -> Self {
-        let cache = CotreeCache::new(config.cache_capacity);
+        let shards = if config.cache_shards == 0 {
+            crate::cache::DEFAULT_SHARDS
+        } else {
+            config.cache_shards
+        };
+        let cache = CotreeCache::with_shards(config.cache_capacity, shards);
         QueryEngine { config, cache }
     }
 
@@ -94,9 +103,14 @@ impl QueryEngine {
         &self.config
     }
 
-    /// Snapshot of the cotree cache counters.
+    /// Aggregated snapshot of the cotree cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Per-shard snapshot of the cotree cache counters.
+    pub fn cache_shard_stats(&self) -> Vec<crate::cache::ShardStats> {
+        self.cache.shard_stats()
     }
 
     /// Serves one request (requests using [`GraphSpec::Shared`] fail with

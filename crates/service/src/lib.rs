@@ -13,9 +13,10 @@
 //!    ([`IngestError`]) locating the defect.
 //! 2. Graphs are run through [`cograph::recognize`]; non-cographs fail their
 //!    job with [`ServiceError::NotACograph`].
-//! 3. The [`cache`] keys cotrees by a canonical-form hash (child-order
-//!    invariant) and remembers graph fingerprints, so a repeated graph skips
-//!    recognition entirely and equal cotrees share memoised answers.
+//! 3. The sharded [`cache`] keys cotrees by a canonical-form hash
+//!    (child-order invariant) and remembers graph fingerprints with
+//!    per-shard LRU eviction, so a repeated graph skips recognition
+//!    entirely and equal cotrees share memoised answers.
 //! 4. [`engine::QueryEngine`] answers the five [`QueryKind`]s —
 //!    `MinCoverSize`, `FullCover`, `HamiltonianPath`, `HamiltonianCycle`,
 //!    `Recognize` — one request at a time or fanned across a std-thread pool
@@ -23,9 +24,17 @@
 //! 5. Every returned cover and Hamiltonian witness is re-checked with
 //!    [`pcgraph::verify_path_cover`] before the response leaves the engine.
 //!
+//! Above the engine sits the serving stack: [`proto`] defines a versioned,
+//! length-framed JSON wire format (`hello` / `solve` / `batch` / `stats` /
+//! `shutdown` and typed replies) over any byte stream, and [`daemon`] runs a
+//! long-lived shared engine behind a unix domain socket so the cotree cache
+//! amortises across client processes.
+//!
 //! The `pathcover-cli` binary in this crate exposes the engine on the
 //! command line (`solve`, `batch`, `bench`, `recognize`) reading files or
-//! stdin and emitting human-readable text or JSON lines.
+//! stdin and emitting human-readable text or JSON lines; `serve` starts the
+//! daemon and `--remote <socket>` turns the query subcommands into thin
+//! clients of one.
 //!
 //! ```
 //! use pcservice::{EngineConfig, GraphSpec, QueryEngine, QueryKind, QueryRequest};
@@ -43,15 +52,21 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+#[cfg(unix)]
+pub mod daemon;
 pub mod engine;
 pub mod error;
 pub mod ingest;
 pub mod json;
 pub mod model;
+pub mod proto;
 
 pub use cache::{
-    canonical_eq, canonical_key, graph_fingerprint, CacheStats, CotreeCache, SolveEntry,
+    canonical_eq, canonical_key, graph_fingerprint, CacheStats, CotreeCache, ShardStats,
+    SolveEntry, DEFAULT_SHARDS,
 };
+#[cfg(unix)]
+pub use daemon::{Daemon, DaemonConfig};
 pub use engine::{EngineConfig, QueryEngine};
 pub use error::ServiceError;
 pub use ingest::{cotree_to_term, GraphFormat, IngestError, Ingested};
@@ -59,3 +74,4 @@ pub use json::{Json, JsonError};
 pub use model::{
     Answer, CacheStatus, GraphSpec, QueryKind, QueryRequest, QueryResponse, ResponseMeta,
 };
+pub use proto::{ProtoError, PROTO_VERSION};

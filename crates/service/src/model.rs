@@ -74,6 +74,67 @@ pub enum GraphSpec {
     Shared,
 }
 
+impl GraphSpec {
+    /// Renders the spec as a wire object (`{"edge_list"|"dimacs"|"cotree":
+    /// text}`), lowering programmatic graphs/cotrees to inline text.
+    /// [`GraphSpec::Shared`] has no wire form and returns `None`.
+    ///
+    /// Both programmatic variants lower to *edge-list* text: vertex ids
+    /// survive it exactly. Term notation cannot carry a [`GraphSpec::Cotree`]
+    /// faithfully — the term parser assigns leaf ids by order of first
+    /// appearance, not by printed label, so any cotree whose leaf labels are
+    /// not already in appearance order would be silently relabelled. The
+    /// server re-recognises the graph instead; only the labelled graph (and
+    /// therefore every answer) is contractual, not the cotree's shape.
+    pub fn to_json(&self) -> Option<Json> {
+        let (field, text) = match self {
+            GraphSpec::EdgeList(text) => ("edge_list", text.clone()),
+            GraphSpec::Dimacs(text) => ("dimacs", text.clone()),
+            GraphSpec::CotreeTerm(text) => ("cotree", text.clone()),
+            GraphSpec::Graph(g) => ("edge_list", graph_to_edge_list(g)),
+            GraphSpec::Cotree(t) => ("edge_list", graph_to_edge_list(&t.to_graph())),
+            GraphSpec::Shared => return None,
+        };
+        Some(Json::obj(vec![(field, Json::str(text))]))
+    }
+
+    /// Parses a wire object produced by [`GraphSpec::to_json`].
+    pub fn from_json(value: &Json) -> Result<GraphSpec, ServiceError> {
+        GraphSpec::from_json_fields(value)?.ok_or_else(|| {
+            ServiceError::BadRequest(
+                "graph spec needs one of 'edge_list'/'dimacs'/'cotree'".to_string(),
+            )
+        })
+    }
+
+    /// Scans an object for the inline graph fields (`edge_list` / `dimacs`
+    /// / `cotree`). `Ok(None)` when none is present; an error when more
+    /// than one is, or one is not a string. This is the single place the
+    /// wire field names live — [`GraphSpec::from_json`] and
+    /// [`QueryRequest::from_json`] both delegate here.
+    pub fn from_json_fields(value: &Json) -> Result<Option<GraphSpec>, ServiceError> {
+        let mut graph: Option<GraphSpec> = None;
+        for (field, make) in [
+            ("edge_list", GraphSpec::EdgeList as fn(String) -> GraphSpec),
+            ("dimacs", GraphSpec::Dimacs as fn(String) -> GraphSpec),
+            ("cotree", GraphSpec::CotreeTerm as fn(String) -> GraphSpec),
+        ] {
+            if let Some(text) = value.get(field) {
+                let text = text.as_str().ok_or_else(|| {
+                    ServiceError::BadRequest(format!("field '{field}' must be a string"))
+                })?;
+                if graph.is_some() {
+                    return Err(ServiceError::BadRequest(
+                        "at most one of 'edge_list'/'dimacs'/'cotree' may be given".to_string(),
+                    ));
+                }
+                graph = Some(make(text.to_string()));
+            }
+        }
+        Ok(graph)
+    }
+}
+
 /// One query job.
 #[derive(Debug, Clone)]
 pub struct QueryRequest {
@@ -110,6 +171,13 @@ impl QueryRequest {
     pub fn from_json_line(line: &str) -> Result<QueryRequest, ServiceError> {
         let value = Json::parse(line)
             .map_err(|e| ServiceError::BadRequest(format!("invalid JSON: {e}")))?;
+        QueryRequest::from_json(&value)
+    }
+
+    /// Parses a query object (the [`QueryRequest::from_json_line`] shape,
+    /// already decoded). Unknown fields — e.g. the protocol layer's
+    /// `"type"` — are ignored.
+    pub fn from_json(value: &Json) -> Result<QueryRequest, ServiceError> {
         if !matches!(value, Json::Obj(_)) {
             return Err(ServiceError::BadRequest(
                 "query line must be a JSON object".to_string(),
@@ -135,30 +203,46 @@ impl QueryRequest {
                 )))
             }
         };
-        let mut graph: Option<GraphSpec> = None;
-        for (field, make) in [
-            ("edge_list", GraphSpec::EdgeList as fn(String) -> GraphSpec),
-            ("dimacs", GraphSpec::Dimacs as fn(String) -> GraphSpec),
-            ("cotree", GraphSpec::CotreeTerm as fn(String) -> GraphSpec),
-        ] {
-            if let Some(text) = value.get(field) {
-                let text = text.as_str().ok_or_else(|| {
-                    ServiceError::BadRequest(format!("field '{field}' must be a string"))
-                })?;
-                if graph.is_some() {
-                    return Err(ServiceError::BadRequest(
-                        "at most one of 'edge_list'/'dimacs'/'cotree' may be given".to_string(),
-                    ));
-                }
-                graph = Some(make(text.to_string()));
-            }
-        }
         Ok(QueryRequest {
             id,
             kind,
-            graph: graph.unwrap_or(GraphSpec::Shared),
+            graph: GraphSpec::from_json_fields(value)?.unwrap_or(GraphSpec::Shared),
         })
     }
+
+    /// Renders the request as a query object (the [`QueryRequest::from_json`]
+    /// shape), used by remote clients to put requests on the wire.
+    ///
+    /// Programmatic specs are lowered to their inline text forms: a
+    /// [`GraphSpec::Graph`] becomes edge-list text and a
+    /// [`GraphSpec::Cotree`] becomes term notation; [`GraphSpec::Shared`]
+    /// emits no graph field at all.
+    pub fn to_json(&self) -> Json {
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        if let Some(id) = &self.id {
+            fields.push(("id".to_string(), Json::str(id.clone())));
+        }
+        fields.push(("kind".to_string(), Json::str(self.kind.as_str())));
+        if let Some(Json::Obj(spec_fields)) = self.graph.to_json() {
+            fields.extend(spec_fields);
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// Lowers a graph to the edge-list text format (one `u v` pair per line,
+/// isolated vertices as lone ids), the inverse of edge-list ingestion.
+fn graph_to_edge_list(g: &Graph) -> String {
+    let mut out = String::new();
+    for (u, v) in g.edges() {
+        out.push_str(&format!("{u} {v}\n"));
+    }
+    for v in g.vertices() {
+        if g.degree(v) == 0 {
+            out.push_str(&format!("{v}\n"));
+        }
+    }
+    out
 }
 
 /// Cotree-cache disposition of one response.
@@ -260,6 +344,15 @@ pub struct QueryResponse {
 impl QueryResponse {
     /// Renders the response as one JSON line.
     pub fn to_json_line(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Renders the response as a JSON object (the [`to_json_line`] shape,
+    /// not yet serialised), used by the protocol layer to embed responses
+    /// in reply frames.
+    ///
+    /// [`to_json_line`]: QueryResponse::to_json_line
+    pub fn to_json(&self) -> Json {
         let mut fields: Vec<(&str, Json)> = Vec::new();
         if let Some(id) = &self.id {
             fields.push(("id", Json::str(id.clone())));
@@ -291,7 +384,7 @@ impl QueryResponse {
             meta.push(("key", Json::str(format!("{key:016x}"))));
         }
         fields.push(("meta", Json::obj(meta)));
-        Json::obj(fields).to_string()
+        Json::obj(fields)
     }
 }
 
@@ -386,6 +479,41 @@ mod tests {
                 "expected BadRequest for {bad}"
             );
         }
+    }
+
+    #[test]
+    fn programmatic_spec_lowering_preserves_vertex_labels() {
+        use crate::ingest::{self, GraphFormat, Ingested};
+        // Leaf labels deliberately out of appearance order: term notation
+        // would silently relabel them (the term parser assigns ids by first
+        // appearance), so the lowering must go through edge-list text.
+        let tree = Cotree::union_of_labelled(vec![
+            Cotree::join_of_labelled(vec![Cotree::single(1), Cotree::single(2)]),
+            Cotree::single(0),
+        ]);
+        let wire = GraphSpec::Cotree(tree.clone())
+            .to_json()
+            .expect("wire form");
+        let spec = GraphSpec::from_json(&wire).unwrap();
+        let GraphSpec::EdgeList(text) = spec else {
+            panic!("expected edge-list lowering");
+        };
+        let Ingested::Graph(g) = ingest::parse(&text, GraphFormat::EdgeList).unwrap() else {
+            panic!("edge list must parse to a graph");
+        };
+        assert_eq!(g, tree.to_graph(), "vertex labels must survive the wire");
+
+        let graph = tree.to_graph();
+        let wire = GraphSpec::Graph(graph.clone())
+            .to_json()
+            .expect("wire form");
+        let GraphSpec::EdgeList(text) = GraphSpec::from_json(&wire).unwrap() else {
+            panic!("expected edge-list lowering");
+        };
+        let Ingested::Graph(g) = ingest::parse(&text, GraphFormat::EdgeList).unwrap() else {
+            panic!("edge list must parse to a graph");
+        };
+        assert_eq!(g, graph);
     }
 
     #[test]

@@ -1,0 +1,754 @@
+//! The wire protocol of the `pcservice` daemon.
+//!
+//! A versioned, length-framed JSON protocol over any byte stream. Every
+//! frame is
+//!
+//! ```text
+//! pcp1 <len>\n
+//! <len bytes of JSON>\n
+//! ```
+//!
+//! — a header line carrying the protocol magic (`pcp` + version) and the
+//! payload length in decimal bytes, then exactly that many bytes of JSON,
+//! then one newline. The trailing newline keeps a captured session readable
+//! as JSON lines (`socat` transcripts paste straight into docs) while the
+//! explicit length lets payloads contain newlines and lets the reader
+//! allocate exactly once.
+//!
+//! ## Messages
+//!
+//! Client → server frames are objects tagged by a `"type"` field —
+//! [`Request::Hello`], [`Request::Solve`], [`Request::Batch`],
+//! [`Request::Stats`], [`Request::Shutdown`] — and every one is answered by
+//! exactly one reply frame (`hello`, `response`, `batch`, `stats`,
+//! `shutdown_ok` or `error`). Query and response payloads reuse the
+//! JSON-lines shapes of [`QueryRequest::from_json`] and
+//! [`QueryResponse::to_json`], so a daemon session speaks the same dialect
+//! as `pathcover-cli batch` files.
+//!
+//! ## Error taxonomy
+//!
+//! [`ProtoError`] separates *recoverable* defects — a frame whose payload is
+//! malformed JSON or a bad message, where the length framing kept the stream
+//! in sync — from *fatal* ones (I/O failure, bad magic, oversized frame)
+//! after which the byte stream cannot be trusted. Servers answer recoverable
+//! errors with an `error` reply and keep the connection; fatal errors close
+//! the connection — never the server (see [`crate::daemon`]).
+
+use crate::cache::{CacheStats, ShardStats};
+use crate::engine::QueryEngine;
+use crate::json::{Json, JsonError};
+use crate::model::{GraphSpec, QueryRequest, QueryResponse};
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Protocol version spoken by this build.
+pub const PROTO_VERSION: u64 = 1;
+
+/// Hard cap on a frame's payload size (16 MiB). A peer announcing more is
+/// fatally rejected before any allocation happens.
+pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// Maximum header line length (`pcp<version> <len>\n` is ~30 bytes; anything
+/// longer is garbage, not a header).
+const MAX_HEADER_BYTES: usize = 64;
+
+/// Server identification string sent in the `hello` reply.
+pub const SERVER_NAME: &str = concat!("pcservice/", env!("CARGO_PKG_VERSION"));
+
+/// Everything that can go wrong at the protocol layer.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The underlying stream failed (includes read timeouts).
+    Io(io::Error),
+    /// The peer closed the stream at a frame boundary (clean EOF).
+    Closed,
+    /// The frame header was not `pcp<version> <len>`.
+    BadHeader(String),
+    /// The peer speaks a protocol version this build does not.
+    UnsupportedVersion(u64),
+    /// The announced payload length exceeds [`MAX_FRAME_BYTES`].
+    FrameTooLarge {
+        /// Announced payload length.
+        len: usize,
+        /// The cap it exceeded.
+        max: usize,
+    },
+    /// The payload was not valid JSON (stream still in sync).
+    BadJson(JsonError),
+    /// The payload was valid JSON but not a valid message (stream still in
+    /// sync).
+    BadMessage(String),
+    /// The server answered with an `error` reply (client side only).
+    Remote {
+        /// Machine-readable error code.
+        code: String,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl ProtoError {
+    /// `true` when the byte stream is still framed correctly and the
+    /// connection can keep serving after an `error` reply.
+    pub fn is_recoverable(&self) -> bool {
+        matches!(
+            self,
+            ProtoError::BadJson(_) | ProtoError::BadMessage(_) | ProtoError::Remote { .. }
+        )
+    }
+
+    /// Stable machine-readable tag used in `error` replies.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ProtoError::Io(_) => "io",
+            ProtoError::Closed => "closed",
+            ProtoError::BadHeader(_) => "bad_header",
+            ProtoError::UnsupportedVersion(_) => "unsupported_version",
+            ProtoError::FrameTooLarge { .. } => "frame_too_large",
+            ProtoError::BadJson(_) => "bad_json",
+            ProtoError::BadMessage(_) => "bad_message",
+            ProtoError::Remote { .. } => "remote",
+        }
+    }
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "i/o error: {e}"),
+            ProtoError::Closed => write!(f, "connection closed"),
+            ProtoError::BadHeader(line) => write!(f, "bad frame header: {line:?}"),
+            ProtoError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported protocol version {v} (this build speaks {PROTO_VERSION})"
+                )
+            }
+            ProtoError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max} byte cap")
+            }
+            ProtoError::BadJson(e) => write!(f, "frame payload is not JSON: {e}"),
+            ProtoError::BadMessage(msg) => write!(f, "bad message: {msg}"),
+            ProtoError::Remote { code, message } => write!(f, "server error [{code}]: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+/// Writes one frame (header, payload, terminator) and flushes.
+///
+/// The [`MAX_FRAME_BYTES`] cap is enforced on this side too: a payload the
+/// peer would fatally reject is refused with [`io::ErrorKind::InvalidData`]
+/// *before* any bytes hit the stream, so the connection stays in sync and
+/// the caller can substitute a small `error` reply instead.
+pub fn write_frame<W: Write>(w: &mut W, payload: &Json) -> io::Result<()> {
+    let body = payload.to_string();
+    if body.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "frame of {} bytes exceeds the {MAX_FRAME_BYTES} byte cap (split the batch)",
+                body.len()
+            ),
+        ));
+    }
+    write!(w, "pcp{PROTO_VERSION} {}\n{body}\n", body.len())?;
+    w.flush()
+}
+
+/// Reads one frame, returning its decoded JSON payload.
+///
+/// Framing defects (bad magic, oversized length, truncated payload) are
+/// fatal; a payload that is not valid JSON is recoverable because exactly
+/// `len + 1` bytes were consumed either way.
+pub fn read_frame<R: BufRead>(r: &mut R) -> Result<Json, ProtoError> {
+    let mut header: Vec<u8> = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        let n = r.read(&mut byte)?;
+        if n == 0 {
+            if header.is_empty() {
+                return Err(ProtoError::Closed);
+            }
+            return Err(ProtoError::BadHeader(
+                String::from_utf8_lossy(&header).into_owned(),
+            ));
+        }
+        if byte[0] == b'\n' {
+            break;
+        }
+        header.push(byte[0]);
+        if header.len() > MAX_HEADER_BYTES {
+            return Err(ProtoError::BadHeader(
+                String::from_utf8_lossy(&header).into_owned(),
+            ));
+        }
+    }
+    let text = std::str::from_utf8(&header)
+        .map_err(|_| ProtoError::BadHeader(String::from_utf8_lossy(&header).into_owned()))?;
+    let bad = || ProtoError::BadHeader(text.to_string());
+    let rest = text.strip_prefix("pcp").ok_or_else(bad)?;
+    let (version, len) = rest.split_once(' ').ok_or_else(bad)?;
+    let version: u64 = version.parse().map_err(|_| bad())?;
+    if version != PROTO_VERSION {
+        return Err(ProtoError::UnsupportedVersion(version));
+    }
+    let len: usize = len.parse().map_err(|_| bad())?;
+    if len > MAX_FRAME_BYTES {
+        return Err(ProtoError::FrameTooLarge {
+            len,
+            max: MAX_FRAME_BYTES,
+        });
+    }
+    let mut body = vec![0u8; len + 1];
+    r.read_exact(&mut body)?;
+    if body.pop() != Some(b'\n') {
+        return Err(ProtoError::BadHeader(
+            "frame missing terminator".to_string(),
+        ));
+    }
+    let text = std::str::from_utf8(&body)
+        .map_err(|_| ProtoError::BadMessage("frame payload is not UTF-8".to_string()))?;
+    Json::parse(text).map_err(ProtoError::BadJson)
+}
+
+/// A decoded client → server message.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Version handshake; must be the first frame of a connection.
+    Hello {
+        /// The client's protocol version.
+        proto: u64,
+    },
+    /// Execute one query.
+    Solve(QueryRequest),
+    /// Execute a batch of queries, optionally against a shared graph.
+    Batch {
+        /// Graph shared by requests using [`GraphSpec::Shared`].
+        shared: Option<GraphSpec>,
+        /// The queries, answered in order.
+        requests: Vec<QueryRequest>,
+    },
+    /// Snapshot the engine's cache counters.
+    Stats,
+    /// Stop the daemon (it finishes this reply, then exits its accept loop).
+    Shutdown,
+}
+
+impl Request {
+    /// Decodes a request frame payload.
+    pub fn from_json(value: &Json) -> Result<Request, ProtoError> {
+        let kind = value
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ProtoError::BadMessage("missing string field 'type'".to_string()))?;
+        match kind {
+            "hello" => {
+                let proto = value.get("proto").and_then(Json::as_u64).ok_or_else(|| {
+                    ProtoError::BadMessage("hello needs a numeric 'proto' field".to_string())
+                })?;
+                Ok(Request::Hello { proto })
+            }
+            "solve" => {
+                let request = QueryRequest::from_json(value)
+                    .map_err(|e| ProtoError::BadMessage(e.to_string()))?;
+                Ok(Request::Solve(request))
+            }
+            "batch" => {
+                let shared = match value.get("shared") {
+                    None | Some(Json::Null) => None,
+                    Some(spec) => Some(
+                        GraphSpec::from_json(spec)
+                            .map_err(|e| ProtoError::BadMessage(e.to_string()))?,
+                    ),
+                };
+                let Some(Json::Arr(items)) = value.get("requests") else {
+                    return Err(ProtoError::BadMessage(
+                        "batch needs an array field 'requests'".to_string(),
+                    ));
+                };
+                let requests = items
+                    .iter()
+                    .map(|item| {
+                        QueryRequest::from_json(item)
+                            .map_err(|e| ProtoError::BadMessage(e.to_string()))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Request::Batch { shared, requests })
+            }
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(ProtoError::BadMessage(format!(
+                "unknown message type '{other}'"
+            ))),
+        }
+    }
+
+    /// Encodes the request as a frame payload (client side).
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Hello { proto } => Json::obj(vec![
+                ("type", Json::str("hello")),
+                ("proto", Json::num(*proto)),
+            ]),
+            Request::Solve(request) => {
+                let mut fields = vec![("type".to_string(), Json::str("solve"))];
+                if let Json::Obj(query_fields) = request.to_json() {
+                    fields.extend(query_fields);
+                }
+                Json::Obj(fields)
+            }
+            Request::Batch { shared, requests } => {
+                let mut fields = vec![("type", Json::str("batch"))];
+                let shared_json = shared.as_ref().and_then(GraphSpec::to_json);
+                if let Some(spec) = shared_json {
+                    fields.push(("shared", spec));
+                }
+                fields.push((
+                    "requests",
+                    Json::Arr(requests.iter().map(QueryRequest::to_json).collect()),
+                ));
+                Json::obj(fields)
+            }
+            Request::Stats => Json::obj(vec![("type", Json::str("stats"))]),
+            Request::Shutdown => Json::obj(vec![("type", Json::str("shutdown"))]),
+        }
+    }
+}
+
+/// After dispatching a request: keep serving this connection or begin
+/// daemon shutdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Keep reading frames.
+    Continue,
+    /// The peer asked the daemon to stop.
+    Shutdown,
+}
+
+/// Serves one decoded request against an engine, producing the reply frame
+/// payload and the follow-up action. This is the whole server semantics;
+/// [`crate::daemon`] only adds the transport around it.
+pub fn dispatch(engine: &QueryEngine, request: &Request) -> (Json, Action) {
+    match request {
+        Request::Hello { proto } => {
+            if *proto == PROTO_VERSION {
+                (hello_reply(), Action::Continue)
+            } else {
+                (
+                    error_reply(
+                        "unsupported_version",
+                        &format!("server speaks pcp{PROTO_VERSION}, client sent pcp{proto}"),
+                    ),
+                    Action::Continue,
+                )
+            }
+        }
+        Request::Solve(query) => {
+            let response = engine.execute(query);
+            (response_reply(&response), Action::Continue)
+        }
+        Request::Batch { shared, requests } => {
+            let responses = engine.execute_batch(shared.as_ref(), requests);
+            (batch_reply(&responses), Action::Continue)
+        }
+        Request::Stats => (
+            stats_reply(&engine.cache_stats(), &engine.cache_shard_stats()),
+            Action::Continue,
+        ),
+        Request::Shutdown => (shutdown_reply(), Action::Shutdown),
+    }
+}
+
+/// The server's `hello` reply.
+pub fn hello_reply() -> Json {
+    Json::obj(vec![
+        ("type", Json::str("hello")),
+        ("proto", Json::num(PROTO_VERSION)),
+        ("server", Json::str(SERVER_NAME)),
+    ])
+}
+
+/// Wraps one query response in a `response` reply.
+pub fn response_reply(response: &QueryResponse) -> Json {
+    Json::obj(vec![
+        ("type", Json::str("response")),
+        ("response", response.to_json()),
+    ])
+}
+
+/// Wraps a batch's responses in a `batch` reply.
+pub fn batch_reply(responses: &[QueryResponse]) -> Json {
+    Json::obj(vec![
+        ("type", Json::str("batch")),
+        (
+            "responses",
+            Json::Arr(responses.iter().map(QueryResponse::to_json).collect()),
+        ),
+    ])
+}
+
+fn shard_stats_json(shard: &ShardStats) -> Json {
+    Json::obj(vec![
+        ("hits", Json::num(shard.hits)),
+        ("misses", Json::num(shard.misses)),
+        ("evictions", Json::num(shard.evictions)),
+        ("entries", Json::num(shard.entries as u64)),
+    ])
+}
+
+/// Wraps cache counters in a `stats` reply.
+pub fn stats_reply(stats: &CacheStats, shards: &[ShardStats]) -> Json {
+    Json::obj(vec![
+        ("type", Json::str("stats")),
+        (
+            "stats",
+            Json::obj(vec![
+                ("hits", Json::num(stats.hits)),
+                ("misses", Json::num(stats.misses)),
+                ("evictions", Json::num(stats.evictions)),
+                ("entries", Json::num(stats.entries as u64)),
+                ("shards", Json::num(stats.shards as u64)),
+                ("hit_rate", Json::Num(stats.hit_rate())),
+                (
+                    "per_shard",
+                    Json::Arr(shards.iter().map(shard_stats_json).collect()),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// The `shutdown_ok` reply.
+pub fn shutdown_reply() -> Json {
+    Json::obj(vec![("type", Json::str("shutdown_ok"))])
+}
+
+/// An `error` reply. Used both for [`ProtoError`]s and for version refusals.
+pub fn error_reply(code: &str, message: &str) -> Json {
+    Json::obj(vec![
+        ("type", Json::str("error")),
+        ("code", Json::str(code)),
+        ("message", Json::str(message)),
+    ])
+}
+
+/// Checks a reply frame's `"type"` tag, converting `error` replies into
+/// [`ProtoError::Remote`].
+fn expect_reply(value: Json, expected: &str) -> Result<Json, ProtoError> {
+    let kind = value
+        .get("type")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ProtoError::BadMessage("reply missing 'type'".to_string()))?;
+    if kind == "error" {
+        return Err(ProtoError::Remote {
+            code: value
+                .get("code")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown")
+                .to_string(),
+            message: value
+                .get("message")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+        });
+    }
+    if kind != expected {
+        return Err(ProtoError::BadMessage(format!(
+            "expected '{expected}' reply, got '{kind}'"
+        )));
+    }
+    Ok(value)
+}
+
+/// A protocol client over any bidirectional byte stream.
+///
+/// The transport is generic: [`crate::daemon`] instantiates it over a unix
+/// socket, tests can run it over an in-memory pipe. Construction performs
+/// the `hello` handshake.
+pub struct Client<S: io::Read + io::Write> {
+    stream: io::BufReader<S>,
+}
+
+impl<S: io::Read + io::Write> Client<S> {
+    /// Performs the `hello` handshake and returns the connected client.
+    pub fn connect(stream: S) -> Result<Self, ProtoError> {
+        let mut client = Client {
+            stream: io::BufReader::new(stream),
+        };
+        let hello = Request::Hello {
+            proto: PROTO_VERSION,
+        };
+        let reply = client.round_trip(&hello.to_json(), "hello")?;
+        let proto = reply.get("proto").and_then(Json::as_u64).unwrap_or(0);
+        if proto != PROTO_VERSION {
+            return Err(ProtoError::UnsupportedVersion(proto));
+        }
+        Ok(client)
+    }
+
+    fn round_trip(&mut self, payload: &Json, expected: &str) -> Result<Json, ProtoError> {
+        write_frame(self.stream.get_mut(), payload)?;
+        let reply = read_frame(&mut self.stream)?;
+        expect_reply(reply, expected)
+    }
+
+    /// Executes one query remotely; returns the response object (the
+    /// [`QueryResponse::to_json`] shape).
+    pub fn solve(&mut self, request: &QueryRequest) -> Result<Json, ProtoError> {
+        let reply = self.round_trip(&Request::Solve(request.clone()).to_json(), "response")?;
+        reply
+            .get("response")
+            .cloned()
+            .ok_or_else(|| ProtoError::BadMessage("response reply missing payload".to_string()))
+    }
+
+    /// Executes a batch remotely; returns the response objects in request
+    /// order.
+    pub fn batch(
+        &mut self,
+        shared: Option<GraphSpec>,
+        requests: Vec<QueryRequest>,
+    ) -> Result<Vec<Json>, ProtoError> {
+        let reply = self.round_trip(&Request::Batch { shared, requests }.to_json(), "batch")?;
+        match reply.get("responses") {
+            Some(Json::Arr(items)) => Ok(items.clone()),
+            _ => Err(ProtoError::BadMessage(
+                "batch reply missing 'responses' array".to_string(),
+            )),
+        }
+    }
+
+    /// Fetches the daemon's cache statistics object.
+    pub fn stats(&mut self) -> Result<Json, ProtoError> {
+        let reply = self.round_trip(&Request::Stats.to_json(), "stats")?;
+        reply
+            .get("stats")
+            .cloned()
+            .ok_or_else(|| ProtoError::BadMessage("stats reply missing payload".to_string()))
+    }
+
+    /// Asks the daemon to shut down; returns after the acknowledgement.
+    pub fn shutdown(&mut self) -> Result<(), ProtoError> {
+        self.round_trip(&Request::Shutdown.to_json(), "shutdown_ok")?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::QueryKind;
+
+    fn frame_bytes(payload: &Json) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_frame(&mut out, payload).unwrap();
+        out
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let payload = Json::obj(vec![
+            ("type", Json::str("solve")),
+            ("cotree", Json::str("(j a b)\nwith a newline")),
+        ]);
+        let bytes = frame_bytes(&payload);
+        let text = String::from_utf8(bytes.clone()).unwrap();
+        assert!(
+            text.starts_with("pcp1 "),
+            "header carries the version: {text}"
+        );
+        let mut reader = io::BufReader::new(&bytes[..]);
+        assert_eq!(read_frame(&mut reader).unwrap(), payload);
+        // The stream is exactly consumed: the next read is a clean EOF.
+        assert!(matches!(read_frame(&mut reader), Err(ProtoError::Closed)));
+    }
+
+    #[test]
+    fn back_to_back_frames_stay_in_sync() {
+        let a = Json::obj(vec![("type", Json::str("stats"))]);
+        let b = Json::obj(vec![("type", Json::str("shutdown"))]);
+        let mut bytes = frame_bytes(&a);
+        bytes.extend(frame_bytes(&b));
+        let mut reader = io::BufReader::new(&bytes[..]);
+        assert_eq!(read_frame(&mut reader).unwrap(), a);
+        assert_eq!(read_frame(&mut reader).unwrap(), b);
+    }
+
+    #[test]
+    fn bad_json_payload_is_recoverable_and_keeps_sync() {
+        let mut bytes = b"pcp1 9\nnot json!\n".to_vec();
+        bytes.extend(frame_bytes(&Json::obj(vec![("type", Json::str("stats"))])));
+        let mut reader = io::BufReader::new(&bytes[..]);
+        let err = read_frame(&mut reader).unwrap_err();
+        assert!(matches!(err, ProtoError::BadJson(_)));
+        assert!(err.is_recoverable());
+        // The malformed payload was fully consumed; the next frame parses.
+        assert!(read_frame(&mut reader).is_ok());
+    }
+
+    #[test]
+    fn framing_defects_are_fatal() {
+        for (bytes, name) in [
+            (b"GET / HTTP/1.1\r\n".to_vec(), "http"),
+            (b"pcp1 notanumber\n".to_vec(), "bad length"),
+            (b"xyz1 5\nabcde\n".to_vec(), "bad magic"),
+            (vec![b'p'; 200], "unterminated header"),
+        ] {
+            let mut reader = io::BufReader::new(&bytes[..]);
+            let err = read_frame(&mut reader).unwrap_err();
+            assert!(!err.is_recoverable(), "{name} must be fatal, got {err:?}");
+        }
+        let mut reader = io::BufReader::new(&b"pcp2 2\n{}\n"[..]);
+        assert!(matches!(
+            read_frame(&mut reader),
+            Err(ProtoError::UnsupportedVersion(2))
+        ));
+    }
+
+    #[test]
+    fn oversized_writes_are_refused_before_any_bytes() {
+        let payload = Json::str("x".repeat(MAX_FRAME_BYTES + 1));
+        let mut out = Vec::new();
+        let err = write_frame(&mut out, &payload).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(out.is_empty(), "stream must stay untouched and in sync");
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_before_allocation() {
+        let header = format!("pcp1 {}\n", MAX_FRAME_BYTES + 1);
+        let mut reader = io::BufReader::new(header.as_bytes());
+        assert!(matches!(
+            read_frame(&mut reader),
+            Err(ProtoError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn requests_round_trip_through_json() {
+        let solve = Request::Solve(
+            QueryRequest::new(
+                QueryKind::MinCoverSize,
+                GraphSpec::CotreeTerm("(j a b)".to_string()),
+            )
+            .with_id("q1"),
+        );
+        match Request::from_json(&solve.to_json()).unwrap() {
+            Request::Solve(req) => {
+                assert_eq!(req.id.as_deref(), Some("q1"));
+                assert_eq!(req.kind, QueryKind::MinCoverSize);
+                assert!(matches!(req.graph, GraphSpec::CotreeTerm(ref t) if t == "(j a b)"));
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+
+        let batch = Request::Batch {
+            shared: Some(GraphSpec::EdgeList("0 1\n".to_string())),
+            requests: vec![QueryRequest::new(QueryKind::Recognize, GraphSpec::Shared)],
+        };
+        match Request::from_json(&batch.to_json()).unwrap() {
+            Request::Batch { shared, requests } => {
+                assert!(matches!(shared, Some(GraphSpec::EdgeList(_))));
+                assert_eq!(requests.len(), 1);
+                assert!(matches!(requests[0].graph, GraphSpec::Shared));
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+
+        for simple in [
+            Request::Stats,
+            Request::Shutdown,
+            Request::Hello { proto: 1 },
+        ] {
+            assert!(Request::from_json(&simple.to_json()).is_ok());
+        }
+    }
+
+    #[test]
+    fn malformed_messages_are_typed() {
+        for bad in [
+            r#"{"no_type":1}"#,
+            r#"{"type":"launch_missiles"}"#,
+            r#"{"type":"hello"}"#,
+            r#"{"type":"batch"}"#,
+            r#"{"type":"solve"}"#, // missing 'kind'
+        ] {
+            let value = Json::parse(bad).unwrap();
+            let err = Request::from_json(&value).unwrap_err();
+            assert!(matches!(err, ProtoError::BadMessage(_)), "for {bad}");
+            assert!(err.is_recoverable());
+        }
+        // A solve without a graph field targets the (absent) shared graph:
+        // structurally valid, fails later in the engine, not the protocol.
+        let value = Json::parse(r#"{"type":"solve","kind":"recognize"}"#).unwrap();
+        assert!(Request::from_json(&value).is_ok());
+    }
+
+    #[test]
+    fn dispatch_answers_each_request_kind() {
+        let engine = QueryEngine::default();
+        let (reply, action) = dispatch(
+            &engine,
+            &Request::Hello {
+                proto: PROTO_VERSION,
+            },
+        );
+        assert_eq!(reply.get("type").and_then(Json::as_str), Some("hello"));
+        assert_eq!(action, Action::Continue);
+
+        let (reply, _) = dispatch(&engine, &Request::Hello { proto: 99 });
+        assert_eq!(reply.get("type").and_then(Json::as_str), Some("error"));
+
+        let query = QueryRequest::new(
+            QueryKind::MinCoverSize,
+            GraphSpec::CotreeTerm("(j a b c)".to_string()),
+        );
+        let (reply, _) = dispatch(&engine, &Request::Solve(query.clone()));
+        assert_eq!(reply.get("type").and_then(Json::as_str), Some("response"));
+        assert_eq!(
+            reply
+                .get("response")
+                .and_then(|r| r.get("answer"))
+                .and_then(|a| a.get("size"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+
+        let (reply, _) = dispatch(
+            &engine,
+            &Request::Batch {
+                shared: None,
+                requests: vec![query.clone(), query],
+            },
+        );
+        let Some(Json::Arr(responses)) = reply.get("responses") else {
+            panic!("batch reply missing responses: {reply}");
+        };
+        assert_eq!(responses.len(), 2);
+
+        let (reply, _) = dispatch(&engine, &Request::Stats);
+        let stats = reply.get("stats").expect("stats payload");
+        assert!(stats.get("hits").and_then(Json::as_u64).is_some());
+        assert_eq!(
+            stats.get("per_shard").map(|s| matches!(s, Json::Arr(_))),
+            Some(true)
+        );
+
+        let (reply, action) = dispatch(&engine, &Request::Shutdown);
+        assert_eq!(
+            reply.get("type").and_then(Json::as_str),
+            Some("shutdown_ok")
+        );
+        assert_eq!(action, Action::Shutdown);
+    }
+}

@@ -1,0 +1,157 @@
+//! Daemon round-trip: a unix-socket daemon must answer the same 100-cotree
+//! workload as direct `QueryEngine` calls byte-for-byte (modulo timing
+//! metadata), its cache must show cross-connection hits, and a second
+//! client connecting later must observe a warm cache on its very first
+//! request.
+#![cfg(unix)]
+
+use cograph::{random_cotree, CotreeShape};
+use pcservice::daemon::{connect, Daemon, DaemonConfig};
+use pcservice::{
+    EngineConfig, GraphSpec, Json, QueryEngine, QueryKind, QueryRequest, QueryResponse,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn hundred_cotrees() -> Vec<cograph::Cotree> {
+    let mut rng = ChaCha8Rng::seed_from_u64(555);
+    let shapes = CotreeShape::ALL;
+    (0..100)
+        .map(|i| {
+            let n = 2 + (i * 7) % 60;
+            random_cotree(n, shapes[i % shapes.len()], &mut rng)
+        })
+        .collect()
+}
+
+/// The workload: three query kinds per cotree, graphs shipped as edge-list
+/// text (the lowering `--remote` clients use), ids marking the origin.
+fn workload() -> Vec<QueryRequest> {
+    hundred_cotrees()
+        .iter()
+        .enumerate()
+        .flat_map(|(i, tree)| {
+            let graph = GraphSpec::Graph(tree.to_graph());
+            [
+                QueryRequest::new(QueryKind::MinCoverSize, graph.clone())
+                    .with_id(format!("size-{i}")),
+                QueryRequest::new(QueryKind::FullCover, graph.clone())
+                    .with_id(format!("cover-{i}")),
+                QueryRequest::new(QueryKind::HamiltonianPath, graph).with_id(format!("ham-{i}")),
+            ]
+        })
+        .collect()
+}
+
+/// Strips the timing fields (`solve_us`, `total_us`) every response carries;
+/// everything else — answers, witnesses, cache disposition, canonical keys —
+/// must match exactly.
+fn strip_timing(value: &Json) -> Json {
+    match value {
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .iter()
+                .filter(|(k, _)| k != "solve_us" && k != "total_us")
+                .map(|(k, v)| (k.clone(), strip_timing(v)))
+                .collect(),
+        ),
+        Json::Arr(items) => Json::Arr(items.iter().map(strip_timing).collect()),
+        other => other.clone(),
+    }
+}
+
+fn temp_socket() -> PathBuf {
+    std::env::temp_dir().join(format!("pcservice-roundtrip-{}.sock", std::process::id()))
+}
+
+/// Single-threaded engines on both sides so the hit/miss sequence (part of
+/// every response's metadata) is deterministic and must agree exactly.
+fn engine_config() -> EngineConfig {
+    EngineConfig {
+        threads: 1,
+        ..EngineConfig::default()
+    }
+}
+
+#[test]
+fn daemon_matches_direct_engine_and_cache_survives_across_connections() {
+    let socket = temp_socket();
+    let mut config = DaemonConfig::new(&socket);
+    config.idle_timeout = Duration::from_secs(10);
+    config.engine = engine_config();
+    let daemon = Daemon::bind(config).expect("bind daemon socket");
+    let server = std::thread::spawn(move || daemon.run());
+
+    let requests = workload();
+
+    // Direct, in-process baseline with the identical engine configuration.
+    let direct_engine = QueryEngine::new(engine_config());
+    let direct: Vec<Json> = direct_engine
+        .execute_batch(None, &requests)
+        .iter()
+        .map(QueryResponse::to_json)
+        .collect();
+
+    // First client: the same workload through the socket.
+    let mut first = connect(&socket).expect("first client connects");
+    let remote = first
+        .batch(None, requests.clone())
+        .expect("remote batch succeeds");
+    assert_eq!(remote.len(), direct.len());
+    for (i, (remote_resp, direct_resp)) in remote.iter().zip(&direct).enumerate() {
+        assert_eq!(
+            strip_timing(remote_resp).to_string(),
+            strip_timing(direct_resp).to_string(),
+            "response {i} ({:?}) diverges between daemon and direct engine",
+            requests[i].id
+        );
+    }
+
+    // The workload queries each graph three times: the daemon's cache must
+    // have served the repeats.
+    let stats_after_first = first.stats().expect("stats");
+    let hits = |s: &Json| s.get("hits").and_then(Json::as_u64).unwrap_or(0);
+    assert!(
+        hits(&stats_after_first) >= 200,
+        "three queries per graph must produce at least two hits each, stats: {stats_after_first}"
+    );
+    drop(first);
+
+    // Second client, connecting later: its very first request must land in
+    // the cache another connection warmed.
+    let mut second = connect(&socket).expect("second client connects");
+    let response = second.solve(&requests[0]).expect("warm solve");
+    assert_eq!(
+        response
+            .get("meta")
+            .and_then(|m| m.get("cache"))
+            .and_then(Json::as_str),
+        Some("hit"),
+        "second connection's first request missed the warm cache: {response}"
+    );
+    let stats_after_second = second.stats().expect("stats");
+    assert!(
+        hits(&stats_after_second) > hits(&stats_after_first),
+        "cross-connection hit not visible in stats"
+    );
+    let rate = stats_after_second
+        .get("hit_rate")
+        .map(|r| match r {
+            Json::Num(x) => *x,
+            _ => 0.0,
+        })
+        .unwrap_or(0.0);
+    assert!(
+        rate > 0.0,
+        "hit rate must be positive: {stats_after_second}"
+    );
+
+    second.shutdown().expect("graceful shutdown");
+    server
+        .join()
+        .expect("daemon thread")
+        .expect("daemon exits cleanly");
+    assert!(!socket.exists(), "socket file cleaned up");
+}
