@@ -1,12 +1,12 @@
 //! `pathcover-cli` — command-line front-end of the `pcservice` query engine.
 //!
 //! ```text
-//! pathcover-cli solve <graph|-> [--format F] [--query KIND] [--json] [--no-verify] [--remote SOCK]
-//! pathcover-cli recognize <graph|-> [--format F] [--json] [--remote SOCK]
-//! pathcover-cli batch <graph|-|none> <queries.jsonl|-> [--threads N] [--format F] [--human] [--remote SOCK]
-//! pathcover-cli serve --socket SOCK [--threads N] [--cache-capacity N] [--cache-shards N] [--idle-timeout-ms MS] [--no-verify]
-//! pathcover-cli stats --remote SOCK [--json]
-//! pathcover-cli shutdown --remote SOCK
+//! pathcover-cli solve <graph|-> [--format F] [--query KIND] [--json] [--no-verify] [--remote SOCK | --remote-http ADDR]
+//! pathcover-cli recognize <graph|-> [--format F] [--json] [--remote SOCK | --remote-http ADDR]
+//! pathcover-cli batch <graph|-|none> <queries.jsonl|-> [--threads N] [--format F] [--human] [--remote SOCK | --remote-http ADDR]
+//! pathcover-cli serve [--socket SOCK] [--http ADDR] [--threads N] [--cache-capacity N] [--cache-shards N] [--idle-timeout-ms MS] [--no-verify]
+//! pathcover-cli stats (--remote SOCK | --remote-http ADDR) [--json]
+//! pathcover-cli shutdown (--remote SOCK | --remote-http ADDR)
 //! pathcover-cli bench [--batches 1,64,4096] [--threads 1,2,4,8] [--n 64] [--json FILE]
 //! ```
 //!
@@ -17,10 +17,12 @@
 //! query; per-job failures are reported in their own line and never abort
 //! the batch.
 //!
-//! `serve` runs the engine as a long-lived daemon on a unix socket;
-//! `--remote SOCK` turns `solve`/`recognize`/`batch` into thin clients of
-//! one, so repeated invocations share the daemon's warm cotree cache
-//! instead of paying recognition each time. Without `--remote` the
+//! `serve` runs the engine as a long-lived daemon on a unix socket
+//! (`--socket`, framed `pcp1` protocol), a TCP socket (`--http`, HTTP/1.1
+//! routes), or both at once over one shared cache; `--remote SOCK` /
+//! `--remote-http ADDR` turn `solve`/`recognize`/`batch` into thin clients
+//! of one, so repeated invocations share the daemon's warm cotree cache
+//! instead of paying recognition each time. Without a remote flag the
 //! subcommands run in-process exactly as before.
 
 use pcservice::{
@@ -65,13 +67,15 @@ fn main() -> ExitCode {
 const USAGE: &str = "pathcover-cli — batched minimum path cover queries on cographs
 
 USAGE:
-    pathcover-cli solve <graph|-> [--format F] [--query KIND] [--json] [--no-verify] [--remote SOCK]
-    pathcover-cli recognize <graph|-> [--format F] [--json] [--remote SOCK]
-    pathcover-cli batch <graph|-|none> <queries.jsonl|-> [--threads N] [--format F] [--human] [--remote SOCK]
-    pathcover-cli serve --socket SOCK [--threads N] [--cache-capacity N] [--cache-shards N]
-                        [--idle-timeout-ms MS] [--no-verify]
-    pathcover-cli stats --remote SOCK [--json]
-    pathcover-cli shutdown --remote SOCK
+    pathcover-cli solve <graph|-> [--format F] [--query KIND] [--json] [--no-verify]
+                        [--remote SOCK | --remote-http ADDR]
+    pathcover-cli recognize <graph|-> [--format F] [--json] [--remote SOCK | --remote-http ADDR]
+    pathcover-cli batch <graph|-|none> <queries.jsonl|-> [--threads N] [--format F] [--human]
+                        [--remote SOCK | --remote-http ADDR]
+    pathcover-cli serve [--socket SOCK] [--http ADDR] [--threads N] [--cache-capacity N]
+                        [--cache-shards N] [--idle-timeout-ms MS] [--no-verify]
+    pathcover-cli stats (--remote SOCK | --remote-http ADDR) [--json]
+    pathcover-cli shutdown (--remote SOCK | --remote-http ADDR)
     pathcover-cli bench [--batches 1,64,4096] [--threads 1,2,4,8] [--n 64] [--json FILE]
 
 FORMATS (sniffed from content when --format is omitted):
@@ -83,9 +87,11 @@ QUERY KINDS:
     min_cover_size | full_cover | hamiltonian_path | hamiltonian_cycle | recognize
 
 SERVING:
-    'serve' owns a unix socket and a shared cotree cache; '--remote SOCK' makes
-    solve/recognize/batch thin clients of it. 'stats' snapshots the daemon's
-    cache counters; 'shutdown' stops it gracefully.";
+    'serve' owns a shared cotree cache behind a unix socket (--socket, framed
+    pcp1 protocol), an HTTP/1.1 listener (--http ADDR; --http 127.0.0.1:0
+    picks a free port), or both at once. '--remote SOCK' / '--remote-http ADDR'
+    make solve/recognize/batch thin clients of it. 'stats' snapshots the
+    daemon's cache counters; 'shutdown' stops it gracefully.";
 
 /// Pull the value of `--flag VALUE` out of `args`, if present.
 fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
@@ -152,7 +158,7 @@ fn cmd_solve(args: &[String], recognize_mode: bool) -> Result<ExitCode, String> 
     let mut args = args.to_vec();
     let format = take_flag(&mut args, "--format")?;
     let query = take_flag(&mut args, "--query")?;
-    let remote = take_flag(&mut args, "--remote")?;
+    let remote = take_remote(&mut args)?;
     let json = take_switch(&mut args, "--json");
     let no_verify = take_switch(&mut args, "--no-verify");
     let [graph_path] = args.as_slice() else {
@@ -174,11 +180,11 @@ fn cmd_solve(args: &[String], recognize_mode: bool) -> Result<ExitCode, String> 
     let spec = graph_spec(read_input(graph_path)?, format.as_deref())?;
     let request = QueryRequest::new(kind, spec);
     let response_json = match remote {
-        Some(socket) => {
+        Some(target) => {
             if no_verify {
                 return Err("--no-verify is a server-side setting; configure it on 'serve'".into());
             }
-            let mut client = remote_client(&socket)?;
+            let mut client = target.connect()?;
             client
                 .solve(&request)
                 .map_err(|e| format!("remote solve: {e}"))?
@@ -301,11 +307,11 @@ fn print_human_json(response: &Json) {
 fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
     let mut args = args.to_vec();
     let format = take_flag(&mut args, "--format")?;
-    let remote = take_flag(&mut args, "--remote")?;
+    let remote = take_remote(&mut args)?;
     let threads_flag = take_flag(&mut args, "--threads")?;
     if remote.is_some() && threads_flag.is_some() {
         return Err(
-            "--threads is a server-side setting when --remote is used; configure it on 'serve'"
+            "--threads is a server-side setting when a remote is used; configure it on 'serve'"
                 .to_string(),
         );
     }
@@ -360,8 +366,8 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
     let request_objs: Vec<QueryRequest> = requests.iter().map(|(_, r)| r.clone()).collect();
     let started = Instant::now();
     let (responses, stats_line) = match &remote {
-        Some(socket) => {
-            let mut client = remote_client(socket)?;
+        Some(target) => {
+            let mut client = target.connect()?;
             let responses = client
                 .batch(shared, request_objs)
                 .map_err(|e| format!("remote batch: {e}"))?;
@@ -445,16 +451,93 @@ fn render_stats_summary(stats: &Json) -> String {
     )
 }
 
-#[cfg(unix)]
-fn remote_client(
-    socket: &str,
-) -> Result<pcservice::proto::Client<std::os::unix::net::UnixStream>, String> {
-    pcservice::daemon::connect(socket).map_err(|e| format!("connecting to {socket}: {e}"))
+/// Which remote daemon transport a subcommand targets.
+enum RemoteTarget {
+    /// `--remote SOCK`: the framed protocol over a unix socket.
+    Socket(String),
+    /// `--remote-http ADDR`: the HTTP/1.1 front-end.
+    Http(String),
 }
 
-#[cfg(not(unix))]
-fn remote_client(_socket: &str) -> Result<pcservice::proto::Client<std::io::Empty>, String> {
-    Err("--remote requires unix domain sockets, unavailable on this platform".to_string())
+/// Pulls `--remote SOCK` / `--remote-http ADDR` out of `args` (at most one).
+fn take_remote(args: &mut Vec<String>) -> Result<Option<RemoteTarget>, String> {
+    let socket = take_flag(args, "--remote")?;
+    let http = take_flag(args, "--remote-http")?;
+    match (socket, http) {
+        (Some(_), Some(_)) => Err("--remote and --remote-http are mutually exclusive".to_string()),
+        (Some(socket), None) => Ok(Some(RemoteTarget::Socket(socket))),
+        (None, Some(addr)) => Ok(Some(RemoteTarget::Http(addr))),
+        (None, None) => Ok(None),
+    }
+}
+
+impl RemoteTarget {
+    fn connect(&self) -> Result<RemoteClient, String> {
+        match self {
+            #[cfg(unix)]
+            RemoteTarget::Socket(socket) => pcservice::daemon::connect(socket)
+                .map(RemoteClient::Socket)
+                .map_err(|e| format!("connecting to {socket}: {e}")),
+            #[cfg(not(unix))]
+            RemoteTarget::Socket(_) => Err(
+                "--remote requires unix domain sockets, unavailable on this platform; \
+                     use --remote-http"
+                    .to_string(),
+            ),
+            RemoteTarget::Http(addr) => pcservice::http::Client::connect(addr)
+                .map(RemoteClient::Http)
+                .map_err(|e| format!("connecting to http://{addr}: {e}")),
+        }
+    }
+}
+
+/// A connected client of either transport. Both answer with identical reply
+/// payloads (the HTTP front-end reuses the framed protocol's dispatch —
+/// see `pcservice::http`), so every subcommand is transport-agnostic.
+enum RemoteClient {
+    #[cfg(unix)]
+    Socket(pcservice::proto::Client<std::os::unix::net::UnixStream>),
+    Http(pcservice::http::Client),
+}
+
+impl RemoteClient {
+    fn solve(&mut self, request: &QueryRequest) -> Result<Json, String> {
+        match self {
+            #[cfg(unix)]
+            RemoteClient::Socket(client) => client.solve(request).map_err(|e| e.to_string()),
+            RemoteClient::Http(client) => client.solve(request).map_err(|e| e.to_string()),
+        }
+    }
+
+    fn batch(
+        &mut self,
+        shared: Option<GraphSpec>,
+        requests: Vec<QueryRequest>,
+    ) -> Result<Vec<Json>, String> {
+        match self {
+            #[cfg(unix)]
+            RemoteClient::Socket(client) => {
+                client.batch(shared, requests).map_err(|e| e.to_string())
+            }
+            RemoteClient::Http(client) => client.batch(shared, requests).map_err(|e| e.to_string()),
+        }
+    }
+
+    fn stats(&mut self) -> Result<Json, String> {
+        match self {
+            #[cfg(unix)]
+            RemoteClient::Socket(client) => client.stats().map_err(|e| e.to_string()),
+            RemoteClient::Http(client) => client.stats().map_err(|e| e.to_string()),
+        }
+    }
+
+    fn shutdown(&mut self) -> Result<(), String> {
+        match self {
+            #[cfg(unix)]
+            RemoteClient::Socket(client) => client.shutdown().map_err(|e| e.to_string()),
+            RemoteClient::Http(client) => client.shutdown().map_err(|e| e.to_string()),
+        }
+    }
 }
 
 fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
@@ -466,8 +549,13 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     #[cfg(unix)]
     {
         let mut args = args.to_vec();
-        let socket = take_flag(&mut args, "--socket")?
-            .ok_or_else(|| format!("'serve' needs --socket PATH\n{USAGE}"))?;
+        let socket = take_flag(&mut args, "--socket")?;
+        let http = take_flag(&mut args, "--http")?;
+        if socket.is_none() && http.is_none() {
+            return Err(format!(
+                "'serve' needs --socket PATH and/or --http ADDR\n{USAGE}"
+            ));
+        }
         let threads = take_num_flag(&mut args, "--threads", 0)?;
         let cache_capacity = take_num_flag(
             &mut args,
@@ -480,37 +568,50 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
         if !args.is_empty() {
             return Err(format!("unexpected arguments: {args:?}"));
         }
-        let mut config = pcservice::DaemonConfig::new(&socket);
-        config.idle_timeout = std::time::Duration::from_millis(idle_timeout_ms.max(1) as u64);
-        config.engine = EngineConfig {
-            threads,
-            verify_covers: !no_verify,
-            cache_capacity,
-            cache_shards,
-            ..EngineConfig::default()
+        let config = pcservice::DaemonConfig {
+            socket_path: socket.map(std::path::PathBuf::from),
+            http_addr: http,
+            idle_timeout: std::time::Duration::from_millis(idle_timeout_ms.max(1) as u64),
+            engine: EngineConfig {
+                threads,
+                verify_covers: !no_verify,
+                cache_capacity,
+                cache_shards,
+                ..EngineConfig::default()
+            },
         };
-        let daemon =
-            pcservice::Daemon::bind(config).map_err(|e| format!("binding {socket}: {e}"))?;
-        eprintln!(
-            "pathcover daemon serving on {socket} (proto pcp{}; send a shutdown frame or run \
-             'pathcover-cli shutdown --remote {socket}' to stop)",
-            pcservice::PROTO_VERSION
-        );
+        let daemon = pcservice::Daemon::bind(config).map_err(|e| format!("binding: {e}"))?;
+        if let Some(path) = daemon.socket_path() {
+            eprintln!(
+                "pathcover daemon serving on {} (proto pcp{}; run 'pathcover-cli shutdown \
+                 --remote {}' to stop)",
+                path.display(),
+                pcservice::PROTO_VERSION,
+                path.display()
+            );
+        }
+        if let Some(addr) = daemon.http_addr() {
+            // The resolved address matters when --http asked for port 0.
+            eprintln!(
+                "pathcover daemon serving http on {addr} (POST /v1/solve, POST /v1/batch, \
+                 GET /v1/stats, GET /healthz; POST /v1/shutdown to stop)"
+            );
+        }
         daemon.run().map_err(|e| format!("serving: {e}"))?;
-        eprintln!("pathcover daemon on {socket} stopped");
+        eprintln!("pathcover daemon stopped");
         Ok(ExitCode::SUCCESS)
     }
 }
 
 fn cmd_stats(args: &[String]) -> Result<ExitCode, String> {
     let mut args = args.to_vec();
-    let socket = take_flag(&mut args, "--remote")?
-        .ok_or_else(|| format!("'stats' needs --remote SOCK\n{USAGE}"))?;
+    let remote = take_remote(&mut args)?
+        .ok_or_else(|| format!("'stats' needs --remote SOCK or --remote-http ADDR\n{USAGE}"))?;
     let json = take_switch(&mut args, "--json");
     if !args.is_empty() {
         return Err(format!("unexpected arguments: {args:?}"));
     }
-    let mut client = remote_client(&socket)?;
+    let mut client = remote.connect()?;
     let stats = client.stats().map_err(|e| format!("remote stats: {e}"))?;
     if json {
         println!("{stats}");
@@ -545,16 +646,20 @@ fn cmd_stats(args: &[String]) -> Result<ExitCode, String> {
 
 fn cmd_shutdown(args: &[String]) -> Result<ExitCode, String> {
     let mut args = args.to_vec();
-    let socket = take_flag(&mut args, "--remote")?
-        .ok_or_else(|| format!("'shutdown' needs --remote SOCK\n{USAGE}"))?;
+    let remote = take_remote(&mut args)?
+        .ok_or_else(|| format!("'shutdown' needs --remote SOCK or --remote-http ADDR\n{USAGE}"))?;
     if !args.is_empty() {
         return Err(format!("unexpected arguments: {args:?}"));
     }
-    let mut client = remote_client(&socket)?;
+    let mut client = remote.connect()?;
     client
         .shutdown()
         .map_err(|e| format!("remote shutdown: {e}"))?;
-    eprintln!("daemon on {socket} acknowledged shutdown");
+    let endpoint = match &remote {
+        RemoteTarget::Socket(socket) => socket.clone(),
+        RemoteTarget::Http(addr) => format!("http://{addr}"),
+    };
+    eprintln!("daemon on {endpoint} acknowledged shutdown");
     Ok(ExitCode::SUCCESS)
 }
 

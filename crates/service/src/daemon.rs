@@ -1,30 +1,41 @@
-//! The unix-socket daemon: a long-lived [`QueryEngine`] behind an accept
-//! loop.
+//! The serving daemon: a long-lived [`QueryEngine`] behind one or more
+//! accept loops.
 //!
 //! The engine's cotree cache only pays off when it outlives a single
-//! process invocation — this module is the transport that makes that true.
-//! A [`Daemon`] binds a unix domain socket, accepts connections in a loop
-//! and serves each one on its own thread. All handlers share one
-//! `Arc<QueryEngine>`, so every client warms the same sharded cache and
-//! batches fan out through the engine's existing thread pool.
+//! process invocation — this module is the transport layer that makes that
+//! true. A [`Daemon`] binds a unix domain socket (speaking the
+//! length-framed [`crate::proto`] format), a TCP socket (speaking the
+//! [`crate::http`] adaptation of the same messages), or both at once; every
+//! connection is served on its own thread against one shared
+//! `Arc<QueryEngine>`, so every client of every transport warms the same
+//! sharded cache and batches fan out through the engine's existing thread
+//! pool.
 //!
 //! Protocol semantics live in [`crate::proto`] ([`proto::dispatch`] is the
-//! entire request → reply mapping); this module only adds:
+//! entire request → reply mapping, for both transports); this module only
+//! adds:
 //!
+//! * **a transport abstraction** — [`Listener`] (blocking accept + a waker
+//!   that unblocks it) and [`Connection`] (clone/timeout/shutdown on a byte
+//!   stream), implemented for unix and TCP sockets, so the accept-loop,
+//!   thread-registry and graceful-shutdown machinery below is written once
+//!   and every future transport (TLS, h2) is a bolt-on;
 //! * **connection lifecycle** — one handler thread per connection, reads
 //!   bounded by an idle timeout after which the connection is dropped;
 //! * **fault isolation** — a malformed frame earns an `error` reply and the
 //!   connection keeps serving; a framing violation closes that connection;
 //!   neither ever stops the daemon;
-//! * **graceful shutdown** — a `shutdown` frame is acknowledged, then the
-//!   accept loop stops, open connections are shut down, handler threads are
-//!   joined and the socket file is removed.
+//! * **graceful shutdown** — a `shutdown` request on *any* transport is
+//!   acknowledged, then a shared [`ShutdownSignal`] stops every accept
+//!   loop, open connections are shut down, handler threads are joined and
+//!   the socket file is removed.
 
 use crate::engine::{EngineConfig, QueryEngine};
+use crate::http;
 use crate::proto::{self, ProtoError, Request};
 use std::collections::HashMap;
-use std::io::{self, BufReader, BufWriter};
-use std::net::Shutdown as SocketShutdown;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{Shutdown as SocketShutdown, SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -32,22 +43,258 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// A served byte stream: what the generic accept loop and the per-protocol
+/// connection handlers need from a socket, beyond `Read + Write`.
+pub trait Connection: io::Read + io::Write + Send + Sized + 'static {
+    /// A second handle on the same stream (read half / write half / the
+    /// registry's shutdown handle).
+    fn try_clone_conn(&self) -> io::Result<Self>;
+    /// Bounds blocking reads; an expired timeout surfaces as
+    /// [`io::ErrorKind::WouldBlock`] or [`io::ErrorKind::TimedOut`].
+    fn set_conn_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()>;
+    /// Best-effort shutdown of both halves, unblocking any reader.
+    fn shutdown_conn(&self);
+}
+
+impl Connection for UnixStream {
+    fn try_clone_conn(&self) -> io::Result<Self> {
+        self.try_clone()
+    }
+    fn set_conn_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+    fn shutdown_conn(&self) {
+        let _ = self.shutdown(SocketShutdown::Both);
+    }
+}
+
+impl Connection for TcpStream {
+    fn try_clone_conn(&self) -> io::Result<Self> {
+        self.try_clone()
+    }
+    fn set_conn_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+    fn shutdown_conn(&self) {
+        let _ = self.shutdown(SocketShutdown::Both);
+    }
+}
+
+/// A bound listener the generic accept loop can serve.
+pub trait Listener: Send + 'static {
+    /// The connection type this listener accepts.
+    type Conn: Connection;
+    /// Blocks until the next connection (or an accept error).
+    fn accept_conn(&self) -> io::Result<Self::Conn>;
+    /// A closure that unblocks a blocked [`Listener::accept_conn`] — the
+    /// implementations connect to themselves. Registered with the
+    /// [`ShutdownSignal`] so triggering shutdown wakes every accept loop.
+    fn waker(&self) -> Box<dyn Fn() + Send + Sync>;
+    /// Post-run cleanup (the unix transport removes its socket file).
+    fn cleanup(&self) {}
+}
+
+/// A bound unix-socket listener (plus the path needed to wake and clean it).
+struct UnixTransport {
+    listener: UnixListener,
+    path: PathBuf,
+}
+
+impl Listener for UnixTransport {
+    type Conn = UnixStream;
+    fn accept_conn(&self) -> io::Result<UnixStream> {
+        self.listener.accept().map(|(stream, _)| stream)
+    }
+    fn waker(&self) -> Box<dyn Fn() + Send + Sync> {
+        let path = self.path.clone();
+        Box::new(move || {
+            let _ = UnixStream::connect(&path);
+        })
+    }
+    fn cleanup(&self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// A bound TCP listener (plus the resolved address needed to wake it).
+struct TcpTransport {
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+impl Listener for TcpTransport {
+    type Conn = TcpStream;
+    fn accept_conn(&self) -> io::Result<TcpStream> {
+        self.listener.accept().map(|(stream, _)| stream)
+    }
+    fn waker(&self) -> Box<dyn Fn() + Send + Sync> {
+        let addr = self.addr;
+        Box::new(move || {
+            let _ = TcpStream::connect(addr);
+        })
+    }
+}
+
+/// A daemon-wide shutdown flag shared by every accept loop and connection
+/// handler, across all transports.
+///
+/// Triggering it (once) sets the flag and runs every registered waker, so
+/// accept loops blocked in `accept(2)` observe the flag without waiting for
+/// organic traffic.
+pub struct ShutdownSignal {
+    flag: AtomicBool,
+    wakers: Mutex<Vec<Box<dyn Fn() + Send + Sync>>>,
+}
+
+impl ShutdownSignal {
+    /// A fresh, untriggered signal.
+    pub fn new() -> Arc<ShutdownSignal> {
+        Arc::new(ShutdownSignal {
+            flag: AtomicBool::new(false),
+            wakers: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Has shutdown been requested?
+    pub fn is_triggered(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// Requests shutdown; the first call runs all registered wakers.
+    pub fn trigger(&self) {
+        if !self.flag.swap(true, Ordering::AcqRel) {
+            for waker in self.wakers.lock().expect("shutdown wakers").iter() {
+                waker();
+            }
+        }
+    }
+
+    fn register_waker(&self, waker: Box<dyn Fn() + Send + Sync>) {
+        self.wakers.lock().expect("shutdown wakers").push(waker);
+    }
+}
+
+/// Serves one listener until the shared signal triggers: the accept loop,
+/// per-connection threads, the live-connection registry and the join-all
+/// teardown, shared by every transport.
+///
+/// `handler` serves one already-accepted connection to completion;
+/// [`crate::proto`] connections use [`serve_proto_conn`] and
+/// [`crate::http`] connections use [`http::serve_conn`].
+pub fn serve_listener<L, H>(
+    listener: L,
+    engine: Arc<QueryEngine>,
+    shutdown: Arc<ShutdownSignal>,
+    idle_timeout: Duration,
+    handler: H,
+) -> io::Result<()>
+where
+    L: Listener,
+    H: Fn(L::Conn, &QueryEngine, &ShutdownSignal) + Send + Sync + 'static,
+{
+    shutdown.register_waker(listener.waker());
+    if shutdown.is_triggered() {
+        // Triggered between bind and serve: nothing to wake, nothing to do.
+        listener.cleanup();
+        return Ok(());
+    }
+    let handler = Arc::new(handler);
+    // Registry of live connections, keyed by a connection id so a handler
+    // can deregister itself on exit — otherwise a long-lived daemon would
+    // hold one cloned fd per *historical* connection and eventually exhaust
+    // the fd limit.
+    let connections: Arc<Mutex<HashMap<u64, L::Conn>>> = Arc::new(Mutex::new(HashMap::new()));
+    let mut next_id: u64 = 0;
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        if shutdown.is_triggered() {
+            break;
+        }
+        let conn = match listener.accept_conn() {
+            Ok(conn) => conn,
+            // A failed accept (peer vanished mid-handshake, or fd
+            // exhaustion under connection pressure) affects nobody else;
+            // the pause keeps a *persistent* failure (EMFILE until
+            // connections drain) from busy-spinning a core.
+            Err(_) => {
+                if shutdown.is_triggered() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+                continue;
+            }
+        };
+        if shutdown.is_triggered() {
+            // The accepted connection was (or raced with) a waker poke.
+            break;
+        }
+        let _ = conn.set_conn_read_timeout(Some(idle_timeout));
+        let conn_id = next_id;
+        next_id += 1;
+        if let Ok(clone) = conn.try_clone_conn() {
+            connections
+                .lock()
+                .expect("connection registry")
+                .insert(conn_id, clone);
+        }
+        let engine = engine.clone();
+        let shutdown = shutdown.clone();
+        let registry = connections.clone();
+        let handler = handler.clone();
+        handlers.push(std::thread::spawn(move || {
+            handler(conn, &engine, &shutdown);
+            registry
+                .lock()
+                .expect("connection registry")
+                .remove(&conn_id);
+        }));
+        // Reap finished handlers so a long-lived daemon's handle list
+        // tracks live connections, not its connection history.
+        handlers.retain(|h| !h.is_finished());
+    }
+    // Shutdown: unblock any handler waiting in a read, then join all.
+    for (_, conn) in connections.lock().expect("connection registry").drain() {
+        conn.shutdown_conn();
+    }
+    for handler in handlers {
+        let _ = handler.join();
+    }
+    listener.cleanup();
+    Ok(())
+}
+
 /// Daemon tuning knobs.
 #[derive(Debug, Clone)]
 pub struct DaemonConfig {
-    /// Path of the unix socket to listen on.
-    pub socket_path: PathBuf,
-    /// A connection idle (no complete frame read) for this long is closed.
+    /// Path of the unix socket to listen on (framed `pcp1` protocol), if
+    /// any. At least one of `socket_path` / `http_addr` must be set.
+    pub socket_path: Option<PathBuf>,
+    /// TCP address to serve HTTP/1.1 on (e.g. `127.0.0.1:8387`), if any.
+    pub http_addr: Option<String>,
+    /// A connection idle (no complete request read) for this long is
+    /// closed.
     pub idle_timeout: Duration,
     /// Configuration of the shared query engine.
     pub engine: EngineConfig,
 }
 
 impl DaemonConfig {
-    /// Defaults: 30 s idle timeout, default engine configuration.
+    /// Unix-socket-only daemon with defaults: 30 s idle timeout, default
+    /// engine configuration.
     pub fn new(socket_path: impl Into<PathBuf>) -> Self {
         DaemonConfig {
-            socket_path: socket_path.into(),
+            socket_path: Some(socket_path.into()),
+            http_addr: None,
+            idle_timeout: Duration::from_secs(30),
+            engine: EngineConfig::default(),
+        }
+    }
+
+    /// HTTP-only daemon with the same defaults.
+    pub fn http(addr: impl Into<String>) -> Self {
+        DaemonConfig {
+            socket_path: None,
+            http_addr: Some(addr.into()),
             idle_timeout: Duration::from_secs(30),
             engine: EngineConfig::default(),
         }
@@ -57,61 +304,45 @@ impl DaemonConfig {
 /// A bound, not-yet-running daemon.
 pub struct Daemon {
     engine: Arc<QueryEngine>,
-    listener: UnixListener,
-    socket_path: PathBuf,
-    shutdown: Arc<AtomicBool>,
+    shutdown: Arc<ShutdownSignal>,
     idle_timeout: Duration,
+    unix: Option<UnixTransport>,
+    http: Option<TcpTransport>,
 }
 
 impl Daemon {
-    /// Binds the socket and builds the shared engine.
+    /// Binds the configured listeners and builds the shared engine.
     ///
     /// A leftover socket file from a crashed daemon is removed if nothing
     /// answers on it; a *live* socket (another daemon is serving) is
-    /// refused with [`io::ErrorKind::AddrInUse`].
+    /// refused with [`io::ErrorKind::AddrInUse`]. Binding requires at least
+    /// one listener; `http_addr` port 0 binds an ephemeral port readable
+    /// from [`Daemon::http_addr`].
     pub fn bind(config: DaemonConfig) -> io::Result<Daemon> {
-        let path = config.socket_path;
-        if let Ok(meta) = std::fs::symlink_metadata(&path) {
-            use std::os::unix::fs::FileTypeExt as _;
-            if !meta.file_type().is_socket() {
-                // Refuse to clobber a regular file / directory / symlink the
-                // user pointed at by mistake.
-                return Err(io::Error::new(
-                    io::ErrorKind::AlreadyExists,
-                    format!("{} exists and is not a socket", path.display()),
-                ));
-            }
-            match UnixStream::connect(&path) {
-                Ok(_) => {
-                    return Err(io::Error::new(
-                        io::ErrorKind::AddrInUse,
-                        format!("a daemon is already serving on {}", path.display()),
-                    ))
-                }
-                Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => {
-                    // Definitely a dead listener (unclean exit): reclaim.
-                    // Known limitation: probe-then-remove is not atomic, so
-                    // two daemons racing to reclaim the same stale path can
-                    // unlink each other's fresh socket — supervisors must
-                    // serialise restarts per socket path (a kernel-held
-                    // flock would close this, but needs unsafe/libc).
-                    let _ = std::fs::remove_file(&path);
-                }
-                Err(e) => {
-                    return Err(io::Error::new(
-                        e.kind(),
-                        format!("probing existing socket {}: {e}", path.display()),
-                    ))
-                }
-            }
+        if config.socket_path.is_none() && config.http_addr.is_none() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "daemon needs a socket path and/or an http address",
+            ));
         }
-        let listener = UnixListener::bind(&path)?;
+        let unix = match config.socket_path {
+            Some(path) => Some(bind_unix(path)?),
+            None => None,
+        };
+        let http = match config.http_addr {
+            Some(addr) => {
+                let listener = TcpListener::bind(&addr)?;
+                let addr = listener.local_addr()?;
+                Some(TcpTransport { listener, addr })
+            }
+            None => None,
+        };
         Ok(Daemon {
             engine: Arc::new(QueryEngine::new(config.engine)),
-            listener,
-            socket_path: path,
-            shutdown: Arc::new(AtomicBool::new(false)),
+            shutdown: ShutdownSignal::new(),
             idle_timeout: config.idle_timeout,
+            unix,
+            http,
         })
     }
 
@@ -120,71 +351,96 @@ impl Daemon {
         self.engine.clone()
     }
 
-    /// The socket path the daemon is bound to.
-    pub fn socket_path(&self) -> &Path {
-        &self.socket_path
+    /// The unix socket path the daemon is bound to, if any.
+    pub fn socket_path(&self) -> Option<&Path> {
+        self.unix.as_ref().map(|t| t.path.as_path())
     }
 
-    /// Serves until a client sends a `shutdown` frame. Joins every handler
-    /// thread and removes the socket file before returning.
-    pub fn run(self) -> io::Result<()> {
-        // Registry of live connections, keyed by a connection id so a
-        // handler can deregister itself on exit — otherwise a long-lived
-        // daemon would hold one cloned fd per *historical* connection and
-        // eventually exhaust the fd limit.
-        let connections: Arc<Mutex<HashMap<u64, UnixStream>>> =
-            Arc::new(Mutex::new(HashMap::new()));
-        let mut next_id: u64 = 0;
-        let mut handlers: Vec<JoinHandle<()>> = Vec::new();
-        for stream in self.listener.incoming() {
-            if self.shutdown.load(Ordering::Acquire) {
-                break;
-            }
-            let stream = match stream {
-                Ok(stream) => stream,
-                // A failed accept (peer vanished mid-handshake, or fd
-                // exhaustion under connection pressure) affects nobody
-                // else; the pause keeps a *persistent* failure (EMFILE
-                // until connections drain) from busy-spinning a core.
-                Err(_) => {
-                    std::thread::sleep(Duration::from_millis(50));
-                    continue;
-                }
-            };
-            let _ = stream.set_read_timeout(Some(self.idle_timeout));
-            let conn_id = next_id;
-            next_id += 1;
-            if let Ok(clone) = stream.try_clone() {
-                connections
-                    .lock()
-                    .expect("connection registry")
-                    .insert(conn_id, clone);
-            }
-            let engine = self.engine.clone();
-            let shutdown = self.shutdown.clone();
-            let wake_path = self.socket_path.clone();
-            let registry = connections.clone();
-            handlers.push(std::thread::spawn(move || {
-                handle_connection(stream, &engine, &shutdown, &wake_path);
-                registry
-                    .lock()
-                    .expect("connection registry")
-                    .remove(&conn_id);
-            }));
-            // Reap finished handlers so a long-lived daemon's handle list
-            // tracks live connections, not its connection history.
-            handlers.retain(|h| !h.is_finished());
-        }
-        // Shutdown: unblock any handler waiting in a read, then join all.
-        for (_, conn) in connections.lock().expect("connection registry").drain() {
-            let _ = conn.shutdown(SocketShutdown::Both);
-        }
-        for handler in handlers {
-            let _ = handler.join();
-        }
-        let _ = std::fs::remove_file(&self.socket_path);
-        Ok(())
+    /// The resolved TCP address the HTTP listener is bound to, if any
+    /// (reports the real port when the config asked for port 0).
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.http.as_ref().map(|t| t.addr)
     }
+
+    /// Serves until a client sends a `shutdown` request on any transport.
+    /// Joins every handler thread and removes the socket file before
+    /// returning.
+    pub fn run(self) -> io::Result<()> {
+        let Daemon {
+            engine,
+            shutdown,
+            idle_timeout,
+            unix,
+            http,
+        } = self;
+        // With both transports bound the HTTP loop runs on its own thread;
+        // either loop's shutdown trigger wakes and stops the other.
+        let http_thread = http.map(|listener| {
+            let engine = engine.clone();
+            let shutdown = shutdown.clone();
+            std::thread::spawn(move || {
+                serve_listener(listener, engine, shutdown, idle_timeout, http::serve_conn)
+            })
+        });
+        let unix_result = match unix {
+            Some(listener) => serve_listener(
+                listener,
+                engine,
+                shutdown.clone(),
+                idle_timeout,
+                serve_proto_conn,
+            ),
+            None => Ok(()),
+        };
+        let http_result = match http_thread {
+            Some(handle) => handle
+                .join()
+                .unwrap_or_else(|_| Err(io::Error::other("http accept loop panicked"))),
+            None => Ok(()),
+        };
+        unix_result.and(http_result)
+    }
+}
+
+/// Binds the unix listener, reclaiming stale socket files and refusing
+/// live sockets and non-socket paths.
+fn bind_unix(path: PathBuf) -> io::Result<UnixTransport> {
+    if let Ok(meta) = std::fs::symlink_metadata(&path) {
+        use std::os::unix::fs::FileTypeExt as _;
+        if !meta.file_type().is_socket() {
+            // Refuse to clobber a regular file / directory / symlink the
+            // user pointed at by mistake.
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!("{} exists and is not a socket", path.display()),
+            ));
+        }
+        match UnixStream::connect(&path) {
+            Ok(_) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::AddrInUse,
+                    format!("a daemon is already serving on {}", path.display()),
+                ))
+            }
+            Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => {
+                // Definitely a dead listener (unclean exit): reclaim.
+                // Known limitation: probe-then-remove is not atomic, so
+                // two daemons racing to reclaim the same stale path can
+                // unlink each other's fresh socket — supervisors must
+                // serialise restarts per socket path (a kernel-held
+                // flock would close this, but needs unsafe/libc).
+                let _ = std::fs::remove_file(&path);
+            }
+            Err(e) => {
+                return Err(io::Error::new(
+                    e.kind(),
+                    format!("probing existing socket {}: {e}", path.display()),
+                ))
+            }
+        }
+    }
+    let listener = UnixListener::bind(&path)?;
+    Ok(UnixTransport { listener, path })
 }
 
 /// `true` for the read-timeout errors produced by an idle connection.
@@ -195,25 +451,21 @@ fn is_idle_timeout(error: &ProtoError) -> bool {
     )
 }
 
-fn handle_connection(
-    stream: UnixStream,
-    engine: &QueryEngine,
-    shutdown: &AtomicBool,
-    wake_path: &Path,
-) {
-    let Ok(write_half) = stream.try_clone() else {
+/// Serves one framed-protocol connection to completion: the per-frame loop
+/// with the recoverable-vs-fatal error handling of [`crate::proto`].
+pub fn serve_proto_conn<C: Connection>(conn: C, engine: &QueryEngine, shutdown: &ShutdownSignal) {
+    let Ok(write_half) = conn.try_clone_conn() else {
         return;
     };
-    let mut reader = BufReader::new(stream);
+    let mut reader = BufReader::new(conn);
     let mut writer = BufWriter::new(write_half);
-    while !shutdown.load(Ordering::Acquire) {
+    while !shutdown.is_triggered() {
         match serve_frame(&mut reader, &mut writer, engine) {
             Ok(proto::Action::Continue) => {}
             Ok(proto::Action::Shutdown) => {
-                shutdown.store(true, Ordering::Release);
-                // The accept loop is blocked in accept(2); poke it with a
-                // throwaway connection so it sees the flag.
-                let _ = UnixStream::connect(wake_path);
+                // Wakes every accept loop (all transports) via the signal's
+                // registered wakers.
+                shutdown.trigger();
                 break;
             }
             Err(ProtoError::Closed) => break,
@@ -241,9 +493,9 @@ fn handle_connection(
 /// Serves one frame: read, decode, dispatch, reply. The returned action is
 /// authoritative even when the reply could not be written — a `shutdown`
 /// whose acknowledgement hits a dead client must still stop the daemon.
-fn serve_frame(
-    reader: &mut BufReader<UnixStream>,
-    writer: &mut BufWriter<UnixStream>,
+fn serve_frame<R: BufRead, W: Write>(
+    reader: &mut R,
+    writer: &mut W,
     engine: &QueryEngine,
 ) -> Result<proto::Action, ProtoError> {
     let payload = proto::read_frame(reader)?;
@@ -266,7 +518,7 @@ fn serve_frame(
     Ok(action)
 }
 
-/// Connects to a daemon and performs the protocol handshake.
+/// Connects to a daemon's unix socket and performs the protocol handshake.
 pub fn connect(socket_path: impl AsRef<Path>) -> Result<proto::Client<UnixStream>, ProtoError> {
     let stream = UnixStream::connect(socket_path.as_ref())?;
     proto::Client::connect(stream)
@@ -369,5 +621,53 @@ mod tests {
         assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
         assert_eq!(std::fs::read(&file_path).expect("file intact"), b"precious");
         let _ = std::fs::remove_file(&file_path);
+    }
+
+    #[test]
+    fn listenerless_config_is_refused() {
+        let mut config = DaemonConfig::new("/tmp/never-bound.sock");
+        config.socket_path = None;
+        let err = match Daemon::bind(config) {
+            Err(err) => err,
+            Ok(_) => panic!("a listenerless config must be refused"),
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn shutdown_on_one_transport_stops_the_other() {
+        // Dual-transport daemon: unix + ephemeral-port HTTP.
+        let path = temp_socket("dual");
+        let mut config = DaemonConfig::new(&path);
+        config.http_addr = Some("127.0.0.1:0".to_string());
+        config.idle_timeout = Duration::from_secs(5);
+        let daemon = Daemon::bind(config).expect("bind both");
+        let http_addr = daemon.http_addr().expect("http bound");
+        let handle = std::thread::spawn(move || daemon.run());
+
+        // Both transports answer against the same engine...
+        let mut unix_client = connect(&path).expect("unix connect");
+        let request = QueryRequest::new(
+            QueryKind::MinCoverSize,
+            GraphSpec::CotreeTerm("(j a b c)".to_string()),
+        );
+        unix_client.solve(&request).expect("unix solve");
+        let mut http_client = http::Client::connect(&http_addr.to_string()).expect("http connect");
+        let response = http_client.solve(&request).expect("http solve");
+        // ...and the HTTP request observes the cache the unix request
+        // warmed: one shared engine, not one per transport.
+        assert_eq!(
+            response
+                .get("meta")
+                .and_then(|m| m.get("cache"))
+                .and_then(Json::as_str),
+            Some("hit"),
+            "transports must share one engine: {response}"
+        );
+
+        // Shutdown over HTTP stops the unix accept loop too.
+        http_client.shutdown().expect("http shutdown");
+        handle.join().expect("daemon thread").expect("clean exit");
+        assert!(!path.exists(), "socket file removed on shutdown");
     }
 }

@@ -1,0 +1,1006 @@
+//! HTTP/1.1 front-end for the `pcservice` daemon.
+//!
+//! A dependency-free adapter that exposes the [`crate::proto`] message
+//! semantics over HTTP, so load balancers, `curl` and non-unix-socket
+//! clients can reach the engine. It is deliberately a *transport* only: a
+//! route maps onto a [`proto::Request`], the handler calls
+//! [`proto::dispatch`] — the same single request → reply mapping the framed
+//! protocol uses — and the reply payload becomes the response body
+//! verbatim. Both transports therefore answer every request identically by
+//! construction.
+//!
+//! ## Routes
+//!
+//! | Route | Body | Reply body |
+//! |---|---|---|
+//! | `GET /healthz` | — | `{"ok":true,"server":...,"proto":...}` |
+//! | `GET /v1/stats` | — | `{"type":"stats","stats":{...}}` |
+//! | `POST /v1/solve` | one query object | `{"type":"response","response":{...}}` |
+//! | `POST /v1/batch` | `{"shared":...,"requests":[...]}` | `{"type":"batch","responses":[...]}` |
+//! | `POST /v1/shutdown` | — | `{"type":"shutdown_ok"}` |
+//!
+//! Query and batch bodies are exactly the payloads of the corresponding
+//! `solve` / `batch` frames (the `"type"` tag is implied by the route and
+//! ignored if present). `HEAD` is answered wherever `GET` is — identical
+//! headers, body suppressed — so load-balancer health probes of either
+//! flavour work.
+//!
+//! ## Deployment note
+//!
+//! `POST /v1/shutdown` is part of the API (it mirrors the framed
+//! protocol's `shutdown` verb) and carries **no authentication**. The unix
+//! socket was implicitly guarded by filesystem permissions; a TCP listener
+//! is guarded only by where you bind it. Bind loopback (`127.0.0.1:…`)
+//! and let a fronting proxy do auth, or filter `/v1/shutdown` at the load
+//! balancer before exposing the port beyond localhost.
+//!
+//! ## Status codes
+//!
+//! The recoverable-vs-fatal taxonomy of [`crate::proto`] maps onto HTTP:
+//!
+//! * **200** — the request was dispatched; per-job failures still answer
+//!   200 with `"ok":false` inside the response object, exactly like a
+//!   batch line.
+//! * **400** — malformed request line, header, JSON body or message
+//!   (body-level defects keep the connection; framing defects close it).
+//! * **404 / 405** — unknown route / known route with the wrong method
+//!   (`Allow` header carried on the 405).
+//! * **413** — a body exceeding [`proto::MAX_FRAME_LEN`], the exact cap
+//!   the framed protocol enforces on its frames.
+//! * **501** — `Transfer-Encoding` (chunked bodies are not supported).
+//!
+//! Connections are keep-alive by default (HTTP/1.1 semantics, honouring
+//! `Connection: close` and HTTP/1.0 defaults) and bounded by the daemon's
+//! idle timeout. `Expect: 100-continue` is answered so large `curl` bodies
+//! do not stall.
+//!
+//! [`Client`] is the matching thin client used by `pathcover-cli
+//! --remote-http`: one keep-alive connection, the same request model
+//! ([`QueryRequest`] / [`GraphSpec`]) as the framed [`proto::Client`].
+
+use crate::engine::QueryEngine;
+use crate::json::Json;
+use crate::model::{GraphSpec, QueryRequest};
+use crate::proto::{self, MAX_FRAME_LEN, PROTO_VERSION, SERVER_NAME};
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read as _, Write};
+use std::net::TcpStream;
+
+/// Longest accepted request/status/header line, in bytes.
+const MAX_LINE_LEN: usize = 8 << 10;
+
+/// Most headers accepted on one request.
+const MAX_HEADERS: usize = 64;
+
+/// Everything that can go wrong at the HTTP layer.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The underlying stream failed (includes idle-timeout reads).
+    Io(io::Error),
+    /// The peer closed the stream at a message boundary (clean EOF).
+    Closed,
+    /// Malformed request line, header or body (→ 400).
+    BadRequest(String),
+    /// The announced body length exceeds [`MAX_FRAME_LEN`] (→ 413).
+    BodyTooLarge {
+        /// Announced body length.
+        len: usize,
+        /// The cap it exceeded.
+        max: usize,
+    },
+    /// A protocol feature this server does not speak (→ 501).
+    Unsupported(String),
+    /// The server answered with an error status (client side only).
+    Status {
+        /// The HTTP status code.
+        status: u16,
+        /// Machine-readable error code from the body, when present.
+        code: String,
+        /// Human-readable message.
+        message: String,
+    },
+    /// The server's reply could not be interpreted (client side only).
+    BadReply(String),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpError::Closed => write!(f, "connection closed"),
+            HttpError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            HttpError::BodyTooLarge { len, max } => {
+                write!(f, "body of {len} bytes exceeds the {max} byte cap")
+            }
+            HttpError::Unsupported(msg) => write!(f, "not implemented: {msg}"),
+            HttpError::Status {
+                status,
+                code,
+                message,
+            } => write!(f, "server answered {status} [{code}]: {message}"),
+            HttpError::BadReply(msg) => write!(f, "bad reply: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// The server-side rendering of a request-level error: status, reason
+/// phrase and machine-readable code. `None` for errors that close the
+/// connection silently (clean EOF, idle timeout, raw I/O failure) and for
+/// the client-only variants.
+fn error_status(error: &HttpError) -> Option<(u16, &'static str, &'static str)> {
+    match error {
+        HttpError::BadRequest(_) => Some((400, "Bad Request", "bad_request")),
+        HttpError::BodyTooLarge { .. } => Some((413, "Payload Too Large", "body_too_large")),
+        HttpError::Unsupported(_) => Some((501, "Not Implemented", "not_implemented")),
+        HttpError::Io(_)
+        | HttpError::Closed
+        | HttpError::Status { .. }
+        | HttpError::BadReply(_) => None,
+    }
+}
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct HttpRequest {
+    /// The request method, verbatim (`GET`, `POST`, ...).
+    pub method: String,
+    /// The request path with any query string stripped.
+    pub path: String,
+    /// Whether the connection should stay open after the response
+    /// (HTTP/1.1 default, overridden by `Connection` headers).
+    pub keep_alive: bool,
+    /// The request body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// Reads one line terminated by `\n` (an optional preceding `\r` is
+/// stripped), bounded by [`MAX_LINE_LEN`]. `Ok(None)` on a clean EOF
+/// before any byte.
+fn read_line<R: BufRead>(r: &mut R) -> Result<Option<String>, HttpError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        let n = r.read(&mut byte)?;
+        if n == 0 {
+            if line.is_empty() {
+                return Ok(None);
+            }
+            return Err(HttpError::BadRequest("truncated line".to_string()));
+        }
+        if byte[0] == b'\n' {
+            break;
+        }
+        line.push(byte[0]);
+        if line.len() > MAX_LINE_LEN {
+            return Err(HttpError::BadRequest("line too long".to_string()));
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line)
+        .map(Some)
+        .map_err(|_| HttpError::BadRequest("line is not UTF-8".to_string()))
+}
+
+/// Reads one request: request line, headers, `Content-Length`-bounded body.
+///
+/// `Ok(None)` when the peer closed the connection cleanly between
+/// requests. `writer` is only touched to acknowledge `Expect:
+/// 100-continue` before the body is read (without it `curl` stalls a
+/// second on every sizeable body).
+pub fn read_request<R: BufRead, W: Write>(
+    reader: &mut R,
+    writer: &mut W,
+) -> Result<Option<HttpRequest>, HttpError> {
+    let Some(request_line) = read_line(reader)? else {
+        return Ok(None);
+    };
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::BadRequest(format!(
+            "malformed request line {request_line:?}"
+        )));
+    };
+    if !target.starts_with('/') {
+        return Err(HttpError::BadRequest(format!(
+            "request target must be a path, got {target:?}"
+        )));
+    }
+    let mut keep_alive = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        other => {
+            return Err(HttpError::BadRequest(format!(
+                "unsupported protocol version {other:?}"
+            )))
+        }
+    };
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length: Option<usize> = None;
+    let mut expect_continue = false;
+    for count in 0.. {
+        if count > MAX_HEADERS {
+            return Err(HttpError::BadRequest("too many headers".to_string()));
+        }
+        let line = read_line(reader)?
+            .ok_or_else(|| HttpError::BadRequest("truncated headers".to_string()))?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadRequest(format!("malformed header {line:?}")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                let len: usize = value
+                    .parse()
+                    .map_err(|_| HttpError::BadRequest(format!("bad Content-Length {value:?}")))?;
+                if content_length.is_some_and(|prior| prior != len) {
+                    return Err(HttpError::BadRequest(
+                        "conflicting Content-Length headers".to_string(),
+                    ));
+                }
+                if len > MAX_FRAME_LEN {
+                    return Err(HttpError::BodyTooLarge {
+                        len,
+                        max: MAX_FRAME_LEN,
+                    });
+                }
+                content_length = Some(len);
+            }
+            "connection" => {
+                let value = value.to_ascii_lowercase();
+                if value.contains("close") {
+                    keep_alive = false;
+                } else if value.contains("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+            "expect" if value.eq_ignore_ascii_case("100-continue") => {
+                expect_continue = true;
+            }
+            "transfer-encoding" => {
+                return Err(HttpError::Unsupported(format!(
+                    "Transfer-Encoding {value:?} (send a Content-Length body)"
+                )));
+            }
+            _ => {}
+        }
+    }
+    // No Content-Length (and no Transfer-Encoding) means no body, per RFC
+    // 7230 §3.3 — a bodyless `curl -X POST .../v1/shutdown` is valid.
+    let mut body = vec![0u8; content_length.unwrap_or(0)];
+    if !body.is_empty() {
+        if expect_continue {
+            writer.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
+            writer.flush()?;
+        }
+        reader.read_exact(&mut body)?;
+    }
+    Ok(Some(HttpRequest {
+        method: method.to_string(),
+        path,
+        keep_alive,
+        body,
+    }))
+}
+
+/// One response, before serialization.
+#[derive(Debug)]
+pub struct HttpResponse {
+    /// The status code.
+    pub status: u16,
+    /// The reason phrase.
+    pub reason: &'static str,
+    /// The `Allow` header value (405 responses).
+    pub allow: Option<&'static str>,
+    /// The JSON body.
+    pub body: Json,
+}
+
+impl HttpResponse {
+    fn ok(body: Json) -> HttpResponse {
+        HttpResponse {
+            status: 200,
+            reason: "OK",
+            allow: None,
+            body,
+        }
+    }
+
+    fn error(status: u16, reason: &'static str, code: &str, message: &str) -> HttpResponse {
+        HttpResponse {
+            status,
+            reason,
+            allow: None,
+            body: proto::error_reply(code, message),
+        }
+    }
+}
+
+/// Serializes one response: status line, `Content-Type` /
+/// `Content-Length` / `Connection` (and optional `Allow`) headers, then
+/// the JSON body with a trailing newline (so `curl` output is
+/// terminal-friendly).
+pub fn write_response<W: Write>(
+    w: &mut W,
+    response: &HttpResponse,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let mut body = response.body.to_string();
+    body.push('\n');
+    write_response_parts(w, response, &body, keep_alive, true)
+}
+
+/// The serialization behind [`write_response`], taking the body
+/// pre-rendered (so callers that need its length first serialize exactly
+/// once). `include_body: false` answers `HEAD`: the headers —
+/// `Content-Length` included — describe the body without sending it.
+fn write_response_parts<W: Write>(
+    w: &mut W,
+    response: &HttpResponse,
+    body: &str,
+    keep_alive: bool,
+    include_body: bool,
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+        response.status,
+        response.reason,
+        body.len()
+    )?;
+    if let Some(allow) = response.allow {
+        write!(w, "Allow: {allow}\r\n")?;
+    }
+    write!(
+        w,
+        "Connection: {}\r\n\r\n",
+        if keep_alive { "keep-alive" } else { "close" }
+    )?;
+    if include_body {
+        w.write_all(body.as_bytes())?;
+    }
+    w.flush()
+}
+
+/// Parses a request body as JSON, mapping defects onto 400 responses with
+/// the framed protocol's `bad_json` / `bad_message` error codes.
+fn parse_body(body: &[u8]) -> Result<Json, HttpResponse> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| HttpResponse::error(400, "Bad Request", "bad_message", "body is not UTF-8"))?;
+    Json::parse(text).map_err(|e| {
+        HttpResponse::error(
+            400,
+            "Bad Request",
+            "bad_json",
+            &format!("body is not JSON: {e}"),
+        )
+    })
+}
+
+/// Routes one request onto the engine: the whole HTTP → [`proto::Request`]
+/// mapping, pure and socket-free (directly testable). Dispatched requests
+/// answer 200 with the [`proto::dispatch`] reply payload as the body.
+pub fn respond(engine: &QueryEngine, request: &HttpRequest) -> (HttpResponse, proto::Action) {
+    let method = request.method.as_str();
+    let path = request.path.as_str();
+    let dispatched = |request: proto::Request| {
+        let (reply, action) = proto::dispatch(engine, &request);
+        (HttpResponse::ok(reply), action)
+    };
+    // HEAD is answered wherever GET is (load-balancer health probes
+    // commonly use it); the body is suppressed at write time.
+    match (method, path) {
+        ("GET" | "HEAD", "/healthz") => (
+            HttpResponse::ok(Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("server", Json::str(SERVER_NAME)),
+                ("proto", Json::num(PROTO_VERSION)),
+            ])),
+            proto::Action::Continue,
+        ),
+        ("GET" | "HEAD", "/v1/stats") => dispatched(proto::Request::Stats),
+        ("POST", "/v1/shutdown") => dispatched(proto::Request::Shutdown),
+        ("POST", "/v1/solve") => match parse_body(&request.body) {
+            Ok(value) => match QueryRequest::from_json(&value) {
+                Ok(query) => dispatched(proto::Request::Solve(query)),
+                Err(e) => (
+                    HttpResponse::error(400, "Bad Request", "bad_message", &e.to_string()),
+                    proto::Action::Continue,
+                ),
+            },
+            Err(response) => (response, proto::Action::Continue),
+        },
+        ("POST", "/v1/batch") => match parse_body(&request.body) {
+            Ok(value) => match proto::batch_fields(&value) {
+                Ok((shared, requests)) => dispatched(proto::Request::Batch { shared, requests }),
+                Err(e) => (
+                    HttpResponse::error(400, "Bad Request", "bad_message", &e.to_string()),
+                    proto::Action::Continue,
+                ),
+            },
+            Err(response) => (response, proto::Action::Continue),
+        },
+        (_, "/healthz" | "/v1/stats") => (
+            HttpResponse {
+                allow: Some("GET, HEAD"),
+                ..HttpResponse::error(
+                    405,
+                    "Method Not Allowed",
+                    "method_not_allowed",
+                    &format!("{path} only answers GET"),
+                )
+            },
+            proto::Action::Continue,
+        ),
+        (_, "/v1/solve" | "/v1/batch" | "/v1/shutdown") => (
+            HttpResponse {
+                allow: Some("POST"),
+                ..HttpResponse::error(
+                    405,
+                    "Method Not Allowed",
+                    "method_not_allowed",
+                    &format!("{path} only answers POST"),
+                )
+            },
+            proto::Action::Continue,
+        ),
+        _ => (
+            HttpResponse::error(
+                404,
+                "Not Found",
+                "not_found",
+                &format!("no route {method} {path}"),
+            ),
+            proto::Action::Continue,
+        ),
+    }
+}
+
+/// Serves one HTTP connection to completion: the keep-alive request loop
+/// with the status-code error mapping. The [`crate::daemon`] accept loop
+/// plugs this in exactly where the framed transport plugs in
+/// `serve_proto_conn`.
+#[cfg(unix)]
+pub fn serve_conn<C: crate::daemon::Connection>(
+    conn: C,
+    engine: &QueryEngine,
+    shutdown: &crate::daemon::ShutdownSignal,
+) {
+    let Ok(write_half) = conn.try_clone_conn() else {
+        return;
+    };
+    let mut reader = BufReader::new(conn);
+    let mut writer = io::BufWriter::new(write_half);
+    while !shutdown.is_triggered() {
+        match read_request(&mut reader, &mut writer) {
+            Ok(None) => break,
+            Ok(Some(request)) => {
+                let (mut response, action) = respond(engine, &request);
+                // One serialization serves both the cap check and the
+                // write. Mirror the framed transport's reply cap: an
+                // oversized reply becomes a small error instead of an
+                // unbounded write.
+                let mut body = response.body.to_string();
+                if body.len() > MAX_FRAME_LEN {
+                    response = HttpResponse::error(
+                        500,
+                        "Internal Server Error",
+                        "frame_too_large",
+                        &format!("reply exceeds the {MAX_FRAME_LEN} byte cap (split the batch)"),
+                    );
+                    body = response.body.to_string();
+                }
+                body.push('\n');
+                let keep_alive = request.keep_alive && action == proto::Action::Continue;
+                let written = write_response_parts(
+                    &mut writer,
+                    &response,
+                    &body,
+                    keep_alive,
+                    request.method != "HEAD",
+                );
+                if action == proto::Action::Shutdown {
+                    // The acknowledgement is already flushed (or the
+                    // client is gone); either way the daemon stops.
+                    shutdown.trigger();
+                    break;
+                }
+                if written.is_err() || !keep_alive {
+                    break;
+                }
+            }
+            Err(error) => {
+                // Idle timeouts and clean EOFs close silently; framing
+                // defects get a best-effort error response. Either way
+                // this connection is done — and only this connection.
+                if let Some((status, reason, code)) = error_status(&error) {
+                    let response = HttpResponse::error(status, reason, code, &error.to_string());
+                    let _ = write_response(&mut writer, &response, false);
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// A thin HTTP client over one keep-alive connection, mirroring
+/// [`proto::Client`] method-for-method so `pathcover-cli` can treat the
+/// two transports interchangeably.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects and probes `GET /healthz`, so a listener that is not a
+    /// pcservice daemon is rejected up front.
+    pub fn connect(addr: &str) -> Result<Client, HttpError> {
+        let stream = TcpStream::connect(addr)?;
+        let mut client = Client {
+            reader: BufReader::new(stream),
+        };
+        let health = client.request("GET", "/healthz", None)?;
+        if health.get("ok").and_then(Json::as_bool) != Some(true) {
+            return Err(HttpError::BadReply(format!(
+                "healthz did not acknowledge: {health}"
+            )));
+        }
+        Ok(client)
+    }
+
+    /// One request/response round trip. Error statuses are decoded into
+    /// [`HttpError::Status`] using the error body's `code` / `message`.
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&Json>,
+    ) -> Result<Json, HttpError> {
+        let body_text = body.map(|b| {
+            let mut text = b.to_string();
+            text.push('\n');
+            text
+        });
+        let stream = self.reader.get_mut();
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nHost: pcservice\r\nConnection: keep-alive\r\n"
+        )?;
+        if let Some(text) = &body_text {
+            write!(
+                stream,
+                "Content-Type: application/json\r\nContent-Length: {}\r\n",
+                text.len()
+            )?;
+        } else if method == "POST" {
+            // An explicit zero keeps bodyless POSTs unambiguous for any
+            // intermediary between here and the daemon.
+            stream.write_all(b"Content-Length: 0\r\n")?;
+        }
+        stream.write_all(b"\r\n")?;
+        if let Some(text) = &body_text {
+            stream.write_all(text.as_bytes())?;
+        }
+        stream.flush()?;
+
+        let status_line = read_line(&mut self.reader)?.ok_or(HttpError::Closed)?;
+        let mut parts = status_line.split_whitespace();
+        let status: u16 = match (parts.next(), parts.next()) {
+            (Some(version), Some(status)) if version.starts_with("HTTP/1.") => status
+                .parse()
+                .map_err(|_| HttpError::BadReply(format!("bad status line {status_line:?}")))?,
+            _ => {
+                return Err(HttpError::BadReply(format!(
+                    "bad status line {status_line:?}"
+                )))
+            }
+        };
+        let mut content_length: Option<usize> = None;
+        loop {
+            let line = read_line(&mut self.reader)?
+                .ok_or_else(|| HttpError::BadReply("truncated response headers".to_string()))?;
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    let len: usize = value.trim().parse().map_err(|_| {
+                        HttpError::BadReply(format!("bad Content-Length {value:?}"))
+                    })?;
+                    if len > MAX_FRAME_LEN {
+                        return Err(HttpError::BodyTooLarge {
+                            len,
+                            max: MAX_FRAME_LEN,
+                        });
+                    }
+                    content_length = Some(len);
+                }
+            }
+        }
+        let len = content_length
+            .ok_or_else(|| HttpError::BadReply("response without Content-Length".to_string()))?;
+        let mut body = vec![0u8; len];
+        self.reader.read_exact(&mut body)?;
+        let text = std::str::from_utf8(&body)
+            .map_err(|_| HttpError::BadReply("response body is not UTF-8".to_string()))?;
+        let value = Json::parse(text.trim_end())
+            .map_err(|e| HttpError::BadReply(format!("response body is not JSON: {e}")))?;
+        if !(200..300).contains(&status) {
+            return Err(HttpError::Status {
+                status,
+                code: value
+                    .get("code")
+                    .and_then(Json::as_str)
+                    .unwrap_or("http")
+                    .to_string(),
+                message: value
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+            });
+        }
+        Ok(value)
+    }
+
+    /// Checks a 2xx reply's `"type"` tag against the route's expectation.
+    fn expect(reply: Json, expected: &str) -> Result<Json, HttpError> {
+        match reply.get("type").and_then(Json::as_str) {
+            Some(kind) if kind == expected => Ok(reply),
+            other => Err(HttpError::BadReply(format!(
+                "expected '{expected}' reply, got {other:?}"
+            ))),
+        }
+    }
+
+    /// `GET /healthz`: the server's liveness object.
+    pub fn health(&mut self) -> Result<Json, HttpError> {
+        self.request("GET", "/healthz", None)
+    }
+
+    /// `POST /v1/solve`: executes one query remotely; returns the response
+    /// object (the `QueryResponse::to_json` shape).
+    pub fn solve(&mut self, request: &QueryRequest) -> Result<Json, HttpError> {
+        let reply = self.request("POST", "/v1/solve", Some(&request.to_json()))?;
+        Self::expect(reply, "response")?
+            .get("response")
+            .cloned()
+            .ok_or_else(|| HttpError::BadReply("response reply missing payload".to_string()))
+    }
+
+    /// `POST /v1/batch`: executes a batch remotely; returns the response
+    /// objects in request order.
+    pub fn batch(
+        &mut self,
+        shared: Option<GraphSpec>,
+        requests: Vec<QueryRequest>,
+    ) -> Result<Vec<Json>, HttpError> {
+        let payload = proto::Request::Batch { shared, requests }.to_json();
+        let reply = self.request("POST", "/v1/batch", Some(&payload))?;
+        match Self::expect(reply, "batch")?.get("responses") {
+            Some(Json::Arr(items)) => Ok(items.clone()),
+            _ => Err(HttpError::BadReply(
+                "batch reply missing 'responses' array".to_string(),
+            )),
+        }
+    }
+
+    /// `GET /v1/stats`: the daemon's cache statistics object.
+    pub fn stats(&mut self) -> Result<Json, HttpError> {
+        let reply = self.request("GET", "/v1/stats", None)?;
+        Self::expect(reply, "stats")?
+            .get("stats")
+            .cloned()
+            .ok_or_else(|| HttpError::BadReply("stats reply missing payload".to_string()))
+    }
+
+    /// `POST /v1/shutdown`: asks the daemon to stop; returns after the
+    /// acknowledgement.
+    pub fn shutdown(&mut self) -> Result<(), HttpError> {
+        let reply = self.request("POST", "/v1/shutdown", None)?;
+        Self::expect(reply, "shutdown_ok").map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::QueryKind;
+
+    /// Parses request bytes, discarding interim writes (100-continue).
+    fn parse(bytes: &[u8]) -> Result<Option<HttpRequest>, HttpError> {
+        let mut reader = BufReader::new(bytes);
+        let mut sink = Vec::new();
+        read_request(&mut reader, &mut sink)
+    }
+
+    #[test]
+    fn request_parsing_happy_path_and_keep_alive_defaults() {
+        let request = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(request.method, "GET");
+        assert_eq!(request.path, "/healthz");
+        assert!(request.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        assert!(request.body.is_empty());
+
+        let request = parse(b"GET /healthz?probe=1 HTTP/1.0\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(request.path, "/healthz", "query string stripped");
+        assert!(!request.keep_alive, "HTTP/1.0 defaults to close");
+
+        let request = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!request.keep_alive, "Connection: close honoured");
+
+        let request = parse(b"POST /v1/solve HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody")
+            .unwrap()
+            .unwrap();
+        assert_eq!(request.body, b"body");
+    }
+
+    #[test]
+    fn clean_eof_is_none_and_defects_are_typed() {
+        assert!(parse(b"").unwrap().is_none(), "clean EOF between requests");
+        assert!(matches!(
+            parse(b"GET /x\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse(b"GET /x HTTP/2\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        let bodyless_post = parse(b"POST /v1/shutdown HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(
+            bodyless_post.body.is_empty(),
+            "no Content-Length means an empty body, not an error"
+        );
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(HttpError::Unsupported(_))
+        ));
+        let oversized = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_FRAME_LEN + 1
+        );
+        assert!(matches!(
+            parse(oversized.as_bytes()),
+            Err(HttpError::BodyTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn expect_continue_is_acknowledged_before_the_body() {
+        let mut reader = BufReader::new(
+            &b"POST /x HTTP/1.1\r\nContent-Length: 2\r\nExpect: 100-continue\r\n\r\nok"[..],
+        );
+        let mut interim = Vec::new();
+        let request = read_request(&mut reader, &mut interim).unwrap().unwrap();
+        assert_eq!(request.body, b"ok");
+        assert_eq!(interim, b"HTTP/1.1 100 Continue\r\n\r\n");
+    }
+
+    fn get(
+        engine: &QueryEngine,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> (HttpResponse, proto::Action) {
+        respond(
+            engine,
+            &HttpRequest {
+                method: method.to_string(),
+                path: path.to_string(),
+                keep_alive: true,
+                body: body.to_vec(),
+            },
+        )
+    }
+
+    #[test]
+    fn routing_answers_each_route_and_status() {
+        let engine = QueryEngine::default();
+
+        let (health, action) = get(&engine, "GET", "/healthz", b"");
+        assert_eq!(health.status, 200);
+        assert_eq!(health.body.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(action, proto::Action::Continue);
+
+        // HEAD probes (common load-balancer default) route like GET; the
+        // body is suppressed at write time, not here.
+        let (head, _) = get(&engine, "HEAD", "/healthz", b"");
+        assert_eq!(head.status, 200);
+        let (head, _) = get(&engine, "HEAD", "/v1/stats", b"");
+        assert_eq!(head.status, 200);
+
+        let (solve, _) = get(
+            &engine,
+            "POST",
+            "/v1/solve",
+            br#"{"kind":"min_cover_size","cotree":"(j a b c)"}"#,
+        );
+        assert_eq!(solve.status, 200);
+        assert_eq!(
+            solve
+                .body
+                .get("response")
+                .and_then(|r| r.get("answer"))
+                .and_then(|a| a.get("size"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+
+        let (batch, _) = get(
+            &engine,
+            "POST",
+            "/v1/batch",
+            br#"{"requests":[{"kind":"recognize","cotree":"(j a b)"}]}"#,
+        );
+        assert_eq!(batch.status, 200);
+        assert!(matches!(batch.body.get("responses"), Some(Json::Arr(r)) if r.len() == 1));
+
+        let (stats, _) = get(&engine, "GET", "/v1/stats", b"");
+        assert_eq!(stats.status, 200);
+        assert!(stats
+            .body
+            .get("stats")
+            .and_then(|s| s.get("hits"))
+            .is_some());
+
+        let (shutdown, action) = get(&engine, "POST", "/v1/shutdown", b"");
+        assert_eq!(shutdown.status, 200);
+        assert_eq!(action, proto::Action::Shutdown);
+        assert_eq!(
+            shutdown.body.get("type").and_then(Json::as_str),
+            Some("shutdown_ok")
+        );
+    }
+
+    #[test]
+    fn error_statuses_follow_the_taxonomy() {
+        let engine = QueryEngine::default();
+        let code = |r: &HttpResponse| {
+            r.body
+                .get("code")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string()
+        };
+
+        let (response, _) = get(&engine, "GET", "/nope", b"");
+        assert_eq!(
+            (response.status, code(&response)),
+            (404, "not_found".into())
+        );
+
+        let (response, _) = get(&engine, "POST", "/healthz", b"");
+        assert_eq!(response.status, 405);
+        assert_eq!(response.allow, Some("GET, HEAD"));
+        let (response, _) = get(&engine, "GET", "/v1/solve", b"");
+        assert_eq!(response.status, 405);
+        assert_eq!(response.allow, Some("POST"));
+
+        let (response, _) = get(&engine, "POST", "/v1/solve", b"not json");
+        assert_eq!((response.status, code(&response)), (400, "bad_json".into()));
+        let (response, _) = get(&engine, "POST", "/v1/solve", br#"{"kind":"launch"}"#);
+        assert_eq!(
+            (response.status, code(&response)),
+            (400, "bad_message".into())
+        );
+        let (response, _) = get(&engine, "POST", "/v1/batch", br#"{"no_requests":true}"#);
+        assert_eq!(
+            (response.status, code(&response)),
+            (400, "bad_message".into())
+        );
+
+        // A per-job failure (P4 is not a cograph) is still HTTP 200 — the
+        // error lives inside the response object, exactly like a batch line.
+        let (response, _) = get(
+            &engine,
+            "POST",
+            "/v1/solve",
+            br#"{"kind":"recognize","edge_list":"0 1\n1 2\n2 3"}"#,
+        );
+        assert_eq!(response.status, 200);
+        assert_eq!(
+            response
+                .body
+                .get("response")
+                .and_then(|r| r.get("ok"))
+                .and_then(Json::as_bool),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn responses_serialize_with_framing_headers() {
+        let response = HttpResponse::ok(Json::obj(vec![("ok", Json::Bool(true))]));
+        let mut bytes = Vec::new();
+        write_response(&mut bytes, &response, true).unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("Content-Length: 12\r\n"), "{text}");
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}\n"), "{text}");
+
+        let mut bytes = Vec::new();
+        write_response(&mut bytes, &response, false).unwrap();
+        assert!(String::from_utf8(bytes)
+            .unwrap()
+            .contains("Connection: close\r\n"));
+
+        // HEAD: identical headers (Content-Length included), no body.
+        let mut bytes = Vec::new();
+        write_response_parts(&mut bytes, &response, "{\"ok\":true}\n", true, false).unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.contains("Content-Length: 12\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n"), "headers only: {text}");
+    }
+
+    /// End-to-end over a real TCP loopback: client and serve_conn speak to
+    /// each other, keep-alive across requests, shutdown propagates.
+    #[cfg(unix)]
+    #[test]
+    fn client_and_server_round_trip_over_tcp() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().unwrap();
+        let shutdown = crate::daemon::ShutdownSignal::new();
+        let server_shutdown = shutdown.clone();
+        let server = std::thread::spawn(move || {
+            let engine = QueryEngine::default();
+            let (conn, _) = listener.accept().expect("accept");
+            serve_conn(conn, &engine, &server_shutdown);
+        });
+
+        let mut client = Client::connect(&addr.to_string()).expect("connect");
+        let request = QueryRequest::new(
+            QueryKind::MinCoverSize,
+            GraphSpec::CotreeTerm("(j a b c)".to_string()),
+        );
+        let first = client.solve(&request).expect("solve");
+        assert_eq!(
+            first
+                .get("answer")
+                .and_then(|a| a.get("size"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        // Same keep-alive connection: the repeat is a cache hit.
+        let second = client.solve(&request).expect("warm solve");
+        assert_eq!(
+            second
+                .get("meta")
+                .and_then(|m| m.get("cache"))
+                .and_then(Json::as_str),
+            Some("hit")
+        );
+        let stats = client.stats().expect("stats");
+        assert!(stats.get("hits").and_then(Json::as_u64).unwrap_or(0) >= 1);
+        client.shutdown().expect("shutdown");
+        // The acknowledgement is flushed *before* the server thread
+        // triggers the signal — join first so the assertion can't race it.
+        server.join().expect("server thread");
+        assert!(shutdown.is_triggered(), "shutdown signal propagated");
+    }
+}

@@ -26,15 +26,19 @@
 //!
 //! Above the engine sits the serving stack: [`proto`] defines a versioned,
 //! length-framed JSON wire format (`hello` / `solve` / `batch` / `stats` /
-//! `shutdown` and typed replies) over any byte stream, and [`daemon`] runs a
-//! long-lived shared engine behind a unix domain socket so the cotree cache
-//! amortises across client processes.
+//! `shutdown` and typed replies) over any byte stream, [`http`] adapts the
+//! same messages to HTTP/1.1 routes (`POST /v1/solve`, `POST /v1/batch`,
+//! `GET /v1/stats`, `GET /healthz`, `POST /v1/shutdown`), and [`daemon`]
+//! runs a long-lived shared engine behind a unix domain socket, a TCP
+//! socket, or both at once, so the cotree cache amortises across client
+//! processes and transports.
 //!
 //! The `pathcover-cli` binary in this crate exposes the engine on the
 //! command line (`solve`, `batch`, `bench`, `recognize`) reading files or
 //! stdin and emitting human-readable text or JSON lines; `serve` starts the
-//! daemon and `--remote <socket>` turns the query subcommands into thin
-//! clients of one.
+//! daemon (`--socket` and/or `--http`) and `--remote <socket>` /
+//! `--remote-http <addr>` turn the query subcommands into thin clients of
+//! one.
 //!
 //! ```
 //! use pcservice::{EngineConfig, GraphSpec, QueryEngine, QueryKind, QueryRequest};
@@ -56,6 +60,7 @@ pub mod cache;
 pub mod daemon;
 pub mod engine;
 pub mod error;
+pub mod http;
 pub mod ingest;
 pub mod json;
 pub mod model;
@@ -66,12 +71,13 @@ pub use cache::{
     SolveEntry, DEFAULT_SHARDS,
 };
 #[cfg(unix)]
-pub use daemon::{Daemon, DaemonConfig};
+pub use daemon::{Daemon, DaemonConfig, ShutdownSignal};
 pub use engine::{EngineConfig, QueryEngine};
 pub use error::ServiceError;
+pub use http::HttpError;
 pub use ingest::{cotree_to_term, GraphFormat, IngestError, Ingested};
 pub use json::{Json, JsonError};
 pub use model::{
     Answer, CacheStatus, GraphSpec, QueryKind, QueryRequest, QueryResponse, ResponseMeta,
 };
-pub use proto::{ProtoError, PROTO_VERSION};
+pub use proto::{ProtoError, MAX_FRAME_LEN, PROTO_VERSION};

@@ -45,9 +45,13 @@ use std::io::{self, BufRead, Write};
 /// Protocol version spoken by this build.
 pub const PROTO_VERSION: u64 = 1;
 
-/// Hard cap on a frame's payload size (16 MiB). A peer announcing more is
+/// Hard cap on a message payload's size (16 MiB). A peer announcing more is
 /// fatally rejected before any allocation happens.
-pub const MAX_FRAME_BYTES: usize = 16 << 20;
+///
+/// This is the single home of the cap: the framed protocol enforces it on
+/// both `read_frame` and `write_frame`, and [`crate::http`] reuses it as the
+/// `Content-Length` bound, so every transport refuses the same payloads.
+pub const MAX_FRAME_LEN: usize = 16 << 20;
 
 /// Maximum header line length (`pcp<version> <len>\n` is ~30 bytes; anything
 /// longer is garbage, not a header).
@@ -67,7 +71,7 @@ pub enum ProtoError {
     BadHeader(String),
     /// The peer speaks a protocol version this build does not.
     UnsupportedVersion(u64),
-    /// The announced payload length exceeds [`MAX_FRAME_BYTES`].
+    /// The announced payload length exceeds [`MAX_FRAME_LEN`].
     FrameTooLarge {
         /// Announced payload length.
         len: usize,
@@ -145,17 +149,17 @@ impl From<io::Error> for ProtoError {
 
 /// Writes one frame (header, payload, terminator) and flushes.
 ///
-/// The [`MAX_FRAME_BYTES`] cap is enforced on this side too: a payload the
+/// The [`MAX_FRAME_LEN`] cap is enforced on this side too: a payload the
 /// peer would fatally reject is refused with [`io::ErrorKind::InvalidData`]
 /// *before* any bytes hit the stream, so the connection stays in sync and
 /// the caller can substitute a small `error` reply instead.
 pub fn write_frame<W: Write>(w: &mut W, payload: &Json) -> io::Result<()> {
     let body = payload.to_string();
-    if body.len() > MAX_FRAME_BYTES {
+    if body.len() > MAX_FRAME_LEN {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!(
-                "frame of {} bytes exceeds the {MAX_FRAME_BYTES} byte cap (split the batch)",
+                "frame of {} bytes exceeds the {MAX_FRAME_LEN} byte cap (split the batch)",
                 body.len()
             ),
         ));
@@ -202,10 +206,10 @@ pub fn read_frame<R: BufRead>(r: &mut R) -> Result<Json, ProtoError> {
         return Err(ProtoError::UnsupportedVersion(version));
     }
     let len: usize = len.parse().map_err(|_| bad())?;
-    if len > MAX_FRAME_BYTES {
+    if len > MAX_FRAME_LEN {
         return Err(ProtoError::FrameTooLarge {
             len,
-            max: MAX_FRAME_BYTES,
+            max: MAX_FRAME_LEN,
         });
     }
     let mut body = vec![0u8; len + 1];
@@ -263,25 +267,7 @@ impl Request {
                 Ok(Request::Solve(request))
             }
             "batch" => {
-                let shared = match value.get("shared") {
-                    None | Some(Json::Null) => None,
-                    Some(spec) => Some(
-                        GraphSpec::from_json(spec)
-                            .map_err(|e| ProtoError::BadMessage(e.to_string()))?,
-                    ),
-                };
-                let Some(Json::Arr(items)) = value.get("requests") else {
-                    return Err(ProtoError::BadMessage(
-                        "batch needs an array field 'requests'".to_string(),
-                    ));
-                };
-                let requests = items
-                    .iter()
-                    .map(|item| {
-                        QueryRequest::from_json(item)
-                            .map_err(|e| ProtoError::BadMessage(e.to_string()))
-                    })
-                    .collect::<Result<Vec<_>, _>>()?;
+                let (shared, requests) = batch_fields(value)?;
                 Ok(Request::Batch { shared, requests })
             }
             "stats" => Ok(Request::Stats),
@@ -322,6 +308,32 @@ impl Request {
             Request::Shutdown => Json::obj(vec![("type", Json::str("shutdown"))]),
         }
     }
+}
+
+/// Decodes the batch fields (`shared` + `requests`) of a message object.
+///
+/// Shared by the framed [`Request::from_json`] decoder and the
+/// [`crate::http`] `POST /v1/batch` route, so both transports accept exactly
+/// the same batch payloads.
+pub fn batch_fields(value: &Json) -> Result<(Option<GraphSpec>, Vec<QueryRequest>), ProtoError> {
+    let shared = match value.get("shared") {
+        None | Some(Json::Null) => None,
+        Some(spec) => {
+            Some(GraphSpec::from_json(spec).map_err(|e| ProtoError::BadMessage(e.to_string()))?)
+        }
+    };
+    let Some(Json::Arr(items)) = value.get("requests") else {
+        return Err(ProtoError::BadMessage(
+            "batch needs an array field 'requests'".to_string(),
+        ));
+    };
+    let requests = items
+        .iter()
+        .map(|item| {
+            QueryRequest::from_json(item).map_err(|e| ProtoError::BadMessage(e.to_string()))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((shared, requests))
 }
 
 /// After dispatching a request: keep serving this connection or begin
@@ -405,25 +417,27 @@ fn shard_stats_json(shard: &ShardStats) -> Json {
     ])
 }
 
+/// The bare cache-counter object carried inside a `stats` reply.
+pub fn stats_payload(stats: &CacheStats, shards: &[ShardStats]) -> Json {
+    Json::obj(vec![
+        ("hits", Json::num(stats.hits)),
+        ("misses", Json::num(stats.misses)),
+        ("evictions", Json::num(stats.evictions)),
+        ("entries", Json::num(stats.entries as u64)),
+        ("shards", Json::num(stats.shards as u64)),
+        ("hit_rate", Json::Num(stats.hit_rate())),
+        (
+            "per_shard",
+            Json::Arr(shards.iter().map(shard_stats_json).collect()),
+        ),
+    ])
+}
+
 /// Wraps cache counters in a `stats` reply.
 pub fn stats_reply(stats: &CacheStats, shards: &[ShardStats]) -> Json {
     Json::obj(vec![
         ("type", Json::str("stats")),
-        (
-            "stats",
-            Json::obj(vec![
-                ("hits", Json::num(stats.hits)),
-                ("misses", Json::num(stats.misses)),
-                ("evictions", Json::num(stats.evictions)),
-                ("entries", Json::num(stats.entries as u64)),
-                ("shards", Json::num(stats.shards as u64)),
-                ("hit_rate", Json::Num(stats.hit_rate())),
-                (
-                    "per_shard",
-                    Json::Arr(shards.iter().map(shard_stats_json).collect()),
-                ),
-            ]),
-        ),
+        ("stats", stats_payload(stats, shards)),
     ])
 }
 
@@ -617,7 +631,7 @@ mod tests {
 
     #[test]
     fn oversized_writes_are_refused_before_any_bytes() {
-        let payload = Json::str("x".repeat(MAX_FRAME_BYTES + 1));
+        let payload = Json::str("x".repeat(MAX_FRAME_LEN + 1));
         let mut out = Vec::new();
         let err = write_frame(&mut out, &payload).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
@@ -626,7 +640,7 @@ mod tests {
 
     #[test]
     fn oversized_frames_are_rejected_before_allocation() {
-        let header = format!("pcp1 {}\n", MAX_FRAME_BYTES + 1);
+        let header = format!("pcp1 {}\n", MAX_FRAME_LEN + 1);
         let mut reader = io::BufReader::new(header.as_bytes());
         assert!(matches!(
             read_frame(&mut reader),

@@ -1,0 +1,149 @@
+//! Cross-transport equivalence: the same batch run through the in-process
+//! engine, the unix-socket framed protocol and the HTTP/1.1 front-end must
+//! produce byte-identical response objects once the timing fields are
+//! stripped — answers, witnesses, canonical keys *and* cache dispositions
+//! included (each transport gets a fresh single-threaded engine, so the
+//! hit/miss sequence is deterministic and must agree exactly).
+#![cfg(unix)]
+
+use cograph::{random_cotree, CotreeShape};
+use pcservice::daemon::{connect, Daemon, DaemonConfig};
+use pcservice::{
+    EngineConfig, GraphSpec, Json, QueryEngine, QueryKind, QueryRequest, QueryResponse,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
+
+/// The workload: three query kinds over thirty random cotrees, graphs
+/// shipped as edge-list text (the lowering remote clients use), with one
+/// deliberate per-job failure (a P4) to prove error payloads agree too.
+fn workload() -> Vec<QueryRequest> {
+    let mut rng = ChaCha8Rng::seed_from_u64(4242);
+    let shapes = CotreeShape::ALL;
+    let mut requests: Vec<QueryRequest> = (0..30)
+        .flat_map(|i| {
+            let n = 2 + (i * 5) % 40;
+            let tree = random_cotree(n, shapes[i % shapes.len()], &mut rng);
+            let graph = GraphSpec::Graph(tree.to_graph());
+            [
+                QueryRequest::new(QueryKind::MinCoverSize, graph.clone())
+                    .with_id(format!("size-{i}")),
+                QueryRequest::new(QueryKind::FullCover, graph.clone())
+                    .with_id(format!("cover-{i}")),
+                QueryRequest::new(QueryKind::HamiltonianCycle, graph).with_id(format!("cyc-{i}")),
+            ]
+        })
+        .collect();
+    requests.push(
+        QueryRequest::new(
+            QueryKind::Recognize,
+            GraphSpec::EdgeList("0 1\n1 2\n2 3\n".to_string()),
+        )
+        .with_id("p4-error"),
+    );
+    requests
+}
+
+/// Strips the timing fields (`solve_us`, `total_us`) every response
+/// carries; everything else must match exactly.
+fn strip_timing(value: &Json) -> Json {
+    match value {
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .iter()
+                .filter(|(k, _)| k != "solve_us" && k != "total_us")
+                .map(|(k, v)| (k.clone(), strip_timing(v)))
+                .collect(),
+        ),
+        Json::Arr(items) => Json::Arr(items.iter().map(strip_timing).collect()),
+        other => other.clone(),
+    }
+}
+
+/// Single-threaded engines on every side so the hit/miss sequence (part of
+/// every response's metadata) is deterministic and must agree exactly.
+fn engine_config() -> EngineConfig {
+    EngineConfig {
+        threads: 1,
+        ..EngineConfig::default()
+    }
+}
+
+#[test]
+fn all_three_transports_answer_identically() {
+    let requests = workload();
+
+    // In-process baseline.
+    let direct_engine = QueryEngine::new(engine_config());
+    let direct: Vec<Json> = direct_engine
+        .execute_batch(None, &requests)
+        .iter()
+        .map(QueryResponse::to_json)
+        .collect();
+
+    // Unix-socket daemon (fresh engine, framed protocol).
+    let socket =
+        std::env::temp_dir().join(format!("pcservice-equivalence-{}.sock", std::process::id()));
+    let mut config = DaemonConfig::new(&socket);
+    config.idle_timeout = Duration::from_secs(10);
+    config.engine = engine_config();
+    let daemon = Daemon::bind(config).expect("bind unix daemon");
+    let unix_server = std::thread::spawn(move || daemon.run());
+    let mut unix_client = connect(&socket).expect("unix connect");
+    let over_unix = unix_client
+        .batch(None, requests.clone())
+        .expect("unix batch");
+
+    // HTTP daemon (fresh engine, ephemeral port).
+    let mut config = DaemonConfig::http("127.0.0.1:0");
+    config.idle_timeout = Duration::from_secs(10);
+    config.engine = engine_config();
+    let daemon = Daemon::bind(config).expect("bind http daemon");
+    let addr = daemon.http_addr().expect("http bound").to_string();
+    let http_server = std::thread::spawn(move || daemon.run());
+    let mut http_client = pcservice::http::Client::connect(&addr).expect("http connect");
+    let over_http = http_client
+        .batch(None, requests.clone())
+        .expect("http batch");
+
+    assert_eq!(direct.len(), over_unix.len());
+    assert_eq!(direct.len(), over_http.len());
+    for (i, request) in requests.iter().enumerate() {
+        let baseline = strip_timing(&direct[i]).to_string();
+        assert_eq!(
+            strip_timing(&over_unix[i]).to_string(),
+            baseline,
+            "response {i} ({:?}) diverges between unix socket and direct engine",
+            request.id
+        );
+        assert_eq!(
+            strip_timing(&over_http[i]).to_string(),
+            baseline,
+            "response {i} ({:?}) diverges between http and direct engine",
+            request.id
+        );
+    }
+
+    // The deliberate non-cograph failed identically everywhere (spot-check
+    // the shared baseline actually contains it).
+    let last = strip_timing(direct.last().unwrap());
+    assert_eq!(last.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        last.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("not_a_cograph")
+    );
+
+    unix_client.shutdown().expect("unix shutdown");
+    unix_server
+        .join()
+        .expect("unix daemon thread")
+        .expect("unix daemon exits cleanly");
+    http_client.shutdown().expect("http shutdown");
+    http_server
+        .join()
+        .expect("http daemon thread")
+        .expect("http daemon exits cleanly");
+}

@@ -10,7 +10,11 @@
 //! * when the `CRITERION_JSON` environment variable names a file, one JSON
 //!   line per benchmark (`{"group":..,"bench":..,"median_ns":..}`) is
 //!   appended to it, which is how the repository's `BENCH_*.json` baselines
-//!   are recorded.
+//!   are recorded;
+//! * `cargo bench -- --test` mirrors real criterion's smoke mode: every
+//!   benchmark body runs exactly once, untimed and without JSON output, so
+//!   CI can prove the benches still compile and execute without paying for
+//!   measurements.
 //!
 //! There is no statistical outlier analysis; treat the numbers as honest but
 //! simple wall-clock measurements.
@@ -25,8 +29,21 @@ use std::time::{Duration, Instant};
 pub use std::hint::black_box;
 
 /// Entry point handed to benchmark functions by [`criterion_group!`].
-#[derive(Debug, Default)]
-pub struct Criterion {}
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    /// Reads the process arguments the way `cargo bench -- --test` hands
+    /// them to every bench binary: with `--test` present, benchmarks run in
+    /// smoke mode (one untimed execution each).
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|arg| arg == "--test"),
+        }
+    }
+}
 
 impl Criterion {
     /// Starts a named group of related benchmarks.
@@ -36,6 +53,7 @@ impl Criterion {
         BenchmarkGroup {
             name,
             sample_size: 20,
+            test_mode: self.test_mode,
         }
     }
 
@@ -48,6 +66,7 @@ impl Criterion {
         let mut group = BenchmarkGroup {
             name: name.clone(),
             sample_size: 20,
+            test_mode: self.test_mode,
         };
         group.run(&name, f);
         self
@@ -83,6 +102,7 @@ impl Display for BenchmarkId {
 pub struct BenchmarkGroup {
     name: String,
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl BenchmarkGroup {
@@ -118,6 +138,17 @@ impl BenchmarkGroup {
     }
 
     fn run<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) {
+        if self.test_mode {
+            // Smoke mode (`cargo bench -- --test`): prove the body runs,
+            // measure nothing, write no JSON.
+            let mut bencher = Bencher {
+                elapsed: Duration::ZERO,
+                iterations: 0,
+            };
+            f(&mut bencher);
+            println!("{label}: test ok ({} iteration(s))", bencher.iterations);
+            return;
+        }
         let mut samples = Vec::with_capacity(self.sample_size);
         // One untimed warm-up sample, then `sample_size` timed ones.
         for timed in [false, true] {
@@ -240,5 +271,19 @@ mod tests {
     #[test]
     fn benchmark_id_renders_as_function_slash_param() {
         assert_eq!(BenchmarkId::new("scan", 1024).to_string(), "scan/1024");
+    }
+
+    #[test]
+    fn test_mode_runs_each_benchmark_exactly_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(50);
+        let mut runs = 0u32;
+        group.bench_function("noop", |b| {
+            runs += 1;
+            b.iter(|| 1 + 1)
+        });
+        group.finish();
+        assert_eq!(runs, 1, "smoke mode must not warm up or sample");
     }
 }
