@@ -126,6 +126,29 @@ impl Cotree {
         tree.compact()
     }
 
+    /// Assembles a cotree directly from arena parts.
+    ///
+    /// Crate-internal: the incremental recogniser builds its result in one
+    /// pass through this instead of the combining constructors, whose
+    /// copy-on-combine behaviour would cost `O(n · height)`. The caller must
+    /// uphold the structural invariants ([`Cotree::validate`]); they are
+    /// checked in debug builds.
+    pub(crate) fn from_raw_parts(
+        kinds: Vec<CotreeKind>,
+        children: Vec<Vec<usize>>,
+        parent: Vec<usize>,
+        root: usize,
+    ) -> Self {
+        let tree = Cotree {
+            kinds,
+            children,
+            parent,
+            root,
+        };
+        debug_assert_eq!(tree.validate(), Ok(()), "from_raw_parts invariants");
+        tree
+    }
+
     /// Drops nodes that became unreachable during normalisation.
     fn compact(self) -> Self {
         let n = self.kinds.len();

@@ -11,8 +11,11 @@
 //!
 //! * [`Cotree`] — the k-ary labelled cotree with construction operators,
 //!   validation and materialisation into a [`pcgraph::Graph`];
-//! * [`recognition`] — building the cotree of an arbitrary graph (or proving
-//!   it is not a cograph) by complement-reducibility decomposition;
+//! * [`recognition`] — building the cotree of an arbitrary graph in
+//!   `O(n + m)` by incremental insertion ([`recognition::fast`]), with an
+//!   induced-`P_4` certificate on rejection; the textbook
+//!   complement-reducibility decomposition survives as
+//!   [`recognition::reference`], the differential-testing oracle;
 //! * [`generators`] — deterministic random cotree families (balanced, skewed,
 //!   mixed) used as workloads by the experiments;
 //! * [`BinaryCotree`] — the binarised cotree `T_b(G)` of the paper, plus the
@@ -35,5 +38,5 @@ pub use binary::{BinKind, BinaryCotree, NONE};
 pub use cotree::{Cotree, CotreeKind};
 pub use generators::{random_cotree, CotreeShape};
 pub use pathcount::{path_counts_pram, path_counts_seq};
-pub use recognition::recognize;
+pub use recognition::{is_cograph, recognize, try_recognize, InducedP4, RecognitionError};
 pub use reduce::{classify_vertices, ReducedCotree, VertexRole};

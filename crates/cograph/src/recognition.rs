@@ -1,114 +1,122 @@
 //! Cograph recognition: building a cotree from an arbitrary graph.
 //!
-//! The paper assumes the cotree is given (cotree construction in parallel is
-//! the separate result of He, cited as [12]). For the library to be usable
-//! end-to-end we provide the textbook sequential decomposition: a graph is a
-//! cograph iff every induced subgraph with more than one vertex is
-//! disconnected or has a disconnected complement. Recursing on the connected
-//! components (union nodes) and co-components (join nodes) either produces
-//! the cotree or finds a certificate that the graph contains an induced
-//! `P_4` and is therefore not a cograph.
+//! Two recognisers live here behind one front:
 //!
-//! The running time is `O(n^2)` per level and `O(n^2 log n)`-ish overall —
-//! perfectly adequate for generating test inputs and validating the
-//! materialisation round-trip.
+//! * [`fast`] — the default. Incremental Corneil–Perl–Stewart-style
+//!   recognition: vertices are inserted one at a time into a growing mutable
+//!   cotree, each insertion driven by a marking pass over `O(d(x))` nodes,
+//!   for `O(n + m)` total. On failure it does not just say "no": it returns
+//!   a concrete induced `P_4` as a certificate ([`InducedP4`]).
+//! * [`reference`] — the textbook component/co-component decomposition
+//!   (a graph is a cograph iff every induced subgraph on two or more
+//!   vertices is disconnected or has a disconnected complement). It is
+//!   `O(n^2 log n)`-ish and survives as the differential-testing oracle for
+//!   the fast path.
+//!
+//! The free functions of this module — [`recognize`], [`try_recognize`],
+//! [`is_cograph`] — are thin fronts over [`fast`]. The paper itself assumes
+//! the cotree is given (parallel cotree construction is the separate result
+//! of He, cited as [12]); this module is what lets the serving stack accept
+//! raw graphs at the same asymptotic cost as the solve path.
+//!
+//! # Certificate semantics
+//!
+//! A graph is a cograph iff it has no induced `P_4` (path on four vertices).
+//! When recognition rejects, [`RecognitionError::InducedP4`] carries such a
+//! path `a - b - c - d`: edges `ab`, `bc`, `cd` present, edges `ac`, `ad`,
+//! `bd` absent. [`InducedP4::verify`] re-checks a witness against a graph,
+//! so callers (and the differential tests) can validate certificates
+//! independently of the recogniser that produced them.
+
+pub mod fast;
+pub mod reference;
 
 use crate::cotree::Cotree;
-use pcgraph::{ops, Graph, VertexId};
+use pcgraph::{Graph, VertexId};
+use std::fmt;
+
+/// A certificate that a graph is not a cograph: an induced path on four
+/// vertices, in path order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InducedP4 {
+    /// The path `a - b - c - d` as `[a, b, c, d]`.
+    pub path: [VertexId; 4],
+}
+
+impl InducedP4 {
+    /// The four vertices in path order.
+    pub fn vertices(&self) -> [VertexId; 4] {
+        self.path
+    }
+
+    /// `true` when the witness really is an induced `P_4` of `g`: four
+    /// distinct vertices with exactly the three consecutive edges present.
+    pub fn verify(&self, g: &Graph) -> bool {
+        let [a, b, c, d] = self.path;
+        let distinct = a != b && a != c && a != d && b != c && b != d && c != d;
+        distinct
+            && g.has_edge(a, b)
+            && g.has_edge(b, c)
+            && g.has_edge(c, d)
+            && !g.has_edge(a, c)
+            && !g.has_edge(a, d)
+            && !g.has_edge(b, d)
+    }
+}
+
+impl fmt::Display for InducedP4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [a, b, c, d] = self.path;
+        write!(f, "{a} - {b} - {c} - {d}")
+    }
+}
+
+/// Why recognition rejected a graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecognitionError {
+    /// The graph has no vertices; a cotree needs at least one leaf.
+    EmptyGraph,
+    /// The graph contains the induced `P_4` carried as witness, and is
+    /// therefore not a cograph.
+    InducedP4(InducedP4),
+}
+
+impl fmt::Display for RecognitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecognitionError::EmptyGraph => write!(f, "the empty graph has no cotree"),
+            RecognitionError::InducedP4(p4) => {
+                write!(f, "not a cograph: induced P4 {p4}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecognitionError {}
+
+/// Builds the cotree of `g`, or returns a typed rejection: either
+/// [`RecognitionError::EmptyGraph`] or an induced-`P_4` certificate.
+///
+/// Runs the linear-time incremental recogniser ([`fast`]); leaf labels of
+/// the returned cotree are the vertex ids of `g`.
+pub fn try_recognize(g: &Graph) -> Result<Cotree, RecognitionError> {
+    fast::recognize(g)
+}
 
 /// Attempts to build the cotree of `g`. Returns `None` when `g` is not a
-/// cograph. Leaf labels of the returned cotree are the vertex ids of `g`.
+/// cograph (or has no vertices). Use [`try_recognize`] to obtain the
+/// induced-`P_4` certificate instead of a bare `None`.
 pub fn recognize(g: &Graph) -> Option<Cotree> {
-    if g.num_vertices() == 0 {
-        return None;
-    }
-    let all: Vec<VertexId> = g.vertices().collect();
-    recognize_subset(g, &all)
+    fast::recognize(g).ok()
 }
 
 /// `true` when `g` is a cograph.
 ///
-/// This is the *decision* version of [`recognize`]: it runs the same
-/// component/co-component decomposition but never materialises a cotree —
-/// no node allocations, no label bookkeeping — and it short-circuits out of
-/// a level as soon as one part fails. Use it when only the yes/no answer is
-/// needed (e.g. input validation before queueing work); call [`recognize`]
-/// when the cotree itself is wanted.
+/// The decision version: runs the same incremental insertion as
+/// [`try_recognize`] but skips materialising the final [`Cotree`] arena and
+/// never extracts a witness, exiting on the first failed insertion.
 pub fn is_cograph(g: &Graph) -> bool {
-    if g.num_vertices() == 0 {
-        return false;
-    }
-    let all: Vec<VertexId> = g.vertices().collect();
-    is_cograph_subset(g, &all)
-}
-
-/// Decision-only mirror of [`recognize_subset`]: identical decomposition,
-/// zero cotree construction, early exit on the first non-cograph part.
-fn is_cograph_subset(original: &Graph, vertices: &[VertexId]) -> bool {
-    if vertices.len() == 1 {
-        return true;
-    }
-    let (sub, map) = ops::induced_subgraph(original, vertices);
-    let (comp, count) = sub.connected_components();
-    if count > 1 {
-        return (0..count).all(|c| {
-            let members: Vec<VertexId> = (0..sub.num_vertices())
-                .filter(|&v| comp[v] == c)
-                .map(|v| map[v])
-                .collect();
-            is_cograph_subset(original, &members)
-        });
-    }
-    let co = ops::complement(&sub);
-    let (co_comp, co_count) = co.connected_components();
-    if co_count > 1 {
-        return (0..co_count).all(|c| {
-            let members: Vec<VertexId> = (0..sub.num_vertices())
-                .filter(|&v| co_comp[v] == c)
-                .map(|v| map[v])
-                .collect();
-            is_cograph_subset(original, &members)
-        });
-    }
-    // Both the graph and its complement are connected on >= 2 vertices.
-    false
-}
-
-fn recognize_subset(original: &Graph, vertices: &[VertexId]) -> Option<Cotree> {
-    if vertices.len() == 1 {
-        return Some(Cotree::single(vertices[0]));
-    }
-    let (sub, map) = ops::induced_subgraph(original, vertices);
-    // Try splitting into connected components (a union node).
-    let (comp, count) = sub.connected_components();
-    if count > 1 {
-        let mut parts = Vec::with_capacity(count);
-        for c in 0..count {
-            let members: Vec<VertexId> = (0..sub.num_vertices())
-                .filter(|&v| comp[v] == c)
-                .map(|v| map[v])
-                .collect();
-            parts.push(recognize_subset(original, &members)?);
-        }
-        return Some(Cotree::union_of_labelled(parts));
-    }
-    // Connected: try the complement (a join node).
-    let co = ops::complement(&sub);
-    let (co_comp, co_count) = co.connected_components();
-    if co_count > 1 {
-        let mut parts = Vec::with_capacity(co_count);
-        for c in 0..co_count {
-            let members: Vec<VertexId> = (0..sub.num_vertices())
-                .filter(|&v| co_comp[v] == c)
-                .map(|v| map[v])
-                .collect();
-            parts.push(recognize_subset(original, &members)?);
-        }
-        return Some(Cotree::join_of_labelled(parts));
-    }
-    // Both the graph and its complement are connected on >= 2 vertices:
-    // not a cograph.
-    None
+    fast::is_cograph(g)
 }
 
 #[cfg(test)]
@@ -130,6 +138,10 @@ mod tests {
     fn empty_graph_is_not_handled() {
         assert!(recognize(&Graph::new(0)).is_none());
         assert!(!is_cograph(&Graph::new(0)));
+        assert_eq!(
+            try_recognize(&Graph::new(0)),
+            Err(RecognitionError::EmptyGraph)
+        );
     }
 
     #[test]
@@ -149,9 +161,14 @@ mod tests {
     }
 
     #[test]
-    fn p4_is_not_a_cograph() {
-        assert!(recognize(&generators::p4()).is_none());
-        assert!(!is_cograph(&generators::p4()));
+    fn p4_is_not_a_cograph_and_certifies_itself() {
+        let p4 = generators::p4();
+        assert!(recognize(&p4).is_none());
+        assert!(!is_cograph(&p4));
+        let Err(RecognitionError::InducedP4(witness)) = try_recognize(&p4) else {
+            panic!("P4 must be rejected with a witness");
+        };
+        assert!(witness.verify(&p4), "witness {witness} not an induced P4");
     }
 
     #[test]
@@ -185,6 +202,7 @@ mod tests {
                 let g = t.to_graph();
                 let t2 = recognize(&g).expect("materialised cotrees are cographs");
                 assert_eq!(t2.to_graph(), g, "{shape:?} n={n}");
+                assert!(t2.validate().is_ok(), "{shape:?} n={n}");
             }
         }
     }
@@ -202,7 +220,8 @@ mod tests {
             }
         }
         // Mixed verdicts: perturb each cograph with one extra edge; whatever
-        // recognize decides, is_cograph must decide identically.
+        // recognize decides, is_cograph must decide identically, and every
+        // rejection must carry a valid certificate.
         use rand::Rng as _;
         for trial in 0..40 {
             let shape = CotreeShape::ALL[trial % CotreeShape::ALL.len()];
@@ -220,6 +239,9 @@ mod tests {
                 recognize(&perturbed).is_some(),
                 "trial {trial}: decision diverges from recognition"
             );
+            if let Err(RecognitionError::InducedP4(witness)) = try_recognize(&perturbed) {
+                assert!(witness.verify(&perturbed), "trial {trial}: bad witness");
+            }
         }
     }
 
@@ -228,5 +250,23 @@ mod tests {
         // The 5-cycle plus a chord still contains an induced P4.
         let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]).unwrap();
         assert!(!is_cograph(&g));
+        let Err(RecognitionError::InducedP4(witness)) = try_recognize(&g) else {
+            panic!("must reject with witness");
+        };
+        assert!(witness.verify(&g));
+    }
+
+    #[test]
+    fn witness_verify_rejects_non_p4s() {
+        let g = generators::p4(); // path 0-1-2-3
+        assert!(InducedP4 { path: [0, 1, 2, 3] }.verify(&g));
+        assert!(InducedP4 { path: [3, 2, 1, 0] }.verify(&g));
+        // Wrong order: 1-0 is an edge but 0-2 is not.
+        assert!(!InducedP4 { path: [1, 0, 2, 3] }.verify(&g));
+        // Repeated vertex.
+        assert!(!InducedP4 { path: [0, 1, 2, 2] }.verify(&g));
+        // A triangle chord breaks induced-ness.
+        let paw = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (1, 3)]).unwrap();
+        assert!(!InducedP4 { path: [0, 1, 2, 3] }.verify(&paw));
     }
 }

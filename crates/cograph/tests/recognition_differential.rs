@@ -1,0 +1,150 @@
+//! Differential testing of the two cograph recognisers.
+//!
+//! Seeded loop (the workspace's proptest-as-seeded-loop style) over random
+//! cotrees materialised to graphs, plus edge-perturbed variants that may or
+//! may not stay cographs:
+//!
+//! * `fast` (incremental, linear-time) and `reference` (decomposition
+//!   oracle) must agree on every verdict;
+//! * on acceptance, both cotrees must materialise back to the input graph
+//!   (shapes may differ — the adjacency structure is the contract);
+//! * on rejection, the certificate must be an actual induced `P_4` of the
+//!   input, checked by [`InducedP4::verify`] against the graph directly.
+
+use cograph::generators::{random_cotree, CotreeShape};
+use cograph::recognition::{fast, reference, RecognitionError};
+use pcgraph::Graph;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Adds up to `attempts` random non-parallel edges; returns `None` when no
+/// edge could be added (the graph was complete or the draws collided).
+fn perturb<R: Rng>(g: &Graph, attempts: usize, rng: &mut R) -> Option<Graph> {
+    let n = g.num_vertices();
+    let mut edges: Vec<(u32, u32)> = g.edges().collect();
+    let before = edges.len();
+    let mut augmented = g.clone();
+    for _ in 0..attempts {
+        let (u, v) = (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32));
+        if u != v && !augmented.has_edge(u, v) {
+            augmented.add_edge(u, v).expect("fresh edge");
+            edges.push((u, v));
+        }
+    }
+    if edges.len() == before {
+        return None;
+    }
+    Some(Graph::from_edges(n, &edges).expect("perturbed graph is simple"))
+}
+
+/// Checks one graph through both recognisers; returns `true` when it was
+/// rejected (with a verified certificate).
+fn check(g: &Graph, context: &str) -> bool {
+    let by_reference = reference::recognize(g);
+    match fast::recognize(g) {
+        Ok(tree) => {
+            assert!(
+                by_reference.is_some(),
+                "{context}: fast accepts but reference rejects"
+            );
+            assert_eq!(tree.to_graph(), *g, "{context}: fast cotree drifts");
+            assert!(tree.validate().is_ok(), "{context}: invalid fast cotree");
+            let reference_tree = by_reference.expect("checked above");
+            assert_eq!(
+                reference_tree.to_graph(),
+                *g,
+                "{context}: reference cotree drifts"
+            );
+            assert!(fast::is_cograph(g), "{context}: decision diverges (accept)");
+            assert!(
+                reference::is_cograph(g),
+                "{context}: reference decision diverges (accept)"
+            );
+            false
+        }
+        Err(RecognitionError::InducedP4(witness)) => {
+            assert!(
+                by_reference.is_none(),
+                "{context}: fast rejects with {witness} but reference accepts"
+            );
+            assert!(
+                witness.verify(g),
+                "{context}: witness {witness} is not an induced P4"
+            );
+            assert!(
+                !fast::is_cograph(g),
+                "{context}: decision diverges (reject)"
+            );
+            assert!(
+                !reference::is_cograph(g),
+                "{context}: reference decision diverges (reject)"
+            );
+            true
+        }
+        Err(RecognitionError::EmptyGraph) => {
+            panic!("{context}: generated graphs are never empty")
+        }
+    }
+}
+
+#[test]
+fn recognizers_agree_over_seeded_random_graphs() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xC09_24AF);
+    let mut cographs = 0usize;
+    let mut rejects = 0usize;
+    for trial in 0..220usize {
+        let shape = CotreeShape::ALL[trial % CotreeShape::ALL.len()];
+        let n = 2 + (trial * 7) % 70;
+        let graph = random_cotree(n, shape, &mut rng).to_graph();
+        // The unperturbed materialisation is always a cograph.
+        assert!(
+            !check(&graph, &format!("trial {trial} ({shape:?} n={n}) clean")),
+            "trial {trial}: materialised cotree rejected"
+        );
+        cographs += 1;
+        // The perturbed variant lands on either side of the fence; both
+        // recognisers must land on the same side.
+        if let Some(perturbed) = perturb(&graph, 1 + trial % 3, &mut rng) {
+            let context = format!("trial {trial} ({shape:?} n={n}) perturbed");
+            if check(&perturbed, &context) {
+                rejects += 1;
+            } else {
+                cographs += 1;
+            }
+        }
+    }
+    // The acceptance bar: enough coverage on both sides of the fence.
+    assert!(cographs >= 200, "only {cographs} cograph checks");
+    assert!(rejects >= 100, "only {rejects} certified rejections");
+}
+
+#[test]
+fn dense_perturbations_keep_witnesses_honest() {
+    // Join-heavy (dense) cographs force deep marked chains; removing an
+    // edge instead of adding one also breaks cograph-ness in P4-shaped
+    // ways. Both directions must carry valid certificates.
+    let mut rng = ChaCha8Rng::seed_from_u64(77_001);
+    let mut rejects = 0usize;
+    for trial in 0..60usize {
+        let n = 6 + trial % 40;
+        let tree = cograph::generators::random_connected_cotree(n, CotreeShape::Mixed, &mut rng);
+        let graph = tree.to_graph();
+        let edges: Vec<(u32, u32)> = graph.edges().collect();
+        if edges.is_empty() {
+            continue;
+        }
+        // Drop one random edge.
+        let drop = rng.gen_range(0..edges.len());
+        let kept: Vec<(u32, u32)> = edges
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != drop)
+            .map(|(_, &e)| e)
+            .collect();
+        let thinned = Graph::from_edges(n, &kept).expect("still simple");
+        if check(&thinned, &format!("trial {trial} thinned n={n}")) {
+            rejects += 1;
+        }
+    }
+    assert!(rejects >= 10, "only {rejects} thinned rejections");
+}

@@ -91,10 +91,17 @@ impl Graph {
         if self.has_edge(u, v) {
             return Err(GraphError::DuplicateEdge { u, v });
         }
+        // Appending in ascending neighbour order keeps the lists sorted, so
+        // bulk constructors that emit edges in order (complement, join,
+        // generators) retain binary-search `has_edge` while building instead
+        // of degenerating to linear scans.
+        let keeps_sorted = self.sorted
+            && self.adj[u as usize].last().map_or(true, |&last| last < v)
+            && self.adj[v as usize].last().map_or(true, |&last| last < u);
         self.adj[u as usize].push(v);
         self.adj[v as usize].push(u);
         self.m += 1;
-        self.sorted = false;
+        self.sorted = keeps_sorted;
         Ok(())
     }
 
@@ -134,6 +141,23 @@ impl Graph {
     /// Neighbours of `u` (sorted once [`Graph::finalize`] has run).
     pub fn neighbors(&self, u: VertexId) -> &[VertexId] {
         &self.adj[u as usize]
+    }
+
+    /// `true` once every adjacency list is sorted (after [`Graph::finalize`],
+    /// or when all insertions arrived in ascending order). Sorted lists make
+    /// [`Graph::has_edge`] a binary search and let passes that only care
+    /// about neighbours below a threshold read a list prefix.
+    pub fn is_finalized(&self) -> bool {
+        self.sorted
+    }
+
+    /// All adjacency lists at once, indexed by vertex id.
+    ///
+    /// One borrow hands a pass over the whole graph its neighbour slices
+    /// without a bounds-checked [`Graph::neighbors`] call per vertex; the
+    /// incremental recogniser's marker pass iterates this directly.
+    pub fn adjacency(&self) -> &[Vec<VertexId>] {
+        &self.adj
     }
 
     /// Iterator over all vertices.
@@ -298,5 +322,38 @@ mod tests {
         let g = Graph::new(3);
         let vs: Vec<_> = g.vertices().collect();
         assert_eq!(vs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn adjacency_accessor() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (1, 3)]).unwrap();
+        assert_eq!(g.adjacency().len(), 5);
+        assert_eq!(&g.adjacency()[1], &[0, 2, 3]);
+        assert!(g.is_finalized());
+    }
+
+    #[test]
+    fn ascending_insertion_keeps_lists_sorted() {
+        // Edges inserted in ascending order (the pattern of complement/join
+        // construction) never dirty the sorted flag, so duplicate checks stay
+        // binary searches mid-construction.
+        let mut g = Graph::new(4);
+        for u in 0..4u32 {
+            for v in (u + 1)..4u32 {
+                g.add_edge(u, v).unwrap();
+            }
+        }
+        // All lists are sorted without an explicit finalize.
+        for v in g.vertices() {
+            let list = g.neighbors(v);
+            assert!(list.windows(2).all(|w| w[0] < w[1]), "list of {v} unsorted");
+        }
+        assert!(g.has_edge(0, 3));
+        // Out-of-order insertion still works and finalize restores order.
+        let mut h = Graph::new(3);
+        h.add_edge(2, 0).unwrap();
+        h.add_edge(0, 1).unwrap();
+        h.finalize();
+        assert_eq!(h.neighbors(0), &[1, 2]);
     }
 }

@@ -239,6 +239,16 @@ fn print_human_json(response: &Json) {
             .and_then(Json::as_str)
             .unwrap_or("(no message)");
         println!("error [{code}]: {message}");
+        // A not_a_cograph rejection carries its induced-P4 certificate; show
+        // it on its own line so scripts scraping human output can grab it.
+        if let Some(Json::Arr(p4)) = response.get("error").and_then(|e| e.get("p4")) {
+            let path = p4
+                .iter()
+                .map(Json::to_string)
+                .collect::<Vec<_>>()
+                .join(" - ");
+            println!("  induced P4: {path}");
+        }
     } else if let Some(answer) = response.get("answer") {
         let flag = |field: &str| answer.get(field).and_then(Json::as_bool) == Some(true);
         match kind {

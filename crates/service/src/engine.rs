@@ -21,7 +21,7 @@ use crate::ingest::{self, GraphFormat, Ingested};
 use crate::model::{
     Answer, CacheStatus, GraphSpec, QueryKind, QueryRequest, QueryResponse, ResponseMeta,
 };
-use cograph::recognize;
+use cograph::{try_recognize, Cotree};
 use pathcover::{hamiltonian_path, path_cover};
 use pcgraph::{verify_path_cover, Graph, PathCover};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -296,9 +296,7 @@ impl QueryEngine {
             return Err(ServiceError::EmptyGraph);
         }
         if !self.config.use_cache {
-            let cotree = recognize(&graph).ok_or(ServiceError::NotACograph {
-                vertices: graph.num_vertices(),
-            })?;
+            let cotree = recognize_certified(&graph)?;
             return Ok(Resolved {
                 entry: Arc::new(SolveEntry::new(cotree)),
                 graph: Some(graph),
@@ -313,9 +311,7 @@ impl QueryEngine {
                 cache: CacheStatus::Hit,
             });
         }
-        let cotree = recognize(&graph).ok_or(ServiceError::NotACograph {
-            vertices: graph.num_vertices(),
-        })?;
+        let cotree = recognize_certified(&graph)?;
         let entry = self
             .cache
             .insert(Some((fingerprint, graph.clone())), cotree);
@@ -416,6 +412,12 @@ impl QueryEngine {
     }
 }
 
+/// Runs the linear-time recogniser, lifting its typed rejection — including
+/// the induced-`P_4` certificate — into the service taxonomy.
+fn recognize_certified(graph: &Graph) -> Result<Cotree, ServiceError> {
+    try_recognize(graph).map_err(|e| ServiceError::from_recognition(e, graph.num_vertices()))
+}
+
 fn ingested_prep(ingested: Ingested) -> SharedPrep {
     match ingested {
         Ingested::Graph(g) => SharedPrep::Graph(Arc::new(g)),
@@ -475,14 +477,23 @@ mod tests {
     }
 
     #[test]
-    fn p4_is_reported_not_a_cograph() {
+    fn p4_is_reported_not_a_cograph_with_witness() {
         let e = engine();
         let req = QueryRequest::new(
             QueryKind::MinCoverSize,
             GraphSpec::EdgeList("0 1\n1 2\n2 3\n".to_string()),
         );
         let resp = e.execute(&req);
-        assert_eq!(resp.outcome, Err(ServiceError::NotACograph { vertices: 4 }));
+        let Err(ServiceError::NotACograph { vertices, witness }) = resp.outcome else {
+            panic!("expected a certified rejection, got {:?}", resp.outcome);
+        };
+        assert_eq!(vertices, 4);
+        // The witness is an induced P4 of the input path 0-1-2-3: it must
+        // be that path, in one of the two directions.
+        assert!(
+            witness == [0, 1, 2, 3] || witness == [3, 2, 1, 0],
+            "unexpected witness {witness:?}"
+        );
     }
 
     #[test]

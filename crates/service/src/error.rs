@@ -7,6 +7,8 @@
 //! human-readable text and as a machine-readable JSON object.
 
 use crate::ingest::IngestError;
+use cograph::RecognitionError;
+use pcgraph::VertexId;
 use std::fmt;
 
 /// Any error a single query can produce.
@@ -14,11 +16,16 @@ use std::fmt;
 pub enum ServiceError {
     /// The graph input could not be parsed.
     Ingest(IngestError),
-    /// The input graph is not a cograph (it contains an induced `P_4`), so
-    /// the cotree pipeline cannot run.
+    /// The input graph is not a cograph, so the cotree pipeline cannot run.
+    /// Recognition certifies the rejection with a concrete induced `P_4`,
+    /// which travels all the way into the wire error body.
     NotACograph {
         /// Number of vertices of the offending graph.
         vertices: usize,
+        /// The induced `P_4` found by recognition, in path order
+        /// `a - b - c - d` (edges `ab`, `bc`, `cd`; non-edges `ac`, `ad`,
+        /// `bd`).
+        witness: [VertexId; 4],
     },
     /// The input graph has no vertices; the path-cover problem is trivial
     /// but the paper's pipeline (and recognition) require `n >= 1`.
@@ -54,10 +61,12 @@ impl fmt::Display for ServiceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServiceError::Ingest(e) => write!(f, "ingest error: {e}"),
-            ServiceError::NotACograph { vertices } => {
+            ServiceError::NotACograph { vertices, witness } => {
+                let [a, b, c, d] = witness;
                 write!(
                     f,
-                    "graph on {vertices} vertices is not a cograph (contains an induced P4)"
+                    "graph on {vertices} vertices is not a cograph \
+                     (induced P4: {a} - {b} - {c} - {d})"
                 )
             }
             ServiceError::EmptyGraph => write!(f, "graph has no vertices"),
@@ -81,5 +90,19 @@ impl std::error::Error for ServiceError {}
 impl From<IngestError> for ServiceError {
     fn from(e: IngestError) -> Self {
         ServiceError::Ingest(e)
+    }
+}
+
+impl ServiceError {
+    /// Maps a typed recognition rejection onto the service taxonomy,
+    /// carrying the induced-`P_4` certificate along.
+    pub fn from_recognition(error: RecognitionError, vertices: usize) -> ServiceError {
+        match error {
+            RecognitionError::EmptyGraph => ServiceError::EmptyGraph,
+            RecognitionError::InducedP4(p4) => ServiceError::NotACograph {
+                vertices,
+                witness: p4.vertices(),
+            },
+        }
     }
 }

@@ -16,6 +16,12 @@
 //! All parsers return typed [`IngestError`]s carrying the line (or byte
 //! position) of the defect so batch jobs can report precisely what was wrong
 //! with *their* input without touching the rest of the batch.
+//!
+//! Parsing is only the first gate: text graphs (`edge list` / `DIMACS`)
+//! still pass through linear-time cograph recognition downstream, and a
+//! non-cograph fails its job with [`crate::ServiceError::NotACograph`]
+//! carrying an induced-`P_4` certificate. Cotree terms skip recognition
+//! entirely — the term *is* the cotree.
 
 use cograph::Cotree;
 use pcgraph::{Graph, GraphError, VertexId};

@@ -11,8 +11,10 @@
 //! 1. [`ingest`] parses edge-list text, DIMACS text or cotree term notation
 //!    (`(u (j a b) c)`) into a graph or cotree, with typed errors
 //!    ([`IngestError`]) locating the defect.
-//! 2. Graphs are run through [`cograph::recognize`]; non-cographs fail their
-//!    job with [`ServiceError::NotACograph`].
+//! 2. Graphs are run through the linear-time incremental recogniser
+//!    ([`cograph::try_recognize`]); non-cographs fail their job with
+//!    [`ServiceError::NotACograph`], which carries the induced-`P_4`
+//!    certificate into the wire error body of both transports.
 //! 3. The sharded [`cache`] keys cotrees by a canonical-form hash
 //!    (child-order invariant) and remembers graph fingerprints with
 //!    per-shard LRU eviction, so a repeated graph skips recognition

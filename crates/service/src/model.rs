@@ -365,13 +365,20 @@ impl QueryResponse {
             }
             Err(error) => {
                 fields.push(("ok", Json::Bool(false)));
-                fields.push((
-                    "error",
-                    Json::obj(vec![
-                        ("code", Json::str(error.code())),
-                        ("message", Json::str(error.to_string())),
-                    ]),
-                ));
+                let mut error_fields = vec![
+                    ("code", Json::str(error.code())),
+                    ("message", Json::str(error.to_string())),
+                ];
+                // Structured certificate: a not_a_cograph rejection carries
+                // its induced P4 as a machine-readable vertex array, so
+                // clients need not parse the message text.
+                if let ServiceError::NotACograph { witness, .. } = error {
+                    error_fields.push((
+                        "p4",
+                        Json::Arr(witness.iter().map(|&v| Json::num(v as u64)).collect()),
+                    ));
+                }
+                fields.push(("error", Json::obj(error_fields)));
             }
         }
         let mut meta = vec![
@@ -546,6 +553,39 @@ mod tests {
             meta.get("key").and_then(Json::as_str),
             Some("00000000deadbeef")
         );
+    }
+
+    #[test]
+    fn not_a_cograph_error_carries_the_p4_witness() {
+        let resp = QueryResponse {
+            id: None,
+            kind: QueryKind::Recognize,
+            outcome: Err(ServiceError::NotACograph {
+                vertices: 9,
+                witness: [4, 2, 7, 5],
+            }),
+            meta: ResponseMeta {
+                solve_micros: 0,
+                total_micros: 3,
+                cache: CacheStatus::Miss,
+                canonical_key: None,
+                vertices: 9,
+            },
+        };
+        let value = Json::parse(&resp.to_json_line()).unwrap();
+        let error = value.get("error").expect("error object");
+        assert_eq!(
+            error.get("code").and_then(Json::as_str),
+            Some("not_a_cograph")
+        );
+        let Some(Json::Arr(p4)) = error.get("p4") else {
+            panic!("missing structured p4 witness: {value}");
+        };
+        let ids: Vec<u64> = p4.iter().filter_map(Json::as_u64).collect();
+        assert_eq!(ids, vec![4, 2, 7, 5]);
+        // The message repeats the path in human-readable form.
+        let message = error.get("message").and_then(Json::as_str).unwrap();
+        assert!(message.contains("4 - 2 - 7 - 5"), "message: {message}");
     }
 
     #[test]

@@ -126,14 +126,23 @@ fn all_three_transports_answer_identically() {
     }
 
     // The deliberate non-cograph failed identically everywhere (spot-check
-    // the shared baseline actually contains it).
+    // the shared baseline actually contains it), and the induced-P4
+    // certificate made it through the wire as a structured field.
     let last = strip_timing(direct.last().unwrap());
     assert_eq!(last.get("ok").and_then(Json::as_bool), Some(false));
+    let error = last.get("error").expect("error object");
     assert_eq!(
-        last.get("error")
-            .and_then(|e| e.get("code"))
-            .and_then(Json::as_str),
+        error.get("code").and_then(Json::as_str),
         Some("not_a_cograph")
+    );
+    let Some(Json::Arr(p4)) = error.get("p4") else {
+        panic!("missing p4 witness in error body: {last}");
+    };
+    let witness: Vec<u64> = p4.iter().filter_map(Json::as_u64).collect();
+    // The input was the path 0-1-2-3; its only induced P4 is itself.
+    assert!(
+        witness == [0, 1, 2, 3] || witness == [3, 2, 1, 0],
+        "unexpected witness {witness:?}"
     );
 
     unix_client.shutdown().expect("unix shutdown");

@@ -55,12 +55,14 @@ fn recognition_is_label_faithful() {
 }
 
 #[test]
-fn p4_family_is_rejected_everywhere() {
-    // Library layer: recognition returns None for P4 and supergraphs of it.
+fn p4_family_is_rejected_everywhere_with_witnesses() {
+    // Library layer: recognition returns None for P4 and supergraphs of it,
+    // and the certified form carries an induced P4.
     assert!(recognize(&generators::p4()).is_none());
     assert!(recognize(&generators::path_graph(5)).is_none());
     assert!(recognize(&generators::cycle_graph(5)).is_none());
-    // Service layer: the same inputs produce the typed NotACograph error.
+    // Service layer: the same inputs produce the typed NotACograph error
+    // whose witness is a real induced P4 of the offending graph.
     let engine = QueryEngine::default();
     for (n, edges) in [
         (4usize, vec![(0u32, 1u32), (1, 2), (2, 3)]), // P4 itself
@@ -70,12 +72,16 @@ fn p4_family_is_rejected_everywhere() {
         let graph = Graph::from_edges(n, &edges).unwrap();
         let response = engine.execute(&QueryRequest::new(
             QueryKind::Recognize,
-            GraphSpec::Graph(graph),
+            GraphSpec::Graph(graph.clone()),
         ));
-        assert_eq!(
-            response.outcome,
-            Err(ServiceError::NotACograph { vertices: n }),
-            "expected typed rejection for n={n} {edges:?}"
+        let Err(ServiceError::NotACograph { vertices, witness }) = response.outcome else {
+            panic!("expected typed rejection for n={n} {edges:?}");
+        };
+        assert_eq!(vertices, n);
+        let p4 = cograph::InducedP4 { path: witness };
+        assert!(
+            p4.verify(&graph),
+            "witness {p4} is not an induced P4 of n={n} {edges:?}"
         );
         assert_eq!(response.meta.canonical_key, None);
     }
