@@ -1,0 +1,38 @@
+//! Temporary review check: exhaustive differential test on all graphs n<=6.
+
+use cograph::recognition::{fast, reference, RecognitionError};
+use pcgraph::Graph;
+
+#[test]
+fn exhaustive_small_graphs_agree() {
+    for n in 1usize..=7 {
+        let pairs: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|u| ((u + 1)..n as u32).map(move |v| (u, v)))
+            .collect();
+        let e = pairs.len();
+        for mask in 0u32..(1u32 << e) {
+            let edges: Vec<(u32, u32)> = pairs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &p)| p)
+                .collect();
+            let g = Graph::from_edges(n, &edges).unwrap();
+            let by_ref = reference::recognize(&g);
+            match fast::recognize(&g) {
+                Ok(t) => {
+                    assert!(by_ref.is_some(), "n={n} mask={mask:b}: fast accepts, ref rejects");
+                    assert_eq!(t.to_graph(), g, "n={n} mask={mask:b}: cotree drift");
+                    assert!(t.validate().is_ok(), "n={n} mask={mask:b}: invalid cotree");
+                    assert!(fast::is_cograph(&g), "n={n} mask={mask:b}: decision mismatch");
+                }
+                Err(RecognitionError::InducedP4(w)) => {
+                    assert!(by_ref.is_none(), "n={n} mask={mask:b}: fast rejects, ref accepts");
+                    assert!(w.verify(&g), "n={n} mask={mask:b}: bad witness");
+                    assert!(!fast::is_cograph(&g), "n={n} mask={mask:b}: decision mismatch");
+                }
+                Err(RecognitionError::EmptyGraph) => panic!("n>=1"),
+            }
+        }
+    }
+}
