@@ -313,6 +313,49 @@ impl Cotree {
         g
     }
 
+    /// Renders the cotree in term notation — `(u ...)` for a 0-node,
+    /// `(j ...)` for a 1-node — with every leaf written as its numeric
+    /// vertex label, e.g. `(u (j 0 1) 2)`.
+    ///
+    /// This is the serialisation form of a *labelled* cotree: children keep
+    /// their order and leaves keep their exact labels, so a label-aware
+    /// parser (the service's `parse_cotree_term_labelled`) reconstructs a
+    /// structurally identical tree describing the same labelled graph. (The
+    /// service's default term parser assigns leaf ids by order of first
+    /// appearance instead, which round-trips only when the labels already
+    /// appear in order.)
+    pub fn to_term(&self) -> String {
+        // Explicit stack instead of recursion: cotrees of skewed shape can
+        // be `O(n)` deep. `Close` emits the ')' after a node's children,
+        // `Space` the separator before each child.
+        enum Step {
+            Node(usize),
+            Space,
+            Close,
+        }
+        let mut out = String::new();
+        let mut stack = vec![Step::Node(self.root)];
+        while let Some(step) = stack.pop() {
+            match step {
+                Step::Space => out.push(' '),
+                Step::Close => out.push(')'),
+                Step::Node(u) => match self.kinds[u] {
+                    CotreeKind::Leaf(v) => out.push_str(&v.to_string()),
+                    kind => {
+                        out.push('(');
+                        out.push(if kind == CotreeKind::Join { 'j' } else { 'u' });
+                        stack.push(Step::Close);
+                        for &c in self.children[u].iter().rev() {
+                            stack.push(Step::Node(c));
+                            stack.push(Step::Space);
+                        }
+                    }
+                },
+            }
+        }
+        out
+    }
+
     /// Post-order listing of all nodes.
     pub fn postorder(&self) -> Vec<usize> {
         let mut order = Vec::with_capacity(self.num_nodes());
@@ -435,6 +478,35 @@ mod tests {
         ]);
         assert_eq!(t.vertices().len(), 3);
         assert_eq!(t.height(), 2);
+    }
+
+    #[test]
+    fn term_export_renders_labels_and_structure() {
+        let t = Cotree::union_of_labelled(vec![
+            Cotree::join_of_labelled(vec![Cotree::single(2), Cotree::single(0)]),
+            Cotree::single(1),
+        ]);
+        // Child order and the exact (non-appearance-order) labels survive.
+        assert_eq!(t.to_term(), "(u (j 2 0) 1)");
+        assert_eq!(Cotree::single(7).to_term(), "7");
+    }
+
+    #[test]
+    fn term_export_handles_skewed_trees() {
+        // A maximally skewed cotree (alternating join/union spine): the
+        // export must stay iterative, not recurse per level.
+        let mut t = Cotree::single(0);
+        for v in 1..2_000u32 {
+            let parts = vec![t, Cotree::single(v)];
+            t = if v % 2 == 0 {
+                Cotree::union_of_labelled(parts)
+            } else {
+                Cotree::join_of_labelled(parts)
+            };
+        }
+        let term = t.to_term();
+        assert_eq!(term.matches('(').count(), 1_999);
+        assert_eq!(term.matches('(').count(), term.matches(')').count());
     }
 
     #[test]

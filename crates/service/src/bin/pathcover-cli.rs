@@ -4,8 +4,10 @@
 //! pathcover-cli solve <graph|-> [--format F] [--query KIND] [--json] [--no-verify] [--remote SOCK | --remote-http ADDR]
 //! pathcover-cli recognize <graph|-> [--format F] [--json] [--remote SOCK | --remote-http ADDR]
 //! pathcover-cli batch <graph|-|none> <queries.jsonl|-> [--threads N] [--format F] [--human] [--remote SOCK | --remote-http ADDR]
-//! pathcover-cli serve [--socket SOCK] [--http ADDR] [--threads N] [--cache-capacity N] [--cache-shards N] [--idle-timeout-ms MS] [--no-verify]
+//! pathcover-cli serve [--socket SOCK] [--http ADDR] [--snapshot PATH [--checkpoint-secs N]] [--threads N] [--cache-capacity N] [--cache-shards N] [--idle-timeout-ms MS] [--no-verify]
 //! pathcover-cli stats (--remote SOCK | --remote-http ADDR) [--json]
+//! pathcover-cli snapshot save (--remote SOCK | --remote-http ADDR)
+//! pathcover-cli snapshot inspect FILE [--json]
 //! pathcover-cli shutdown (--remote SOCK | --remote-http ADDR)
 //! pathcover-cli bench [--batches 1,64,4096] [--threads 1,2,4,8] [--n 64] [--json FILE]
 //! ```
@@ -48,6 +50,7 @@ fn main() -> ExitCode {
         "bench" => cmd_bench(rest),
         "serve" => cmd_serve(rest),
         "stats" => cmd_stats(rest),
+        "snapshot" => cmd_snapshot(rest),
         "shutdown" => cmd_shutdown(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -72,9 +75,12 @@ USAGE:
     pathcover-cli recognize <graph|-> [--format F] [--json] [--remote SOCK | --remote-http ADDR]
     pathcover-cli batch <graph|-|none> <queries.jsonl|-> [--threads N] [--format F] [--human]
                         [--remote SOCK | --remote-http ADDR]
-    pathcover-cli serve [--socket SOCK] [--http ADDR] [--threads N] [--cache-capacity N]
-                        [--cache-shards N] [--idle-timeout-ms MS] [--no-verify]
+    pathcover-cli serve [--socket SOCK] [--http ADDR] [--snapshot PATH [--checkpoint-secs N]]
+                        [--threads N] [--cache-capacity N] [--cache-shards N]
+                        [--idle-timeout-ms MS] [--no-verify]
     pathcover-cli stats (--remote SOCK | --remote-http ADDR) [--json]
+    pathcover-cli snapshot save (--remote SOCK | --remote-http ADDR)
+    pathcover-cli snapshot inspect FILE [--json]
     pathcover-cli shutdown (--remote SOCK | --remote-http ADDR)
     pathcover-cli bench [--batches 1,64,4096] [--threads 1,2,4,8] [--n 64] [--json FILE]
 
@@ -91,7 +97,14 @@ SERVING:
     pcp1 protocol), an HTTP/1.1 listener (--http ADDR; --http 127.0.0.1:0
     picks a free port), or both at once. '--remote SOCK' / '--remote-http ADDR'
     make solve/recognize/batch thin clients of it. 'stats' snapshots the
-    daemon's cache counters; 'shutdown' stops it gracefully.";
+    daemon's cache counters; 'shutdown' stops it gracefully.
+
+PERSISTENCE:
+    '--snapshot PATH' makes restarts warm: the cache is saved to PATH on
+    shutdown (and every --checkpoint-secs N while serving) and reloaded —
+    after integrity verification; corrupt files are quarantined to
+    PATH.corrupt — on the next serve. 'snapshot save' checkpoints a running
+    daemon now; 'snapshot inspect FILE' verifies a snapshot offline.";
 
 /// Pull the value of `--flag VALUE` out of `args`, if present.
 fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
@@ -548,6 +561,92 @@ impl RemoteClient {
             RemoteClient::Http(client) => client.shutdown().map_err(|e| e.to_string()),
         }
     }
+
+    fn save_snapshot(&mut self) -> Result<Json, String> {
+        match self {
+            #[cfg(unix)]
+            RemoteClient::Socket(client) => client.save_snapshot().map_err(|e| e.to_string()),
+            RemoteClient::Http(client) => client.save_snapshot().map_err(|e| e.to_string()),
+        }
+    }
+}
+
+fn cmd_snapshot(args: &[String]) -> Result<ExitCode, String> {
+    let Some((action, rest)) = args.split_first() else {
+        return Err(format!(
+            "'snapshot' needs an action: save or inspect\n{USAGE}"
+        ));
+    };
+    match action.as_str() {
+        "save" => {
+            let mut rest = rest.to_vec();
+            let remote = take_remote(&mut rest)?.ok_or_else(|| {
+                format!("'snapshot save' needs --remote SOCK or --remote-http ADDR\n{USAGE}")
+            })?;
+            if !rest.is_empty() {
+                return Err(format!("unexpected arguments: {rest:?}"));
+            }
+            let mut client = remote.connect()?;
+            let reply = client
+                .save_snapshot()
+                .map_err(|e| format!("remote snapshot: {e}"))?;
+            let num = |field: &str| reply.get(field).and_then(Json::as_u64).unwrap_or(0);
+            eprintln!(
+                "snapshot saved: {} entries ({} graph links), {} bytes to {}",
+                num("entries"),
+                num("links"),
+                num("bytes"),
+                reply.get("path").and_then(Json::as_str).unwrap_or("?"),
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "inspect" => {
+            let mut rest = rest.to_vec();
+            let json = take_switch(&mut rest, "--json");
+            let [path] = rest.as_slice() else {
+                return Err(format!(
+                    "'snapshot inspect' needs exactly one FILE\n{USAGE}"
+                ));
+            };
+            // Inspection runs the loader's full verification (checksum,
+            // canonical keys, links, scalar re-solve) against the
+            // file without touching any cache.
+            let report = pcservice::snapshot::inspect(std::path::Path::new(path))
+                .map_err(|e| format!("{path}: {e}"))?;
+            if json {
+                println!(
+                    "{}",
+                    Json::obj(vec![
+                        ("version", Json::num(report.version)),
+                        ("entries", Json::num(report.entries as u64)),
+                        ("links", Json::num(report.links as u64)),
+                        ("total_vertices", Json::num(report.total_vertices as u64)),
+                        ("memoised", Json::num(report.memoised as u64)),
+                        ("scalar_checked", Json::num(report.scalar_checked as u64)),
+                        ("bytes", Json::num(report.bytes)),
+                    ])
+                );
+            } else {
+                println!(
+                    "{path}: pcsnap{} — {} entries ({} graph links, {} with memoised answers), \
+                     {} vertices total, {} bytes",
+                    report.version,
+                    report.entries,
+                    report.links,
+                    report.memoised,
+                    report.total_vertices,
+                    report.bytes
+                );
+                println!(
+                    "  integrity: checksum ok, all canonical keys verified, \
+                     {} entries re-solved and matched",
+                    report.scalar_checked
+                );
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown snapshot action '{other}'\n{USAGE}")),
+    }
 }
 
 fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
@@ -574,6 +673,17 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
         )?;
         let cache_shards = take_num_flag(&mut args, "--cache-shards", 0)?;
         let idle_timeout_ms = take_num_flag(&mut args, "--idle-timeout-ms", 30_000)?;
+        let snapshot = take_flag(&mut args, "--snapshot")?;
+        let checkpoint_secs = match take_flag(&mut args, "--checkpoint-secs")? {
+            Some(t) => Some(
+                t.parse::<usize>()
+                    .map_err(|_| format!("--checkpoint-secs: '{t}' is not a number"))?,
+            ),
+            None => None,
+        };
+        if checkpoint_secs.is_some() && snapshot.is_none() {
+            return Err("--checkpoint-secs needs --snapshot PATH".to_string());
+        }
         let no_verify = take_switch(&mut args, "--no-verify");
         if !args.is_empty() {
             return Err(format!("unexpected arguments: {args:?}"));
@@ -582,6 +692,9 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
             socket_path: socket.map(std::path::PathBuf::from),
             http_addr: http,
             idle_timeout: std::time::Duration::from_millis(idle_timeout_ms.max(1) as u64),
+            snapshot_path: snapshot.map(std::path::PathBuf::from),
+            checkpoint_interval: checkpoint_secs
+                .map(|secs| std::time::Duration::from_secs(secs.max(1) as u64)),
             engine: EngineConfig {
                 threads,
                 verify_covers: !no_verify,
@@ -591,6 +704,26 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
             },
         };
         let daemon = pcservice::Daemon::bind(config).map_err(|e| format!("binding: {e}"))?;
+        if let Some(outcome) = daemon.snapshot_load() {
+            use pcservice::LoadOutcome;
+            match outcome {
+                LoadOutcome::ColdStart => eprintln!("snapshot: no file yet, starting cold"),
+                LoadOutcome::Warm(report) => eprintln!(
+                    "snapshot: warm start — {} entries ({} graph links) loaded",
+                    report.entries, report.links
+                ),
+                LoadOutcome::Unreadable(error) => {
+                    eprintln!("snapshot: unreadable ({error}); file left in place — starting cold")
+                }
+                LoadOutcome::Quarantined { error, moved_to } => eprintln!(
+                    "snapshot: REJECTED ({error}); {} — starting cold",
+                    match moved_to {
+                        Some(path) => format!("file quarantined to {}", path.display()),
+                        None => "file could not be quarantined".to_string(),
+                    }
+                ),
+            }
+        }
         if let Some(path) = daemon.socket_path() {
             eprintln!(
                 "pathcover daemon serving on {} (proto pcp{}; run 'pathcover-cli shutdown \
@@ -638,6 +771,22 @@ fn cmd_stats(args: &[String]) -> Result<ExitCode, String> {
     );
     if let Some(Json::Num(rate)) = stats.get("hit_rate") {
         println!("hit rate: {:.1}%", rate * 100.0);
+    }
+    println!("uptime: {} s", num("uptime_secs"));
+    match stats.get("snapshot") {
+        None | Some(Json::Null) => println!("snapshot: not configured"),
+        Some(snapshot) => {
+            let snum = |field: &str| snapshot.get(field).and_then(Json::as_u64);
+            println!(
+                "snapshot: {} — {} entries loaded at start, last checkpoint {}",
+                snapshot.get("path").and_then(Json::as_str).unwrap_or("?"),
+                snum("loaded_entries").unwrap_or(0),
+                match snum("last_checkpoint_unix") {
+                    Some(unix) => format!("at unix {unix}"),
+                    None => "never".to_string(),
+                }
+            );
+        }
     }
     if let Some(Json::Arr(shards)) = stats.get("per_shard") {
         for (i, shard) in shards.iter().enumerate() {

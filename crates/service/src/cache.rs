@@ -176,15 +176,53 @@ pub struct SolveEntry {
     ham_cycle: OnceLock<bool>,
 }
 
+/// The scalar answers a [`SolveEntry`] has memoised so far — `None` means
+/// "not computed yet". This is what a snapshot persists per entry so a
+/// warm-started daemon answers without re-running the solvers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoisedScalars {
+    /// Minimum path-cover size, if computed.
+    pub min_cover_size: Option<usize>,
+    /// Hamiltonian-path decision, if computed.
+    pub ham_path: Option<bool>,
+    /// Hamiltonian-cycle decision, if computed.
+    pub ham_cycle: Option<bool>,
+}
+
 impl SolveEntry {
     /// Wraps a cotree (computing its canonical key).
     pub fn new(cotree: Cotree) -> Self {
-        SolveEntry {
+        SolveEntry::from_parts(cotree, MemoisedScalars::default())
+    }
+
+    /// Rebuilds an entry from snapshot parts, pre-seeding the memo slots
+    /// with the scalars persisted by a previous process.
+    pub fn from_parts(cotree: Cotree, scalars: MemoisedScalars) -> Self {
+        let entry = SolveEntry {
             key: canonical_key(&cotree),
             cotree,
             min_size: OnceLock::new(),
             ham_path: OnceLock::new(),
             ham_cycle: OnceLock::new(),
+        };
+        if let Some(size) = scalars.min_cover_size {
+            let _ = entry.min_size.set(size);
+        }
+        if let Some(path) = scalars.ham_path {
+            let _ = entry.ham_path.set(path);
+        }
+        if let Some(cycle) = scalars.ham_cycle {
+            let _ = entry.ham_cycle.set(cycle);
+        }
+        entry
+    }
+
+    /// The scalars memoised so far (the snapshot writer's view).
+    pub fn memoised_scalars(&self) -> MemoisedScalars {
+        MemoisedScalars {
+            min_cover_size: self.min_size.get().copied(),
+            ham_path: self.ham_path.get().copied(),
+            ham_cycle: self.ham_cycle.get().copied(),
         }
     }
 
@@ -333,6 +371,24 @@ impl<V> Lru<V> {
     fn len(&self) -> usize {
         self.map.len()
     }
+
+    /// Reads `key` without touching its recency (the snapshot export's
+    /// residency probe).
+    fn peek(&self, key: u64) -> Option<&V> {
+        self.map.get(&key).map(|(value, _)| value)
+    }
+
+    /// Key–value pairs in least → most recently used order (the snapshot
+    /// export path: re-inserting in this order reproduces the LRU order).
+    fn iter_lru(&self) -> Vec<(u64, &V)> {
+        let mut items: Vec<(u64, &V, u64)> = self
+            .map
+            .iter()
+            .map(|(k, (v, tick))| (*k, v, *tick))
+            .collect();
+        items.sort_unstable_by_key(|&(_, _, tick)| tick);
+        items.into_iter().map(|(k, v, _)| (k, v)).collect()
+    }
 }
 
 struct Shard {
@@ -358,6 +414,26 @@ impl Shard {
             evictions: 0,
         }
     }
+}
+
+/// One resident entry as exported by [`CotreeCache::export`], with the
+/// graph-fingerprint links that point at it.
+#[derive(Debug, Clone)]
+pub struct ExportedEntry {
+    /// The resident entry (cotree + memoised scalars).
+    pub entry: Arc<SolveEntry>,
+    /// Fingerprints of ingested graphs linked to this entry. In a cache fed
+    /// by the engine there is at most one (canonically equal cotrees
+    /// describe one labelled graph, and a labelled graph has one
+    /// fingerprint), but the order and multiplicity of whatever is resident
+    /// are preserved.
+    pub fingerprints: Vec<u64>,
+    /// Whether the entry is resident in the canonical (key-indexed) map.
+    /// `false` for entries reachable only through a graph link — importing
+    /// those back into the canonical map would evict genuinely warm
+    /// entries, so the import path must re-establish only the link
+    /// ([`CotreeCache::link_graph`]).
+    pub canonical: bool,
 }
 
 /// The bounded, sharded, thread-safe cotree cache.
@@ -454,7 +530,18 @@ impl CotreeCache {
     /// collision), the new cotree is returned uncached: collisions degrade
     /// to cache bypass for the newcomer, never to shared wrong answers.
     pub fn insert(&self, graph: Option<(u64, Arc<Graph>)>, cotree: Cotree) -> Arc<SolveEntry> {
-        let entry = Arc::new(SolveEntry::new(cotree));
+        self.insert_entry(graph, Arc::new(SolveEntry::new(cotree)))
+    }
+
+    /// Inserts a prebuilt entry — the snapshot import path, which must keep
+    /// the entry's memoised scalars instead of rebuilding it from the bare
+    /// cotree. Same residency and collision semantics as [`Self::insert`];
+    /// hit/miss counters are untouched (an import is not a lookup).
+    pub fn insert_entry(
+        &self,
+        graph: Option<(u64, Arc<Graph>)>,
+        entry: Arc<SolveEntry>,
+    ) -> Arc<SolveEntry> {
         let resident = {
             let mut shard = self.shard(entry.key);
             match shard.entries.get_touch(entry.key) {
@@ -473,6 +560,83 @@ impl CotreeCache {
             shard.evictions += evicted;
         }
         resident
+    }
+
+    /// Exports every resident entry for snapshotting.
+    ///
+    /// Canonical entries are listed shard by shard in least → most
+    /// recently used order, so importing in file order reproduces each
+    /// shard's eviction order; entries reachable only through a graph link
+    /// follow at the end, flagged [`ExportedEntry::canonical`] `= false`
+    /// (link order across entries is approximate). Shard locks are taken
+    /// one at a time — concurrent traffic keeps flowing during a
+    /// checkpoint — so the export is a crossing cut, not an atomic
+    /// instant: an entry inserted mid-export may appear in the link pass
+    /// only, in which case its canonical residency is re-probed before it
+    /// is demoted to link-only.
+    pub fn export(&self) -> Vec<ExportedEntry> {
+        let mut out: Vec<ExportedEntry> = Vec::new();
+        let mut index: HashMap<*const SolveEntry, usize> = HashMap::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard mutex");
+            for (_, entry) in shard.entries.iter_lru() {
+                index.insert(Arc::as_ptr(entry), out.len());
+                out.push(ExportedEntry {
+                    entry: entry.clone(),
+                    fingerprints: Vec::new(),
+                    canonical: true,
+                });
+            }
+        }
+        // Collect the links first, then resolve them with every lock
+        // released: the residency re-probe below must take a *different*
+        // shard's lock, and holding two shard locks at once would let two
+        // concurrent exports (checkpoint thread + save-now) deadlock.
+        let mut links: Vec<(u64, Arc<SolveEntry>)> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard mutex");
+            for (fp, (_, entry)) in shard.by_graph.iter_lru() {
+                links.push((fp, entry.clone()));
+            }
+        }
+        for (fp, entry) in links {
+            let slot = match index.get(&Arc::as_ptr(&entry)) {
+                Some(&slot) => slot,
+                None => {
+                    // Unseen in the canonical pass: a genuinely link-only
+                    // entry — or an insert that landed between the two
+                    // passes. Re-probe so a racing insert's entry is not
+                    // recorded as link-only and lose its canonical warmth
+                    // across the restart.
+                    let canonical = self
+                        .shard(entry.key)
+                        .entries
+                        .peek(entry.key)
+                        .is_some_and(|resident| Arc::ptr_eq(resident, &entry));
+                    index.insert(Arc::as_ptr(&entry), out.len());
+                    out.push(ExportedEntry {
+                        entry: entry.clone(),
+                        fingerprints: Vec::new(),
+                        canonical,
+                    });
+                    out.len() - 1
+                }
+            };
+            out[slot].fingerprints.push(fp);
+        }
+        out
+    }
+
+    /// Re-establishes a graph-fingerprint link without touching the
+    /// canonical map — the import path for snapshot entries that had been
+    /// evicted from the canonical map but were still serving through a
+    /// live link. Importing those via [`Self::insert_entry`] would make
+    /// them most-recently-used canonical residents and evict genuinely
+    /// warm entries.
+    pub fn link_graph(&self, fingerprint: u64, graph: Arc<Graph>, entry: Arc<SolveEntry>) {
+        let mut shard = self.shard(fingerprint);
+        let evicted = shard.by_graph.insert(fingerprint, (graph, entry));
+        shard.evictions += evicted;
     }
 
     /// Aggregated snapshot of all shards' counters and occupancy.
@@ -791,6 +955,109 @@ mod tests {
         assert_eq!(entry.has_hamiltonian_cycle(), has_hamiltonian_cycle(&tree));
         // Second calls return the memo (same values).
         assert_eq!(entry.min_cover_size(), min_path_cover_size(&tree));
+    }
+
+    #[test]
+    fn memoised_scalars_round_trip_through_parts() {
+        let tree = parse_cotree_term("(j (u a b) c)").unwrap();
+        let entry = SolveEntry::new(tree.clone());
+        assert_eq!(entry.memoised_scalars(), MemoisedScalars::default());
+        entry.min_cover_size();
+        entry.has_hamiltonian_path();
+        let scalars = entry.memoised_scalars();
+        assert_eq!(scalars.min_cover_size, Some(min_path_cover_size(&tree)));
+        assert_eq!(scalars.ham_path, Some(has_hamiltonian_path(&tree)));
+        assert_eq!(scalars.ham_cycle, None, "cycle was never asked for");
+
+        let rebuilt = SolveEntry::from_parts(tree.clone(), scalars);
+        assert_eq!(rebuilt.memoised_scalars(), scalars);
+        assert_eq!(rebuilt.min_cover_size(), entry.min_cover_size());
+        assert_eq!(rebuilt.key, entry.key);
+    }
+
+    #[test]
+    fn export_lists_entries_in_lru_order_with_links() {
+        // Single shard so the order is fully determined.
+        let cache = CotreeCache::with_shards(8, 1);
+        let trees: Vec<Cotree> = (0..3).map(distinct_tree).collect();
+        let graph1 = Arc::new(trees[1].to_graph());
+        let fp1 = graph_fingerprint(&graph1);
+        let k0 = cache.insert(None, trees[0].clone()).key;
+        cache.insert(Some((fp1, graph1.clone())), trees[1].clone());
+        cache.insert(None, trees[2].clone());
+        // Touch entry 0: it becomes the most recently used.
+        assert!(cache.lookup_key(k0, &trees[0]).is_some());
+        let exported = cache.export();
+        assert_eq!(exported.len(), 3);
+        let keys: Vec<u64> = exported.iter().map(|e| e.entry.key).collect();
+        assert_eq!(
+            keys,
+            vec![
+                canonical_key(&trees[1]),
+                canonical_key(&trees[2]),
+                canonical_key(&trees[0]),
+            ],
+            "least recently used first, touched entry last"
+        );
+        let links: Vec<&[u64]> = exported.iter().map(|e| e.fingerprints.as_slice()).collect();
+        assert_eq!(links, vec![&[fp1][..], &[][..], &[][..]]);
+        assert!(exported.iter().all(|e| e.canonical));
+    }
+
+    #[test]
+    fn export_keeps_entries_reachable_only_through_graph_links() {
+        // Capacity 1: inserting a second cotree evicts the first from the
+        // canonical map, but its graph link (stored in another slot of the
+        // by_graph LRU) can survive. Export must not drop that entry.
+        let cache = CotreeCache::with_shards(1, 1);
+        let t0 = distinct_tree(0);
+        let g0 = Arc::new(t0.to_graph());
+        let fp0 = graph_fingerprint(&g0);
+        cache.insert(Some((fp0, g0.clone())), t0.clone());
+        cache.insert(None, distinct_tree(1));
+        // t0 is gone from the canonical map but still served via its link.
+        assert!(cache.lookup_key(canonical_key(&t0), &t0).is_none());
+        assert!(cache.lookup_graph(fp0, &g0).is_some());
+        let exported = cache.export();
+        let link_only = exported
+            .iter()
+            .find(|e| e.entry.key == canonical_key(&t0))
+            .expect("link-only entry must be exported");
+        assert_eq!(link_only.fingerprints, [fp0]);
+        assert!(
+            !link_only.canonical,
+            "evicted entry must be marked link-only so import does not \
+             promote it over genuinely warm canonical entries"
+        );
+    }
+
+    #[test]
+    fn link_graph_restores_a_link_without_touching_the_canonical_map() {
+        let cache = CotreeCache::with_shards(1, 1);
+        let resident = distinct_tree(0);
+        let resident_key = cache.insert(None, resident.clone()).key;
+        let t1 = distinct_tree(1);
+        let g1 = Arc::new(t1.to_graph());
+        let fp1 = graph_fingerprint(&g1);
+        cache.link_graph(fp1, g1.clone(), Arc::new(SolveEntry::new(t1)));
+        // The canonical map still holds only `resident`; the link answers.
+        assert!(cache.lookup_key(resident_key, &resident).is_some());
+        assert!(cache.lookup_graph(fp1, &g1).is_some());
+        assert_eq!(cache.stats().entries, 1, "canonical map untouched");
+    }
+
+    #[test]
+    fn insert_entry_preserves_memoised_scalars() {
+        let cache = CotreeCache::new(8);
+        let tree = parse_cotree_term("(j a b c)").unwrap();
+        let entry = Arc::new(SolveEntry::new(tree));
+        entry.min_cover_size();
+        let resident = cache.insert_entry(None, entry.clone());
+        assert!(Arc::ptr_eq(&resident, &entry));
+        assert_eq!(resident.memoised_scalars().min_cover_size, Some(1));
+        // Imports are not lookups: no hit/miss distortion.
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 0));
     }
 
     #[test]

@@ -33,6 +33,7 @@
 use crate::engine::{EngineConfig, QueryEngine};
 use crate::http;
 use crate::proto::{self, ProtoError, Request};
+use crate::snapshot;
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{Shutdown as SocketShutdown, SocketAddr, TcpListener, TcpStream};
@@ -274,18 +275,27 @@ pub struct DaemonConfig {
     /// A connection idle (no complete request read) for this long is
     /// closed.
     pub idle_timeout: Duration,
+    /// Warm-cache snapshot file (see [`crate::snapshot`]): loaded (and
+    /// verified) at bind time, saved on shutdown and on every checkpoint.
+    pub snapshot_path: Option<PathBuf>,
+    /// How often the background checkpoint thread persists the cache while
+    /// serving; `None` means save-on-shutdown only. Ignored without
+    /// `snapshot_path`.
+    pub checkpoint_interval: Option<Duration>,
     /// Configuration of the shared query engine.
     pub engine: EngineConfig,
 }
 
 impl DaemonConfig {
     /// Unix-socket-only daemon with defaults: 30 s idle timeout, default
-    /// engine configuration.
+    /// engine configuration, no snapshot persistence.
     pub fn new(socket_path: impl Into<PathBuf>) -> Self {
         DaemonConfig {
             socket_path: Some(socket_path.into()),
             http_addr: None,
             idle_timeout: Duration::from_secs(30),
+            snapshot_path: None,
+            checkpoint_interval: None,
             engine: EngineConfig::default(),
         }
     }
@@ -296,6 +306,8 @@ impl DaemonConfig {
             socket_path: None,
             http_addr: Some(addr.into()),
             idle_timeout: Duration::from_secs(30),
+            snapshot_path: None,
+            checkpoint_interval: None,
             engine: EngineConfig::default(),
         }
     }
@@ -308,6 +320,8 @@ pub struct Daemon {
     idle_timeout: Duration,
     unix: Option<UnixTransport>,
     http: Option<TcpTransport>,
+    snapshot_load: Option<snapshot::LoadOutcome>,
+    checkpoint_interval: Option<Duration>,
 }
 
 impl Daemon {
@@ -337,18 +351,34 @@ impl Daemon {
             }
             None => None,
         };
+        let engine = Arc::new(QueryEngine::new(config.engine));
+        // Warm start: load (and verify) the previous process's cache before
+        // the first connection is accepted. A corrupt file is quarantined
+        // by attach_snapshot and the daemon starts cold instead.
+        let snapshot_load = config
+            .snapshot_path
+            .map(|path| engine.attach_snapshot(path));
         Ok(Daemon {
-            engine: Arc::new(QueryEngine::new(config.engine)),
+            engine,
             shutdown: ShutdownSignal::new(),
             idle_timeout: config.idle_timeout,
             unix,
             http,
+            snapshot_load,
+            checkpoint_interval: config.checkpoint_interval,
         })
     }
 
     /// The shared engine (e.g. for in-process inspection in tests).
     pub fn engine(&self) -> Arc<QueryEngine> {
         self.engine.clone()
+    }
+
+    /// How the snapshot load at bind time went, when persistence is
+    /// configured (`None` without `snapshot_path`). The CLI reports this
+    /// next to the listening addresses.
+    pub fn snapshot_load(&self) -> Option<&snapshot::LoadOutcome> {
+        self.snapshot_load.as_ref()
     }
 
     /// The unix socket path the daemon is bound to, if any.
@@ -363,8 +393,8 @@ impl Daemon {
     }
 
     /// Serves until a client sends a `shutdown` request on any transport.
-    /// Joins every handler thread and removes the socket file before
-    /// returning.
+    /// Joins every handler thread, persists the cache when a snapshot is
+    /// attached, and removes the socket file before returning.
     pub fn run(self) -> io::Result<()> {
         let Daemon {
             engine,
@@ -372,7 +402,35 @@ impl Daemon {
             idle_timeout,
             unix,
             http,
+            snapshot_load: _,
+            checkpoint_interval,
         } = self;
+        // Background checkpointing: persist the warm cache periodically so
+        // even a crash (no graceful shutdown) loses at most one interval of
+        // cache warmth. The thread polls the shutdown flag between short
+        // sleeps rather than blocking the accept loops in any way; save
+        // failures are reported and retried next interval.
+        let checkpoint_thread = match (checkpoint_interval, engine.snapshot_meta()) {
+            (Some(every), Some(_)) => {
+                let engine = engine.clone();
+                let shutdown = shutdown.clone();
+                Some(std::thread::spawn(move || {
+                    const POLL: Duration = Duration::from_millis(50);
+                    let mut since_last = Duration::ZERO;
+                    while !shutdown.is_triggered() {
+                        std::thread::sleep(POLL);
+                        since_last += POLL;
+                        if since_last >= every {
+                            since_last = Duration::ZERO;
+                            if let Err(error) = engine.save_snapshot() {
+                                eprintln!("pcservice: checkpoint failed: {error}");
+                            }
+                        }
+                    }
+                }))
+            }
+            _ => None,
+        };
         // With both transports bound the HTTP loop runs on its own thread;
         // either loop's shutdown trigger wakes and stops the other.
         let http_thread = http.map(|listener| {
@@ -385,7 +443,7 @@ impl Daemon {
         let unix_result = match unix {
             Some(listener) => serve_listener(
                 listener,
-                engine,
+                engine.clone(),
                 shutdown.clone(),
                 idle_timeout,
                 serve_proto_conn,
@@ -398,6 +456,22 @@ impl Daemon {
                 .unwrap_or_else(|_| Err(io::Error::other("http accept loop panicked"))),
             None => Ok(()),
         };
+        // The accept loops only return once the signal is triggered, but
+        // trigger defensively so the checkpoint thread can never outlive
+        // them on an error path.
+        shutdown.trigger();
+        if let Some(handle) = checkpoint_thread {
+            let _ = handle.join();
+        }
+        // Save-on-shutdown: every entry the process warmed survives the
+        // restart. Best-effort — a full disk must not turn a clean shutdown
+        // into a crash loop, and the pre-existing snapshot is still intact
+        // (saves are atomic).
+        if engine.snapshot_meta().is_some() {
+            if let Err(error) = engine.save_snapshot() {
+                eprintln!("pcservice: snapshot save on shutdown failed: {error}");
+            }
+        }
         unix_result.and(http_result)
     }
 }

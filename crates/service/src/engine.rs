@@ -21,13 +21,15 @@ use crate::ingest::{self, GraphFormat, Ingested};
 use crate::model::{
     Answer, CacheStatus, GraphSpec, QueryKind, QueryRequest, QueryResponse, ResponseMeta,
 };
+use crate::snapshot::{self, LoadOutcome, SaveReport, SnapshotError};
 use cograph::{try_recognize, Cotree};
 use pathcover::{hamiltonian_path, path_cover};
 use pcgraph::{verify_path_cover, Graph, PathCover};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
-use std::time::Instant;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone)]
@@ -74,10 +76,25 @@ enum SharedPrep {
     Cotree(Arc<cograph::Cotree>),
 }
 
+/// Snapshot persistence state of an engine, surfaced through the `stats`
+/// frame and `GET /v1/stats` (see [`crate::snapshot`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotMeta {
+    /// The snapshot file the engine saves to and was loaded from.
+    pub path: PathBuf,
+    /// Entries imported at startup (0 after a cold start).
+    pub loaded_entries: usize,
+    /// Unix time of the most recent successful save, `None` before the
+    /// first checkpoint of this process.
+    pub last_checkpoint_unix: Option<u64>,
+}
+
 /// The batched query engine.
 pub struct QueryEngine {
     config: EngineConfig,
     cache: CotreeCache,
+    started: Instant,
+    snapshot: Mutex<Option<SnapshotMeta>>,
 }
 
 impl Default for QueryEngine {
@@ -95,12 +112,70 @@ impl QueryEngine {
             config.cache_shards
         };
         let cache = CotreeCache::with_shards(config.cache_capacity, shards);
-        QueryEngine { config, cache }
+        QueryEngine {
+            config,
+            cache,
+            started: Instant::now(),
+            snapshot: Mutex::new(None),
+        }
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// Seconds since this engine was constructed (the daemon's uptime).
+    pub fn uptime_secs(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    /// Attaches snapshot persistence: loads `path` into the cache if it
+    /// exists (quarantining it to `<path>.corrupt` on any verification
+    /// failure — see [`crate::snapshot::load_or_quarantine`]) and remembers
+    /// the path for [`QueryEngine::save_snapshot`].
+    pub fn attach_snapshot(&self, path: impl Into<PathBuf>) -> LoadOutcome {
+        let path = path.into();
+        let outcome = snapshot::load_or_quarantine(&self.cache, &path);
+        let loaded_entries = match &outcome {
+            LoadOutcome::Warm(report) => report.entries,
+            LoadOutcome::ColdStart
+            | LoadOutcome::Unreadable(_)
+            | LoadOutcome::Quarantined { .. } => 0,
+        };
+        *self.snapshot.lock().expect("snapshot state") = Some(SnapshotMeta {
+            path,
+            loaded_entries,
+            last_checkpoint_unix: None,
+        });
+        outcome
+    }
+
+    /// Saves the cache to the attached snapshot path (atomic tmp + rename)
+    /// and records the checkpoint time. Fails with
+    /// [`SnapshotError::NotConfigured`] when no snapshot is attached.
+    pub fn save_snapshot(&self) -> Result<SaveReport, SnapshotError> {
+        let path = self
+            .snapshot
+            .lock()
+            .expect("snapshot state")
+            .as_ref()
+            .map(|meta| meta.path.clone())
+            .ok_or(SnapshotError::NotConfigured)?;
+        let report = snapshot::save(&self.cache, &path)?;
+        let now = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .unwrap_or_default()
+            .as_secs();
+        if let Some(meta) = self.snapshot.lock().expect("snapshot state").as_mut() {
+            meta.last_checkpoint_unix = Some(now);
+        }
+        Ok(report)
+    }
+
+    /// The snapshot persistence state, when attached.
+    pub fn snapshot_meta(&self) -> Option<SnapshotMeta> {
+        self.snapshot.lock().expect("snapshot state").clone()
     }
 
     /// Aggregated snapshot of the cotree cache counters.

@@ -17,6 +17,7 @@
 //! | `GET /v1/stats` | — | `{"type":"stats","stats":{...}}` |
 //! | `POST /v1/solve` | one query object | `{"type":"response","response":{...}}` |
 //! | `POST /v1/batch` | `{"shared":...,"requests":[...]}` | `{"type":"batch","responses":[...]}` |
+//! | `POST /v1/snapshot` | — | `{"type":"snapshot_ok","entries":...,"bytes":...}` |
 //! | `POST /v1/shutdown` | — | `{"type":"shutdown_ok"}` |
 //!
 //! Query and batch bodies are exactly the payloads of the corresponding
@@ -415,6 +416,7 @@ pub fn respond(engine: &QueryEngine, request: &HttpRequest) -> (HttpResponse, pr
             proto::Action::Continue,
         ),
         ("GET" | "HEAD", "/v1/stats") => dispatched(proto::Request::Stats),
+        ("POST", "/v1/snapshot") => dispatched(proto::Request::Snapshot),
         ("POST", "/v1/shutdown") => dispatched(proto::Request::Shutdown),
         ("POST", "/v1/solve") => match parse_body(&request.body) {
             Ok(value) => match QueryRequest::from_json(&value) {
@@ -448,7 +450,7 @@ pub fn respond(engine: &QueryEngine, request: &HttpRequest) -> (HttpResponse, pr
             },
             proto::Action::Continue,
         ),
-        (_, "/v1/solve" | "/v1/batch" | "/v1/shutdown") => (
+        (_, "/v1/solve" | "/v1/batch" | "/v1/snapshot" | "/v1/shutdown") => (
             HttpResponse {
                 allow: Some("POST"),
                 ..HttpResponse::error(
@@ -709,6 +711,31 @@ impl Client {
             .ok_or_else(|| HttpError::BadReply("stats reply missing payload".to_string()))
     }
 
+    /// `POST /v1/snapshot`: asks the daemon to persist its warm cache
+    /// right now; returns the `snapshot_ok` object. A daemon serving
+    /// without `--snapshot` answers a `snapshot_unconfigured` error reply —
+    /// HTTP 200 with an error body, exactly like the framed protocol —
+    /// which this method surfaces as a typed [`HttpError::Status`].
+    pub fn save_snapshot(&mut self) -> Result<Json, HttpError> {
+        let reply = self.request("POST", "/v1/snapshot", None)?;
+        if reply.get("type").and_then(Json::as_str) == Some("error") {
+            return Err(HttpError::Status {
+                status: 200,
+                code: reply
+                    .get("code")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown")
+                    .to_string(),
+                message: reply
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+            });
+        }
+        Self::expect(reply, "snapshot_ok")
+    }
+
     /// `POST /v1/shutdown`: asks the daemon to stop; returns after the
     /// acknowledgement.
     pub fn shutdown(&mut self) -> Result<(), HttpError> {
@@ -865,6 +892,19 @@ mod tests {
             .get("stats")
             .and_then(|s| s.get("hits"))
             .is_some());
+
+        // Save-now routes into the same dispatch; without persistence
+        // configured it is a 200 carrying a typed error body.
+        let (snapshot, action) = get(&engine, "POST", "/v1/snapshot", b"");
+        assert_eq!(snapshot.status, 200);
+        assert_eq!(
+            snapshot.body.get("code").and_then(Json::as_str),
+            Some("snapshot_unconfigured")
+        );
+        assert_eq!(action, proto::Action::Continue);
+        let (snapshot, _) = get(&engine, "GET", "/v1/snapshot", b"");
+        assert_eq!(snapshot.status, 405);
+        assert_eq!(snapshot.allow, Some("POST"));
 
         let (shutdown, action) = get(&engine, "POST", "/v1/shutdown", b"");
         assert_eq!(shutdown.status, 200);

@@ -312,12 +312,66 @@ pub fn parse_dimacs(text: &str) -> Result<Graph, IngestError> {
     Ok(g)
 }
 
+/// How a term's leaf tokens map onto vertex ids.
+enum LeafMode {
+    /// Leaf names are arbitrary identifiers assigned dense ids in order of
+    /// first appearance (the public ingestion format).
+    Appearance(HashSet<String>),
+    /// Leaf names *are* numeric vertex labels, used verbatim — the inverse
+    /// of [`cograph::Cotree::to_term`], used by the snapshot loader where
+    /// the exact labelling must survive the round trip.
+    Labelled(HashSet<VertexId>),
+}
+
+impl LeafMode {
+    fn resolve(&mut self, name: &str, pos: usize) -> Result<VertexId, IngestError> {
+        match self {
+            LeafMode::Appearance(names) => {
+                let id = names.len() as VertexId;
+                if !names.insert(name.to_string()) {
+                    return Err(IngestError::DuplicateLeaf {
+                        name: name.to_string(),
+                    });
+                }
+                Ok(id)
+            }
+            LeafMode::Labelled(seen) => {
+                let id: VertexId = name.parse().map_err(|_| IngestError::BadTerm {
+                    pos,
+                    message: format!("leaf '{name}' is not a numeric vertex label"),
+                })?;
+                if !seen.insert(id) {
+                    return Err(IngestError::DuplicateLeaf {
+                        name: name.to_string(),
+                    });
+                }
+                Ok(id)
+            }
+        }
+    }
+}
+
 /// Parses the cotree term notation (see module docs).
 pub fn parse_cotree_term(text: &str) -> Result<Cotree, IngestError> {
+    parse_cotree_with(text, LeafMode::Appearance(HashSet::new()))
+}
+
+/// Parses a term whose leaves are numeric vertex labels, used verbatim.
+///
+/// This is the exact inverse of [`cograph::Cotree::to_term`]: child order
+/// and leaf labels survive unchanged, so re-parsing an exported term yields
+/// a cotree with the same canonical key describing the same labelled graph.
+/// The default [`parse_cotree_term`] cannot do this — it assigns ids by
+/// order of first appearance, silently relabelling any term whose labels
+/// are not already in appearance order.
+pub fn parse_cotree_term_labelled(text: &str) -> Result<Cotree, IngestError> {
+    parse_cotree_with(text, LeafMode::Labelled(HashSet::new()))
+}
+
+fn parse_cotree_with(text: &str, mut mode: LeafMode) -> Result<Cotree, IngestError> {
     let bytes = text.as_bytes();
-    let mut names: HashSet<String> = HashSet::new();
     let mut pos = 0usize;
-    let tree = parse_term(bytes, &mut pos, &mut names)?;
+    let tree = parse_term(bytes, &mut pos, &mut mode)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(IngestError::BadTerm {
@@ -334,11 +388,7 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
     }
 }
 
-fn parse_term(
-    bytes: &[u8],
-    pos: &mut usize,
-    names: &mut HashSet<String>,
-) -> Result<Cotree, IngestError> {
+fn parse_term(bytes: &[u8], pos: &mut usize, mode: &mut LeafMode) -> Result<Cotree, IngestError> {
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         None => Err(IngestError::Empty),
@@ -366,7 +416,7 @@ fn parse_term(
                         *pos += 1;
                         break;
                     }
-                    _ => parts.push(parse_term(bytes, pos, names)?),
+                    _ => parts.push(parse_term(bytes, pos, mode)?),
                 }
             }
             if parts.len() < 2 {
@@ -391,46 +441,21 @@ fn parse_term(
             {
                 *pos += 1;
             }
-            let name = std::str::from_utf8(&bytes[start..*pos])
-                .map_err(|_| IngestError::BadTerm {
+            let name =
+                std::str::from_utf8(&bytes[start..*pos]).map_err(|_| IngestError::BadTerm {
                     pos: start,
                     message: "leaf name is not UTF-8".to_string(),
-                })?
-                .to_string();
-            let id = names.len() as VertexId;
-            if !names.insert(name.clone()) {
-                return Err(IngestError::DuplicateLeaf { name });
-            }
-            Ok(Cotree::single(id))
+                })?;
+            Ok(Cotree::single(mode.resolve(name, start)?))
         }
     }
 }
 
 /// Renders a cotree back into term notation with numeric leaf names; the
-/// `Recognize` answer uses this as its canonical output form.
+/// `Recognize` answer uses this as its canonical output form and the
+/// snapshot format stores cotrees this way (see [`Cotree::to_term`]).
 pub fn cotree_to_term(tree: &Cotree) -> String {
-    let mut out = String::new();
-    render(tree, tree.root(), &mut out);
-    out
-}
-
-fn render(tree: &Cotree, node: usize, out: &mut String) {
-    match tree.kind(node) {
-        cograph::CotreeKind::Leaf(v) => out.push_str(&v.to_string()),
-        kind => {
-            out.push('(');
-            out.push(if kind == cograph::CotreeKind::Join {
-                'j'
-            } else {
-                'u'
-            });
-            for &child in tree.children(node) {
-                out.push(' ');
-                render(tree, child, out);
-            }
-            out.push(')');
-        }
-    }
+    tree.to_term()
 }
 
 #[cfg(test)]
@@ -550,6 +575,43 @@ mod tests {
             Err(IngestError::BadTerm { .. })
         ));
         assert_eq!(parse_cotree_term("").unwrap_err(), IngestError::Empty);
+    }
+
+    #[test]
+    fn labelled_term_round_trips_exact_labels() {
+        // Labels deliberately out of appearance order: the appearance-order
+        // parser would relabel them, the labelled parser must not.
+        let tree = Cotree::union_of_labelled(vec![
+            Cotree::join_of_labelled(vec![Cotree::single(2), Cotree::single(0)]),
+            Cotree::single(1),
+        ]);
+        let term = tree.to_term();
+        let reparsed = parse_cotree_term_labelled(&term).unwrap();
+        assert_eq!(reparsed, tree, "labelled round trip must be exact");
+        let relabelled = parse_cotree_term(&term).unwrap();
+        assert_ne!(
+            relabelled, tree,
+            "the appearance-order parser relabels this term — if this ever \
+             starts passing, the labelled parser has lost its reason to exist"
+        );
+    }
+
+    #[test]
+    fn labelled_term_typed_errors() {
+        assert!(matches!(
+            parse_cotree_term_labelled("(u a b)"),
+            Err(IngestError::BadTerm { .. })
+        ));
+        assert_eq!(
+            parse_cotree_term_labelled("(u 3 3)").unwrap_err(),
+            IngestError::DuplicateLeaf {
+                name: "3".to_string()
+            }
+        );
+        assert_eq!(
+            parse_cotree_term_labelled("").unwrap_err(),
+            IngestError::Empty
+        );
     }
 
     #[test]

@@ -28,12 +28,17 @@
 //!
 //! Above the engine sits the serving stack: [`proto`] defines a versioned,
 //! length-framed JSON wire format (`hello` / `solve` / `batch` / `stats` /
-//! `shutdown` and typed replies) over any byte stream, [`http`] adapts the
-//! same messages to HTTP/1.1 routes (`POST /v1/solve`, `POST /v1/batch`,
-//! `GET /v1/stats`, `GET /healthz`, `POST /v1/shutdown`), and [`daemon`]
-//! runs a long-lived shared engine behind a unix domain socket, a TCP
-//! socket, or both at once, so the cotree cache amortises across client
-//! processes and transports.
+//! `snapshot` / `shutdown` and typed replies) over any byte stream,
+//! [`http`] adapts the same messages to HTTP/1.1 routes (`POST /v1/solve`,
+//! `POST /v1/batch`, `GET /v1/stats`, `GET /healthz`, `POST /v1/snapshot`,
+//! `POST /v1/shutdown`), and [`daemon`] runs a long-lived shared engine
+//! behind a unix domain socket, a TCP socket, or both at once, so the
+//! cotree cache amortises across client processes and transports.
+//! [`snapshot`] makes the cache survive the process itself: a verified,
+//! checksummed on-disk format (`pcsnap1`) saved on shutdown and on a
+//! background checkpoint interval, reloaded — after integrity verification,
+//! with corrupt files quarantined — when the daemon starts, so restarts
+//! begin warm.
 //!
 //! The `pathcover-cli` binary in this crate exposes the engine on the
 //! command line (`solve`, `batch`, `bench`, `recognize`) reading files or
@@ -67,14 +72,15 @@ pub mod ingest;
 pub mod json;
 pub mod model;
 pub mod proto;
+pub mod snapshot;
 
 pub use cache::{
-    canonical_eq, canonical_key, graph_fingerprint, CacheStats, CotreeCache, ShardStats,
-    SolveEntry, DEFAULT_SHARDS,
+    canonical_eq, canonical_key, graph_fingerprint, CacheStats, CotreeCache, MemoisedScalars,
+    ShardStats, SolveEntry, DEFAULT_SHARDS,
 };
 #[cfg(unix)]
 pub use daemon::{Daemon, DaemonConfig, ShutdownSignal};
-pub use engine::{EngineConfig, QueryEngine};
+pub use engine::{EngineConfig, QueryEngine, SnapshotMeta};
 pub use error::ServiceError;
 pub use http::HttpError;
 pub use ingest::{cotree_to_term, GraphFormat, IngestError, Ingested};
@@ -83,3 +89,4 @@ pub use model::{
     Answer, CacheStatus, GraphSpec, QueryKind, QueryRequest, QueryResponse, ResponseMeta,
 };
 pub use proto::{ProtoError, MAX_FRAME_LEN, PROTO_VERSION};
+pub use snapshot::{LoadOutcome, SnapshotError, SNAPSHOT_VERSION};

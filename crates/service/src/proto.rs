@@ -19,9 +19,9 @@
 //!
 //! Client → server frames are objects tagged by a `"type"` field —
 //! [`Request::Hello`], [`Request::Solve`], [`Request::Batch`],
-//! [`Request::Stats`], [`Request::Shutdown`] — and every one is answered by
-//! exactly one reply frame (`hello`, `response`, `batch`, `stats`,
-//! `shutdown_ok` or `error`). Query and response payloads reuse the
+//! [`Request::Stats`], [`Request::Snapshot`], [`Request::Shutdown`] — and
+//! every one is answered by exactly one reply frame (`hello`, `response`,
+//! `batch`, `stats`, `snapshot_ok`, `shutdown_ok` or `error`). Query and response payloads reuse the
 //! JSON-lines shapes of [`QueryRequest::from_json`] and
 //! [`QueryResponse::to_json`], so a daemon session speaks the same dialect
 //! as `pathcover-cli batch` files.
@@ -35,10 +35,11 @@
 //! errors with an `error` reply and keep the connection; fatal errors close
 //! the connection — never the server (see [`crate::daemon`]).
 
-use crate::cache::{CacheStats, ShardStats};
+use crate::cache::ShardStats;
 use crate::engine::QueryEngine;
 use crate::json::{Json, JsonError};
 use crate::model::{GraphSpec, QueryRequest, QueryResponse};
+use crate::snapshot::{SaveReport, SnapshotError};
 use std::fmt;
 use std::io::{self, BufRead, Write};
 
@@ -243,6 +244,9 @@ pub enum Request {
     },
     /// Snapshot the engine's cache counters.
     Stats,
+    /// Persist the warm cache to the configured snapshot file right now
+    /// (see [`crate::snapshot`]).
+    Snapshot,
     /// Stop the daemon (it finishes this reply, then exits its accept loop).
     Shutdown,
 }
@@ -271,6 +275,7 @@ impl Request {
                 Ok(Request::Batch { shared, requests })
             }
             "stats" => Ok(Request::Stats),
+            "snapshot" => Ok(Request::Snapshot),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(ProtoError::BadMessage(format!(
                 "unknown message type '{other}'"
@@ -305,6 +310,7 @@ impl Request {
                 Json::obj(fields)
             }
             Request::Stats => Json::obj(vec![("type", Json::str("stats"))]),
+            Request::Snapshot => Json::obj(vec![("type", Json::str("snapshot"))]),
             Request::Shutdown => Json::obj(vec![("type", Json::str("shutdown"))]),
         }
     }
@@ -372,12 +378,39 @@ pub fn dispatch(engine: &QueryEngine, request: &Request) -> (Json, Action) {
             let responses = engine.execute_batch(shared.as_ref(), requests);
             (batch_reply(&responses), Action::Continue)
         }
-        Request::Stats => (
-            stats_reply(&engine.cache_stats(), &engine.cache_shard_stats()),
-            Action::Continue,
-        ),
+        Request::Stats => (stats_reply(engine), Action::Continue),
+        Request::Snapshot => (snapshot_now_reply(engine), Action::Continue),
         Request::Shutdown => (shutdown_reply(), Action::Shutdown),
     }
+}
+
+/// Serves a `snapshot` (save-now) request: persists the cache and reports
+/// what was written, or answers a typed error — `snapshot_unconfigured`
+/// when the daemon runs without `--snapshot`, `snapshot_failed` when the
+/// write itself failed. Both are recoverable error replies.
+fn snapshot_now_reply(engine: &QueryEngine) -> Json {
+    match engine.save_snapshot() {
+        Ok(report) => snapshot_reply(engine, &report),
+        Err(error @ SnapshotError::NotConfigured) => {
+            error_reply("snapshot_unconfigured", &error.to_string())
+        }
+        Err(error) => error_reply("snapshot_failed", &error.to_string()),
+    }
+}
+
+/// The `snapshot_ok` reply describing a completed save.
+pub fn snapshot_reply(engine: &QueryEngine, report: &SaveReport) -> Json {
+    let path = engine
+        .snapshot_meta()
+        .map(|meta| Json::str(meta.path.display().to_string()))
+        .unwrap_or(Json::Null);
+    Json::obj(vec![
+        ("type", Json::str("snapshot_ok")),
+        ("entries", Json::num(report.entries as u64)),
+        ("links", Json::num(report.links as u64)),
+        ("bytes", Json::num(report.bytes)),
+        ("path", path),
+    ])
 }
 
 /// The server's `hello` reply.
@@ -417,8 +450,24 @@ fn shard_stats_json(shard: &ShardStats) -> Json {
     ])
 }
 
-/// The bare cache-counter object carried inside a `stats` reply.
-pub fn stats_payload(stats: &CacheStats, shards: &[ShardStats]) -> Json {
+/// The bare stats object carried inside a `stats` reply: the aggregated and
+/// per-shard cache counters, the daemon's uptime, and — when persistence is
+/// attached — the snapshot metadata (`path`, `loaded_entries`,
+/// `last_checkpoint_unix`); `"snapshot"` is `null` otherwise.
+pub fn stats_payload(engine: &QueryEngine) -> Json {
+    let stats = engine.cache_stats();
+    let shards = engine.cache_shard_stats();
+    let snapshot = match engine.snapshot_meta() {
+        Some(meta) => Json::obj(vec![
+            ("path", Json::str(meta.path.display().to_string())),
+            ("loaded_entries", Json::num(meta.loaded_entries as u64)),
+            (
+                "last_checkpoint_unix",
+                meta.last_checkpoint_unix.map_or(Json::Null, Json::num),
+            ),
+        ]),
+        None => Json::Null,
+    };
     Json::obj(vec![
         ("hits", Json::num(stats.hits)),
         ("misses", Json::num(stats.misses)),
@@ -430,14 +479,16 @@ pub fn stats_payload(stats: &CacheStats, shards: &[ShardStats]) -> Json {
             "per_shard",
             Json::Arr(shards.iter().map(shard_stats_json).collect()),
         ),
+        ("uptime_secs", Json::num(engine.uptime_secs())),
+        ("snapshot", snapshot),
     ])
 }
 
-/// Wraps cache counters in a `stats` reply.
-pub fn stats_reply(stats: &CacheStats, shards: &[ShardStats]) -> Json {
+/// Wraps the engine's stats in a `stats` reply.
+pub fn stats_reply(engine: &QueryEngine) -> Json {
     Json::obj(vec![
         ("type", Json::str("stats")),
-        ("stats", stats_payload(stats, shards)),
+        ("stats", stats_payload(engine)),
     ])
 }
 
@@ -549,6 +600,14 @@ impl<S: io::Read + io::Write> Client<S> {
             .get("stats")
             .cloned()
             .ok_or_else(|| ProtoError::BadMessage("stats reply missing payload".to_string()))
+    }
+
+    /// Asks the daemon to persist its warm cache right now; returns the
+    /// `snapshot_ok` object (`entries` / `links` / `bytes` / `path`). A
+    /// daemon serving without `--snapshot` answers with a
+    /// `snapshot_unconfigured` error reply ([`ProtoError::Remote`]).
+    pub fn save_snapshot(&mut self) -> Result<Json, ProtoError> {
+        self.round_trip(&Request::Snapshot.to_json(), "snapshot_ok")
     }
 
     /// Asks the daemon to shut down; returns after the acknowledgement.
@@ -681,6 +740,7 @@ mod tests {
 
         for simple in [
             Request::Stats,
+            Request::Snapshot,
             Request::Shutdown,
             Request::Hello { proto: 1 },
         ] {
@@ -757,6 +817,22 @@ mod tests {
             stats.get("per_shard").map(|s| matches!(s, Json::Arr(_))),
             Some(true)
         );
+        assert!(stats.get("uptime_secs").and_then(Json::as_u64).is_some());
+        assert_eq!(
+            stats.get("snapshot"),
+            Some(&Json::Null),
+            "no snapshot attached: metadata must be null, not absent"
+        );
+
+        // Save-now without persistence configured: a typed, recoverable
+        // error reply, not a dead connection.
+        let (reply, action) = dispatch(&engine, &Request::Snapshot);
+        assert_eq!(reply.get("type").and_then(Json::as_str), Some("error"));
+        assert_eq!(
+            reply.get("code").and_then(Json::as_str),
+            Some("snapshot_unconfigured")
+        );
+        assert_eq!(action, Action::Continue);
 
         let (reply, action) = dispatch(&engine, &Request::Shutdown);
         assert_eq!(
