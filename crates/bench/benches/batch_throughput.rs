@@ -130,5 +130,44 @@ fn bench_contention(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench, bench_contention);
+/// Telemetry overhead: the same warmed batch workload with the telemetry
+/// registry on (the default) and off, so the cost of the per-stage clock
+/// marks and histogram recording is measured directly. The disabled
+/// configuration skips every `Instant::now` the registry would take, so
+/// the delta between the two is the whole observability bill.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    const BATCH: usize = 4096;
+    let mut group = c.benchmark_group("service_telemetry_overhead");
+    group.sample_size(10);
+    let pool = request_pool();
+    let requests: Vec<QueryRequest> = (0..BATCH)
+        .map(|i| {
+            let kind = QueryKind::ALL[i % QueryKind::ALL.len()];
+            QueryRequest::new(kind, pool[i % POOL].clone())
+        })
+        .collect();
+    for telemetry in [true, false] {
+        let engine = QueryEngine::new(EngineConfig {
+            threads: 1,
+            telemetry,
+            ..EngineConfig::default()
+        });
+        engine.execute_batch(None, &requests); // warm the cotree cache
+        let label = if telemetry { "on" } else { "off" };
+        group.bench_with_input(
+            BenchmarkId::new(format!("batch{BATCH}_t1"), label),
+            &requests,
+            |b, reqs| {
+                b.iter(|| {
+                    let responses = engine.execute_batch(None, reqs);
+                    assert!(responses.iter().all(|r| r.outcome.is_ok()));
+                    responses.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench, bench_contention, bench_telemetry_overhead);
 criterion_main!(benches);

@@ -4,8 +4,9 @@
 //! pathcover-cli solve <graph|-> [--format F] [--query KIND] [--json] [--no-verify] [--remote SOCK | --remote-http ADDR]
 //! pathcover-cli recognize <graph|-> [--format F] [--json] [--remote SOCK | --remote-http ADDR]
 //! pathcover-cli batch <graph|-|none> <queries.jsonl|-> [--threads N] [--format F] [--human] [--remote SOCK | --remote-http ADDR]
-//! pathcover-cli serve [--socket SOCK] [--http ADDR] [--snapshot PATH [--checkpoint-secs N]] [--threads N] [--cache-capacity N] [--cache-shards N] [--idle-timeout-ms MS] [--no-verify]
+//! pathcover-cli serve [--socket SOCK] [--http ADDR] [--snapshot PATH [--checkpoint-secs N]] [--threads N] [--cache-capacity N] [--cache-shards N] [--idle-timeout-ms MS] [--slow-ms MS] [--no-verify]
 //! pathcover-cli stats (--remote SOCK | --remote-http ADDR) [--json]
+//! pathcover-cli metrics (--remote SOCK | --remote-http ADDR) [--json]
 //! pathcover-cli snapshot save (--remote SOCK | --remote-http ADDR)
 //! pathcover-cli snapshot inspect FILE [--json]
 //! pathcover-cli shutdown (--remote SOCK | --remote-http ADDR)
@@ -50,6 +51,7 @@ fn main() -> ExitCode {
         "bench" => cmd_bench(rest),
         "serve" => cmd_serve(rest),
         "stats" => cmd_stats(rest),
+        "metrics" => cmd_metrics(rest),
         "snapshot" => cmd_snapshot(rest),
         "shutdown" => cmd_shutdown(rest),
         "--help" | "-h" | "help" => {
@@ -77,8 +79,9 @@ USAGE:
                         [--remote SOCK | --remote-http ADDR]
     pathcover-cli serve [--socket SOCK] [--http ADDR] [--snapshot PATH [--checkpoint-secs N]]
                         [--threads N] [--cache-capacity N] [--cache-shards N]
-                        [--idle-timeout-ms MS] [--no-verify]
+                        [--idle-timeout-ms MS] [--slow-ms MS] [--no-verify]
     pathcover-cli stats (--remote SOCK | --remote-http ADDR) [--json]
+    pathcover-cli metrics (--remote SOCK | --remote-http ADDR) [--json]
     pathcover-cli snapshot save (--remote SOCK | --remote-http ADDR)
     pathcover-cli snapshot inspect FILE [--json]
     pathcover-cli shutdown (--remote SOCK | --remote-http ADDR)
@@ -97,7 +100,11 @@ SERVING:
     pcp1 protocol), an HTTP/1.1 listener (--http ADDR; --http 127.0.0.1:0
     picks a free port), or both at once. '--remote SOCK' / '--remote-http ADDR'
     make solve/recognize/batch thin clients of it. 'stats' snapshots the
-    daemon's cache counters; 'shutdown' stops it gracefully.
+    daemon's cache counters; 'metrics' dumps the full telemetry registry
+    (request/stage latency histograms, connection gauges — also scrapeable
+    as Prometheus text from GET /v1/metrics); '--slow-ms MS' logs requests
+    slower than MS milliseconds with their trace IDs; 'shutdown' stops it
+    gracefully.
 
 PERSISTENCE:
     '--snapshot PATH' makes restarts warm: the cache is saved to PATH on
@@ -380,6 +387,7 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
                         cache: CacheStatus::Bypass,
                         canonical_key: None,
                         vertices: 0,
+                        trace_id: None,
                     },
                 };
                 line_errors.push((idx + 1, response.to_json()));
@@ -554,6 +562,14 @@ impl RemoteClient {
         }
     }
 
+    fn metrics(&mut self) -> Result<Json, String> {
+        match self {
+            #[cfg(unix)]
+            RemoteClient::Socket(client) => client.metrics().map_err(|e| e.to_string()),
+            RemoteClient::Http(client) => client.metrics().map_err(|e| e.to_string()),
+        }
+    }
+
     fn shutdown(&mut self) -> Result<(), String> {
         match self {
             #[cfg(unix)]
@@ -684,6 +700,13 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
         if checkpoint_secs.is_some() && snapshot.is_none() {
             return Err("--checkpoint-secs needs --snapshot PATH".to_string());
         }
+        let slow_ms = match take_flag(&mut args, "--slow-ms")? {
+            Some(t) => Some(
+                t.parse::<u64>()
+                    .map_err(|_| format!("--slow-ms: '{t}' is not a number"))?,
+            ),
+            None => None,
+        };
         let no_verify = take_switch(&mut args, "--no-verify");
         if !args.is_empty() {
             return Err(format!("unexpected arguments: {args:?}"));
@@ -700,6 +723,7 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
                 verify_covers: !no_verify,
                 cache_capacity,
                 cache_shards,
+                slow_log_micros: slow_ms.map(|ms| ms.saturating_mul(1000)),
                 ..EngineConfig::default()
             },
         };
@@ -791,14 +815,157 @@ fn cmd_stats(args: &[String]) -> Result<ExitCode, String> {
     if let Some(Json::Arr(shards)) = stats.get("per_shard") {
         for (i, shard) in shards.iter().enumerate() {
             let num = |field: &str| shard.get(field).and_then(Json::as_u64).unwrap_or(0);
+            // Older daemons omit the per-shard rate: derive it so the
+            // column renders against any server version.
+            let rate = match shard.get("hit_rate") {
+                Some(Json::Num(rate)) => *rate,
+                _ => {
+                    let looked_up = num("hits") + num("misses");
+                    if looked_up == 0 {
+                        0.0
+                    } else {
+                        num("hits") as f64 / looked_up as f64
+                    }
+                }
+            };
             println!(
-                "  shard {i}: {} hits, {} misses, {} evictions, {} resident",
+                "  shard {i}: {} hits, {} misses, {} evictions, {} resident, {:.1}% hit rate",
                 num("hits"),
                 num("misses"),
                 num("evictions"),
                 num("entries"),
+                rate * 100.0,
             );
         }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Renders one latency summary object (`count`/`mean_us`/`p50_us`/...) on
+/// a single line, used for both pipeline stages and request histograms.
+fn render_latency_summary(label: &str, summary: &Json) {
+    let num = |field: &str| summary.get(field).and_then(Json::as_u64).unwrap_or(0);
+    if num("count") == 0 {
+        println!("  {label}: no samples");
+        return;
+    }
+    println!(
+        "  {label}: {} samples, mean {} us, p50 {} us, p90 {} us, p99 {} us",
+        num("count"),
+        num("mean_us"),
+        num("p50_us"),
+        num("p90_us"),
+        num("p99_us"),
+    );
+}
+
+fn cmd_metrics(args: &[String]) -> Result<ExitCode, String> {
+    let mut args = args.to_vec();
+    let remote = take_remote(&mut args)?
+        .ok_or_else(|| format!("'metrics' needs --remote SOCK or --remote-http ADDR\n{USAGE}"))?;
+    let json = take_switch(&mut args, "--json");
+    if !args.is_empty() {
+        return Err(format!("unexpected arguments: {args:?}"));
+    }
+    let mut client = remote.connect()?;
+    let metrics = client
+        .metrics()
+        .map_err(|e| format!("remote metrics: {e}"))?;
+    if json {
+        println!("{metrics}");
+        return Ok(ExitCode::SUCCESS);
+    }
+    let num = |field: &str| metrics.get(field).and_then(Json::as_u64).unwrap_or(0);
+    println!(
+        "requests: {} total, uptime {} s",
+        num("requests_total"),
+        num("uptime_secs")
+    );
+    if let Some(Json::Obj(kinds)) = metrics.get("requests") {
+        for (kind, outcomes) in kinds {
+            let Json::Obj(outcomes) = outcomes else {
+                continue;
+            };
+            let rendered: Vec<String> = outcomes
+                .iter()
+                .filter_map(|(outcome, count)| {
+                    count
+                        .as_u64()
+                        .filter(|&c| c > 0)
+                        .map(|c| format!("{outcome} {c}"))
+                })
+                .collect();
+            if !rendered.is_empty() {
+                println!("  {kind}: {}", rendered.join(", "));
+            }
+        }
+    }
+    println!("pipeline stages:");
+    if let Some(Json::Obj(stages)) = metrics.get("stages") {
+        for (stage, summary) in stages {
+            render_latency_summary(stage, summary);
+        }
+    }
+    println!("request latency by kind:");
+    if let Some(Json::Obj(kinds)) = metrics.get("request_latency_by_kind") {
+        for (kind, summary) in kinds {
+            render_latency_summary(kind, summary);
+        }
+    }
+    println!("request latency by outcome:");
+    if let Some(Json::Obj(outcomes)) = metrics.get("request_latency_by_outcome") {
+        for (outcome, summary) in outcomes {
+            render_latency_summary(outcome, summary);
+        }
+    }
+    println!("connections:");
+    if let Some(Json::Obj(transports)) = metrics.get("connections") {
+        for (transport, gauges) in transports {
+            let num = |field: &str| gauges.get(field).and_then(Json::as_u64).unwrap_or(0);
+            println!(
+                "  {transport}: {} accepted, {} active, {} idle timeouts, {} oversize rejects",
+                num("accepted"),
+                num("active"),
+                num("idle_timeouts"),
+                num("oversize_rejects"),
+            );
+        }
+    }
+    if let Some(snapshot) = metrics.get("snapshot") {
+        let num = |field: &str| snapshot.get(field).and_then(Json::as_u64).unwrap_or(0);
+        let checkpoints = snapshot
+            .get("checkpoints")
+            .and_then(|c| c.get("count"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        println!(
+            "snapshot: {} checkpoints, {} failures, last success {}",
+            checkpoints,
+            num("failures"),
+            match num("last_success_unix") {
+                0 => "never".to_string(),
+                unix => format!("at unix {unix}"),
+            }
+        );
+    }
+    if let Some(cache) = metrics.get("cache") {
+        let num = |field: &str| cache.get(field).and_then(Json::as_u64).unwrap_or(0);
+        println!(
+            "cache: {} hits, {} misses, {} evictions, {} resident",
+            num("hits"),
+            num("misses"),
+            num("evictions"),
+            num("entries"),
+        );
+    }
+    if let Some(version) = metrics.get("version") {
+        let field = |name: &str| version.get(name).and_then(Json::as_str).unwrap_or("?");
+        println!(
+            "server: {} (proto {}, snapshot {})",
+            field("server"),
+            field("proto"),
+            field("snapshot_format"),
+        );
     }
     Ok(ExitCode::SUCCESS)
 }

@@ -288,6 +288,18 @@ pub struct ShardStats {
     pub entries: usize,
 }
 
+impl ShardStats {
+    /// Hit fraction in `[0, 1]` for this shard (0 when it saw no lookups).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// A bounded LRU map from `u64` hash keys to values.
 ///
 /// Recency is tracked with lazy invalidation: every touch pushes a

@@ -34,6 +34,7 @@ use crate::engine::{EngineConfig, QueryEngine};
 use crate::http;
 use crate::proto::{self, ProtoError, Request};
 use crate::snapshot;
+use crate::telemetry::{RequestCtx, Transport};
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{Shutdown as SocketShutdown, SocketAddr, TcpListener, TcpStream};
@@ -531,6 +532,7 @@ pub fn serve_proto_conn<C: Connection>(conn: C, engine: &QueryEngine, shutdown: 
     let Ok(write_half) = conn.try_clone_conn() else {
         return;
     };
+    engine.telemetry().conn_opened(Transport::Framed);
     let mut reader = BufReader::new(conn);
     let mut writer = BufWriter::new(write_half);
     while !shutdown.is_triggered() {
@@ -545,7 +547,12 @@ pub fn serve_proto_conn<C: Connection>(conn: C, engine: &QueryEngine, shutdown: 
             Err(ProtoError::Closed) => break,
             Err(error) if error.is_recoverable() => {
                 // The frame was consumed cleanly: report and keep serving.
-                let reply = proto::error_reply(error.code(), &error.to_string());
+                // The payload never parsed, so there is no client-supplied
+                // trace — correlate the reply with a synthesized one.
+                let reply = proto::attach_trace(
+                    proto::error_reply(error.code(), &error.to_string()),
+                    &RequestCtx::generate(),
+                );
                 if proto::write_frame(&mut writer, &reply).is_err() {
                     break;
                 }
@@ -554,14 +561,23 @@ pub fn serve_proto_conn<C: Connection>(conn: C, engine: &QueryEngine, shutdown: 
                 // Idle connections are dropped silently; framing violations
                 // get a best-effort error frame. Either way this connection
                 // is done — and only this connection.
-                if !is_idle_timeout(&error) {
-                    let reply = proto::error_reply(error.code(), &error.to_string());
+                if is_idle_timeout(&error) {
+                    engine.telemetry().idle_timeout(Transport::Framed);
+                } else {
+                    if matches!(error, ProtoError::FrameTooLarge { .. }) {
+                        engine.telemetry().oversize_reject(Transport::Framed);
+                    }
+                    let reply = proto::attach_trace(
+                        proto::error_reply(error.code(), &error.to_string()),
+                        &RequestCtx::generate(),
+                    );
                     let _ = proto::write_frame(&mut writer, &reply);
                 }
                 break;
             }
         }
     }
+    engine.telemetry().conn_closed(Transport::Framed);
 }
 
 /// Serves one frame: read, decode, dispatch, reply. The returned action is
@@ -573,14 +589,30 @@ fn serve_frame<R: BufRead, W: Write>(
     engine: &QueryEngine,
 ) -> Result<proto::Action, ProtoError> {
     let payload = proto::read_frame(reader)?;
-    let request = Request::from_json(&payload)?;
-    let (reply, action) = proto::dispatch(engine, &request);
+    // The raw frame's trace_id is read *before* decoding, so even a frame
+    // that fails to decode gets its error reply correlated.
+    let ctx = match proto::request_trace(&payload) {
+        Some(trace) => RequestCtx::with_trace(trace),
+        None => RequestCtx::generate(),
+    };
+    let request = match Request::from_json(&payload) {
+        Ok(request) => request,
+        Err(error) if error.is_recoverable() => {
+            let reply =
+                proto::attach_trace(proto::error_reply(error.code(), &error.to_string()), &ctx);
+            proto::write_frame(writer, &reply)?;
+            return Ok(proto::Action::Continue);
+        }
+        Err(error) => return Err(error),
+    };
+    let (reply, action) = proto::dispatch_ctx(engine, &request, &ctx);
     let written = match proto::write_frame(writer, &reply) {
         // An oversized reply was refused before any bytes were written:
         // the stream is still in sync, so tell the client what happened
         // instead of dying.
         Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-            let reply = proto::error_reply("frame_too_large", &e.to_string());
+            let reply =
+                proto::attach_trace(proto::error_reply("frame_too_large", &e.to_string()), &ctx);
             proto::write_frame(writer, &reply)
         }
         other => other,

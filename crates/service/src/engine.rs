@@ -22,6 +22,7 @@ use crate::model::{
     Answer, CacheStatus, GraphSpec, QueryKind, QueryRequest, QueryResponse, ResponseMeta,
 };
 use crate::snapshot::{self, LoadOutcome, SaveReport, SnapshotError};
+use crate::telemetry::{MetricsReport, Outcome, PipelineClock, RequestCtx, Stage, Telemetry};
 use cograph::{try_recognize, Cotree};
 use pathcover::{hamiltonian_path, path_cover};
 use pcgraph::{verify_path_cover, Graph, PathCover};
@@ -46,6 +47,13 @@ pub struct EngineConfig {
     /// Cotree cache shard count (rounded up to a power of two); `0` means
     /// [`crate::cache::DEFAULT_SHARDS`].
     pub cache_shards: usize,
+    /// Record per-stage/request telemetry (see [`crate::telemetry`]);
+    /// `false` installs a no-op recorder with zero timing calls.
+    pub telemetry: bool,
+    /// Emit a structured log line for requests slower than this many
+    /// microseconds (`serve --slow-ms`); `None` logs only internal
+    /// failures.
+    pub slow_log_micros: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -56,6 +64,8 @@ impl Default for EngineConfig {
             use_cache: true,
             cache_capacity: 1024,
             cache_shards: 0,
+            telemetry: true,
+            slow_log_micros: None,
         }
     }
 }
@@ -95,6 +105,7 @@ pub struct QueryEngine {
     cache: CotreeCache,
     started: Instant,
     snapshot: Mutex<Option<SnapshotMeta>>,
+    telemetry: Telemetry,
 }
 
 impl Default for QueryEngine {
@@ -112,12 +123,30 @@ impl QueryEngine {
             config.cache_shards
         };
         let cache = CotreeCache::with_shards(config.cache_capacity, shards);
+        let telemetry = Telemetry::new(config.telemetry, config.slow_log_micros);
         QueryEngine {
             config,
             cache,
             started: Instant::now(),
             snapshot: Mutex::new(None),
+            telemetry,
         }
+    }
+
+    /// The engine's telemetry registry (shared with the daemon's accept
+    /// loops and transports).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// A point-in-time copy of every metric: the telemetry registry plus
+    /// the cache counters and uptime the engine owns.
+    pub fn metrics_report(&self) -> MetricsReport {
+        self.telemetry.report(
+            self.cache_stats(),
+            self.cache_shard_stats(),
+            self.uptime_secs(),
+        )
     }
 
     /// The engine's configuration.
@@ -162,7 +191,16 @@ impl QueryEngine {
             .as_ref()
             .map(|meta| meta.path.clone())
             .ok_or(SnapshotError::NotConfigured)?;
-        let report = snapshot::save(&self.cache, &path)?;
+        let report = match snapshot::save(&self.cache, &path) {
+            Ok(report) => {
+                self.telemetry.checkpoint_saved(report.elapsed_micros);
+                report
+            }
+            Err(error) => {
+                self.telemetry.checkpoint_failed();
+                return Err(error);
+            }
+        };
         let now = SystemTime::now()
             .duration_since(UNIX_EPOCH)
             .unwrap_or_default()
@@ -189,9 +227,18 @@ impl QueryEngine {
     }
 
     /// Serves one request (requests using [`GraphSpec::Shared`] fail with
-    /// [`ServiceError::SharedGraphMissing`]; use a batch for those).
+    /// [`ServiceError::SharedGraphMissing`]; use a batch for those). A
+    /// trace ID is synthesized; transports supply their own via
+    /// [`QueryEngine::execute_ctx`].
     pub fn execute(&self, request: &QueryRequest) -> QueryResponse {
-        self.guarded_execute(request, None)
+        self.execute_ctx(request, &RequestCtx::generate())
+    }
+
+    /// Serves one request under a caller-supplied [`RequestCtx`]; the
+    /// context's trace ID is echoed in the response metadata and any slow
+    /// log line.
+    pub fn execute_ctx(&self, request: &QueryRequest, ctx: &RequestCtx) -> QueryResponse {
+        self.guarded_execute(request, None, ctx)
     }
 
     /// Serves a batch: resolves the optional shared graph once, then fans
@@ -202,12 +249,23 @@ impl QueryEngine {
         shared: Option<&GraphSpec>,
         requests: &[QueryRequest],
     ) -> Vec<QueryResponse> {
+        self.execute_batch_ctx(shared, requests, &RequestCtx::generate())
+    }
+
+    /// [`QueryEngine::execute_batch`] under a caller-supplied
+    /// [`RequestCtx`]: every job in the batch shares the one trace ID.
+    pub fn execute_batch_ctx(
+        &self,
+        shared: Option<&GraphSpec>,
+        requests: &[QueryRequest],
+        ctx: &RequestCtx,
+    ) -> Vec<QueryResponse> {
         let shared_resolved = shared.map(|spec| self.prepare_shared(spec));
         let threads = self.effective_threads(requests.len());
         if threads <= 1 {
             return requests
                 .iter()
-                .map(|r| self.guarded_execute(r, shared_resolved.as_ref()))
+                .map(|r| self.guarded_execute(r, shared_resolved.as_ref(), ctx))
                 .collect();
         }
         let next = AtomicUsize::new(0);
@@ -220,7 +278,8 @@ impl QueryEngine {
                     if i >= requests.len() {
                         break;
                     }
-                    let response = self.guarded_execute(&requests[i], shared_resolved.as_ref());
+                    let response =
+                        self.guarded_execute(&requests[i], shared_resolved.as_ref(), ctx);
                     slots[i].set(response).expect("each slot is written once");
                 });
             }
@@ -247,22 +306,31 @@ impl QueryEngine {
         &self,
         request: &QueryRequest,
         shared: Option<&Result<SharedPrep, ServiceError>>,
+        ctx: &RequestCtx,
     ) -> QueryResponse {
         let started = Instant::now();
-        match catch_unwind(AssertUnwindSafe(|| self.execute_inner(request, shared))) {
+        match catch_unwind(AssertUnwindSafe(|| {
+            self.execute_inner(request, shared, ctx)
+        })) {
             Ok(response) => response,
-            Err(payload) => QueryResponse {
-                id: request.id.clone(),
-                kind: request.kind,
-                outcome: Err(ServiceError::JobPanicked(panic_message(payload))),
-                meta: ResponseMeta {
-                    solve_micros: 0,
-                    total_micros: started.elapsed().as_micros() as u64,
-                    cache: CacheStatus::Bypass,
-                    canonical_key: None,
-                    vertices: 0,
-                },
-            },
+            Err(payload) => {
+                let total_micros = started.elapsed().as_micros() as u64;
+                let response = QueryResponse {
+                    id: request.id.clone(),
+                    kind: request.kind,
+                    outcome: Err(ServiceError::JobPanicked(panic_message(payload))),
+                    meta: ResponseMeta {
+                        solve_micros: 0,
+                        total_micros,
+                        cache: CacheStatus::Bypass,
+                        canonical_key: None,
+                        vertices: 0,
+                        trace_id: Some(ctx.trace_id.clone()),
+                    },
+                };
+                self.finish_request(&response, ctx);
+                response
+            }
         }
     }
 
@@ -270,9 +338,11 @@ impl QueryEngine {
         &self,
         request: &QueryRequest,
         shared: Option<&Result<SharedPrep, ServiceError>>,
+        ctx: &RequestCtx,
     ) -> QueryResponse {
         let started = Instant::now();
-        let resolved = self.resolve_request(&request.graph, shared);
+        let mut clock = self.telemetry.pipeline_clock();
+        let resolved = self.resolve_request(&request.graph, shared, &mut clock);
         let (outcome, meta) = match resolved {
             Err(error) => (
                 Err(error),
@@ -282,11 +352,12 @@ impl QueryEngine {
                     cache: CacheStatus::Bypass,
                     canonical_key: None,
                     vertices: 0,
+                    trace_id: Some(ctx.trace_id.clone()),
                 },
             ),
             Ok(resolved) => {
                 let solve_started = Instant::now();
-                let outcome = self.solve(request.kind, &resolved);
+                let outcome = self.solve(request.kind, &resolved, &mut clock);
                 (
                     outcome,
                     ResponseMeta {
@@ -295,17 +366,42 @@ impl QueryEngine {
                         cache: resolved.cache,
                         canonical_key: Some(resolved.entry.key),
                         vertices: resolved.entry.cotree.num_vertices(),
+                        trace_id: Some(ctx.trace_id.clone()),
                     },
                 )
             }
         };
         let mut meta = meta;
         meta.total_micros = started.elapsed().as_micros() as u64;
-        QueryResponse {
+        let response = QueryResponse {
             id: request.id.clone(),
             kind: request.kind,
             outcome,
             meta,
+        };
+        self.finish_request(&response, ctx);
+        response
+    }
+
+    /// Books a completed request into the registry and emits the
+    /// structured slow-request/error log line when warranted.
+    fn finish_request(&self, response: &QueryResponse, ctx: &RequestCtx) {
+        let outcome = match &response.outcome {
+            Ok(_) => Outcome::Ok,
+            Err(error) => Outcome::from_error_code(error.code()),
+        };
+        let total = response.meta.total_micros;
+        self.telemetry.record_request(response.kind, outcome, total);
+        if self.telemetry.should_log(outcome, total) {
+            eprintln!(
+                "pcservice: slow_request trace_id={} kind={} outcome={} total_us={} cache={} n={}",
+                ctx.trace_id,
+                response.kind.as_str(),
+                outcome.as_str(),
+                total,
+                response.meta.cache.as_str(),
+                response.meta.vertices
+            );
         }
     }
 
@@ -313,21 +409,24 @@ impl QueryEngine {
         &self,
         spec: &GraphSpec,
         shared: Option<&Result<SharedPrep, ServiceError>>,
+        clock: &mut PipelineClock<'_>,
     ) -> Result<Resolved, ServiceError> {
         match spec {
             GraphSpec::Shared => match shared {
-                Some(Ok(prep)) => self.resolve_prepared(prep),
+                Some(Ok(prep)) => self.resolve_prepared(prep, clock),
                 Some(Err(error)) => Err(error.clone()),
                 None => Err(ServiceError::SharedGraphMissing),
             },
-            other => self.resolve_spec(other),
+            other => self.resolve_spec(other, clock),
         }
     }
 
     /// Parses the batch's shared graph once; jobs resolve it per query via
     /// [`QueryEngine::resolve_prepared`] so their cache metadata is real.
+    /// The one-off parse is booked as an ingest segment of its own.
     fn prepare_shared(&self, spec: &GraphSpec) -> Result<SharedPrep, ServiceError> {
-        Ok(match spec {
+        let mut clock = self.telemetry.pipeline_clock();
+        let prep = match spec {
             GraphSpec::Shared => return Err(ServiceError::SharedGraphMissing),
             GraphSpec::EdgeList(text) => ingested_prep(ingest::parse(text, GraphFormat::EdgeList)?),
             GraphSpec::Dimacs(text) => ingested_prep(ingest::parse(text, GraphFormat::Dimacs)?),
@@ -336,42 +435,54 @@ impl QueryEngine {
             }
             GraphSpec::Graph(g) => SharedPrep::Graph(Arc::new(g.clone())),
             GraphSpec::Cotree(t) => SharedPrep::Cotree(Arc::new(t.clone())),
-        })
+        };
+        clock.mark(Stage::Ingest);
+        Ok(prep)
     }
 
-    fn resolve_prepared(&self, prep: &SharedPrep) -> Result<Resolved, ServiceError> {
+    fn resolve_prepared(
+        &self,
+        prep: &SharedPrep,
+        clock: &mut PipelineClock<'_>,
+    ) -> Result<Resolved, ServiceError> {
         match prep {
-            SharedPrep::Graph(g) => self.resolve_graph(g.clone()),
-            SharedPrep::Cotree(t) => self.resolve_cotree(t),
+            SharedPrep::Graph(g) => self.resolve_graph(g.clone(), clock),
+            SharedPrep::Cotree(t) => self.resolve_cotree(t, clock),
         }
     }
 
-    fn resolve_spec(&self, spec: &GraphSpec) -> Result<Resolved, ServiceError> {
-        match spec {
-            GraphSpec::Shared => Err(ServiceError::SharedGraphMissing),
-            GraphSpec::EdgeList(text) => match ingest::parse(text, GraphFormat::EdgeList)? {
-                Ingested::Graph(g) => self.resolve_graph(Arc::new(g)),
-                Ingested::Cotree(t) => self.resolve_cotree(&t),
-            },
-            GraphSpec::Dimacs(text) => match ingest::parse(text, GraphFormat::Dimacs)? {
-                Ingested::Graph(g) => self.resolve_graph(Arc::new(g)),
-                Ingested::Cotree(t) => self.resolve_cotree(&t),
-            },
-            GraphSpec::CotreeTerm(text) => match ingest::parse(text, GraphFormat::CotreeTerm)? {
-                Ingested::Graph(g) => self.resolve_graph(Arc::new(g)),
-                Ingested::Cotree(t) => self.resolve_cotree(&t),
-            },
-            GraphSpec::Graph(g) => self.resolve_graph(Arc::new(g.clone())),
-            GraphSpec::Cotree(t) => self.resolve_cotree(t),
+    fn resolve_spec(
+        &self,
+        spec: &GraphSpec,
+        clock: &mut PipelineClock<'_>,
+    ) -> Result<Resolved, ServiceError> {
+        let ingested = match spec {
+            GraphSpec::Shared => return Err(ServiceError::SharedGraphMissing),
+            GraphSpec::EdgeList(text) => ingest::parse(text, GraphFormat::EdgeList)?,
+            GraphSpec::Dimacs(text) => ingest::parse(text, GraphFormat::Dimacs)?,
+            GraphSpec::CotreeTerm(text) => ingest::parse(text, GraphFormat::CotreeTerm)?,
+            GraphSpec::Graph(g) => return self.resolve_graph(Arc::new(g.clone()), clock),
+            GraphSpec::Cotree(t) => return self.resolve_cotree(t, clock),
+        };
+        clock.mark(Stage::Ingest);
+        match ingested {
+            Ingested::Graph(g) => self.resolve_graph(Arc::new(g), clock),
+            Ingested::Cotree(t) => self.resolve_cotree(&t, clock),
         }
     }
 
-    fn resolve_graph(&self, graph: Arc<Graph>) -> Result<Resolved, ServiceError> {
+    fn resolve_graph(
+        &self,
+        graph: Arc<Graph>,
+        clock: &mut PipelineClock<'_>,
+    ) -> Result<Resolved, ServiceError> {
         if graph.num_vertices() == 0 {
             return Err(ServiceError::EmptyGraph);
         }
         if !self.config.use_cache {
-            let cotree = recognize_certified(&graph)?;
+            let cotree = recognize_certified(&graph);
+            clock.mark(Stage::Recognize);
+            let cotree = cotree?;
             return Ok(Resolved {
                 entry: Arc::new(SolveEntry::new(cotree)),
                 graph: Some(graph),
@@ -380,16 +491,21 @@ impl QueryEngine {
         }
         let fingerprint = graph_fingerprint(&graph);
         if let Some(entry) = self.cache.lookup_graph(fingerprint, &graph) {
+            clock.mark(Stage::CacheLookup);
             return Ok(Resolved {
                 entry,
                 graph: Some(graph),
                 cache: CacheStatus::Hit,
             });
         }
-        let cotree = recognize_certified(&graph)?;
+        clock.mark(Stage::CacheLookup);
+        let cotree = recognize_certified(&graph);
+        clock.mark(Stage::Recognize);
+        let cotree = cotree?;
         let entry = self
             .cache
             .insert(Some((fingerprint, graph.clone())), cotree);
+        clock.mark(Stage::CacheLookup);
         Ok(Resolved {
             entry,
             graph: Some(graph),
@@ -397,7 +513,11 @@ impl QueryEngine {
         })
     }
 
-    fn resolve_cotree(&self, cotree: &cograph::Cotree) -> Result<Resolved, ServiceError> {
+    fn resolve_cotree(
+        &self,
+        cotree: &cograph::Cotree,
+        clock: &mut PipelineClock<'_>,
+    ) -> Result<Resolved, ServiceError> {
         if !self.config.use_cache {
             return Ok(Resolved {
                 entry: Arc::new(SolveEntry::new(cotree.clone())),
@@ -407,6 +527,7 @@ impl QueryEngine {
         }
         let key = crate::cache::canonical_key(cotree);
         if let Some(entry) = self.cache.lookup_key(key, cotree) {
+            clock.mark(Stage::CacheLookup);
             return Ok(Resolved {
                 entry,
                 graph: None,
@@ -414,6 +535,7 @@ impl QueryEngine {
             });
         }
         let entry = self.cache.insert(None, cotree.clone());
+        clock.mark(Stage::CacheLookup);
         Ok(Resolved {
             entry,
             graph: None,
@@ -421,15 +543,24 @@ impl QueryEngine {
         })
     }
 
-    fn solve(&self, kind: QueryKind, resolved: &Resolved) -> Result<Answer, ServiceError> {
+    fn solve(
+        &self,
+        kind: QueryKind,
+        resolved: &Resolved,
+        clock: &mut PipelineClock<'_>,
+    ) -> Result<Answer, ServiceError> {
         let entry = &resolved.entry;
         match kind {
-            QueryKind::MinCoverSize => Ok(Answer::MinCoverSize {
-                size: entry.min_cover_size(),
-            }),
+            QueryKind::MinCoverSize => {
+                let size = entry.min_cover_size();
+                clock.mark(Stage::Solve);
+                Ok(Answer::MinCoverSize { size })
+            }
             QueryKind::FullCover => {
                 let cover = path_cover(&entry.cotree);
+                clock.mark(Stage::Solve);
                 let verified = self.verify(resolved, &cover)?;
+                clock.mark(Stage::Verify);
                 Ok(Answer::FullCover { cover, verified })
             }
             QueryKind::HamiltonianPath => {
@@ -439,24 +570,30 @@ impl QueryEngine {
                 } else {
                     None
                 };
+                clock.mark(Stage::Solve);
                 if let Some(path) = &path {
                     self.verify(resolved, &PathCover::from_paths(vec![path.clone()]))?;
+                    clock.mark(Stage::Verify);
                 }
                 Ok(Answer::HamiltonianPath { exists, path })
             }
-            QueryKind::HamiltonianCycle => Ok(Answer::HamiltonianCycle {
-                exists: entry.has_hamiltonian_cycle(),
-            }),
+            QueryKind::HamiltonianCycle => {
+                let exists = entry.has_hamiltonian_cycle();
+                clock.mark(Stage::Solve);
+                Ok(Answer::HamiltonianCycle { exists })
+            }
             QueryKind::Recognize => {
                 let graph = self.graph_of(resolved);
-                Ok(Answer::Recognized {
+                let answer = Answer::Recognized {
                     is_cograph: true,
                     vertices: graph.num_vertices(),
                     edges: graph.num_edges(),
                     cotree_nodes: entry.cotree.num_nodes(),
                     height: entry.cotree.height(),
                     term: ingest::cotree_to_term(&entry.cotree),
-                })
+                };
+                clock.mark(Stage::Solve);
+                Ok(answer)
             }
         }
     }

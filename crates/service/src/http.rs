@@ -15,6 +15,7 @@
 //! |---|---|---|
 //! | `GET /healthz` | — | `{"ok":true,"server":...,"proto":...}` |
 //! | `GET /v1/stats` | — | `{"type":"stats","stats":{...}}` |
+//! | `GET /v1/metrics` | — | Prometheus text (`?format=json` for JSON) |
 //! | `POST /v1/solve` | one query object | `{"type":"response","response":{...}}` |
 //! | `POST /v1/batch` | `{"shared":...,"requests":[...]}` | `{"type":"batch","responses":[...]}` |
 //! | `POST /v1/snapshot` | — | `{"type":"snapshot_ok","entries":...,"bytes":...}` |
@@ -55,6 +56,17 @@
 //! idle timeout. `Expect: 100-continue` is answered so large `curl` bodies
 //! do not stall.
 //!
+//! ## Tracing
+//!
+//! An `X-Request-Id` header becomes the request's trace ID (one is
+//! synthesized otherwise); every JSON reply — error bodies included —
+//! echoes it as a top-level `"trace_id"` field, and response objects carry
+//! it again under `meta.trace_id`, so a log line on either side of the
+//! connection correlates with the server's slow-request log.
+//! `GET /v1/metrics` serves the telemetry registry as Prometheus text
+//! exposition 0.0.4 (`text/plain`) by default, or as the framed protocol's
+//! `metrics` payload with `?format=json`.
+//!
 //! [`Client`] is the matching thin client used by `pathcover-cli
 //! --remote-http`: one keep-alive connection, the same request model
 //! ([`QueryRequest`] / [`GraphSpec`]) as the framed [`proto::Client`].
@@ -63,6 +75,7 @@ use crate::engine::QueryEngine;
 use crate::json::Json;
 use crate::model::{GraphSpec, QueryRequest};
 use crate::proto::{self, MAX_FRAME_LEN, PROTO_VERSION, SERVER_NAME};
+use crate::telemetry::RequestCtx;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Read as _, Write};
 use std::net::TcpStream;
@@ -155,6 +168,11 @@ pub struct HttpRequest {
     pub method: String,
     /// The request path with any query string stripped.
     pub path: String,
+    /// The query string (the part after `?`), when one was sent.
+    pub query: Option<String>,
+    /// The `X-Request-Id` header value, when one was sent — becomes the
+    /// request's trace ID.
+    pub trace: Option<String>,
     /// Whether the connection should stay open after the response
     /// (HTTP/1.1 default, overridden by `Connection` headers).
     pub keep_alive: bool,
@@ -227,10 +245,14 @@ pub fn read_request<R: BufRead, W: Write>(
             )))
         }
     };
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((path, query)) => (path.to_string(), Some(query.to_string())),
+        None => (target.to_string(), None),
+    };
 
     let mut content_length: Option<usize> = None;
     let mut expect_continue = false;
+    let mut trace: Option<String> = None;
     for count in 0.. {
         if count > MAX_HEADERS {
             return Err(HttpError::BadRequest("too many headers".to_string()));
@@ -274,6 +296,9 @@ pub fn read_request<R: BufRead, W: Write>(
             "expect" if value.eq_ignore_ascii_case("100-continue") => {
                 expect_continue = true;
             }
+            "x-request-id" if !value.is_empty() => {
+                trace = Some(value.to_string());
+            }
             "transfer-encoding" => {
                 return Err(HttpError::Unsupported(format!(
                     "Transfer-Encoding {value:?} (send a Content-Length body)"
@@ -295,9 +320,58 @@ pub fn read_request<R: BufRead, W: Write>(
     Ok(Some(HttpRequest {
         method: method.to_string(),
         path,
+        query,
+        trace,
         keep_alive,
         body,
     }))
+}
+
+/// A response body: JSON (every API route) or plain text (the Prometheus
+/// exposition of `/v1/metrics`). The variant decides the `Content-Type`.
+#[derive(Debug)]
+pub enum HttpBody {
+    /// A JSON body, served as `application/json`.
+    Json(Json),
+    /// A plain-text body, served as Prometheus text exposition 0.0.4.
+    Text(String),
+}
+
+impl HttpBody {
+    /// The `Content-Type` header value for this body.
+    pub fn content_type(&self) -> &'static str {
+        match self {
+            HttpBody::Json(_) => "application/json",
+            HttpBody::Text(_) => "text/plain; version=0.0.4; charset=utf-8",
+        }
+    }
+
+    /// The JSON payload, when this is a JSON body.
+    pub fn as_json(&self) -> Option<&Json> {
+        match self {
+            HttpBody::Json(json) => Some(json),
+            HttpBody::Text(_) => None,
+        }
+    }
+
+    /// Renders the wire body, newline-terminated (so `curl` output is
+    /// terminal-friendly and the Prometheus exposition is well-formed).
+    pub fn render(&self) -> String {
+        match self {
+            HttpBody::Json(json) => {
+                let mut text = json.to_string();
+                text.push('\n');
+                text
+            }
+            HttpBody::Text(text) => {
+                let mut text = text.clone();
+                if !text.ends_with('\n') {
+                    text.push('\n');
+                }
+                text
+            }
+        }
+    }
 }
 
 /// One response, before serialization.
@@ -309,8 +383,8 @@ pub struct HttpResponse {
     pub reason: &'static str,
     /// The `Allow` header value (405 responses).
     pub allow: Option<&'static str>,
-    /// The JSON body.
-    pub body: Json,
+    /// The body.
+    pub body: HttpBody,
 }
 
 impl HttpResponse {
@@ -319,7 +393,16 @@ impl HttpResponse {
             status: 200,
             reason: "OK",
             allow: None,
-            body,
+            body: HttpBody::Json(body),
+        }
+    }
+
+    fn text(body: String) -> HttpResponse {
+        HttpResponse {
+            status: 200,
+            reason: "OK",
+            allow: None,
+            body: HttpBody::Text(body),
         }
     }
 
@@ -328,7 +411,7 @@ impl HttpResponse {
             status,
             reason,
             allow: None,
-            body: proto::error_reply(code, message),
+            body: HttpBody::Json(proto::error_reply(code, message)),
         }
     }
 }
@@ -342,8 +425,7 @@ pub fn write_response<W: Write>(
     response: &HttpResponse,
     keep_alive: bool,
 ) -> io::Result<()> {
-    let mut body = response.body.to_string();
-    body.push('\n');
+    let body = response.body.render();
     write_response_parts(w, response, &body, keep_alive, true)
 }
 
@@ -360,9 +442,10 @@ fn write_response_parts<W: Write>(
 ) -> io::Result<()> {
     write!(
         w,
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
         response.status,
         response.reason,
+        response.body.content_type(),
         body.len()
     )?;
     if let Some(allow) = response.allow {
@@ -397,11 +480,36 @@ fn parse_body(body: &[u8]) -> Result<Json, HttpResponse> {
 /// Routes one request onto the engine: the whole HTTP → [`proto::Request`]
 /// mapping, pure and socket-free (directly testable). Dispatched requests
 /// answer 200 with the [`proto::dispatch`] reply payload as the body.
+///
+/// The trace ID comes from the request's `X-Request-Id` header (synthesized
+/// when absent) and is echoed as a top-level `"trace_id"` on every JSON
+/// body, error replies included.
 pub fn respond(engine: &QueryEngine, request: &HttpRequest) -> (HttpResponse, proto::Action) {
+    let ctx = match &request.trace {
+        Some(trace) => RequestCtx::with_trace(trace.clone()),
+        None => RequestCtx::generate(),
+    };
+    let (mut response, action) = route(engine, request, &ctx);
+    // Locally-built replies (health, routing errors) get the trace here;
+    // dispatched replies already carry it (the attachment is idempotent).
+    // The Prometheus text body is the one surface left untouched.
+    response.body = match response.body {
+        HttpBody::Json(body) => HttpBody::Json(proto::attach_trace(body, &ctx)),
+        text => text,
+    };
+    (response, action)
+}
+
+/// The route match behind [`respond`], before trace attachment.
+fn route(
+    engine: &QueryEngine,
+    request: &HttpRequest,
+    ctx: &RequestCtx,
+) -> (HttpResponse, proto::Action) {
     let method = request.method.as_str();
     let path = request.path.as_str();
     let dispatched = |request: proto::Request| {
-        let (reply, action) = proto::dispatch(engine, &request);
+        let (reply, action) = proto::dispatch_ctx(engine, &request, ctx);
         (HttpResponse::ok(reply), action)
     };
     // HEAD is answered wherever GET is (load-balancer health probes
@@ -416,6 +524,20 @@ pub fn respond(engine: &QueryEngine, request: &HttpRequest) -> (HttpResponse, pr
             proto::Action::Continue,
         ),
         ("GET" | "HEAD", "/v1/stats") => dispatched(proto::Request::Stats),
+        ("GET" | "HEAD", "/v1/metrics") => {
+            let wants_json = request
+                .query
+                .as_deref()
+                .is_some_and(|query| query.split('&').any(|pair| pair == "format=json"));
+            if wants_json {
+                dispatched(proto::Request::Metrics)
+            } else {
+                (
+                    HttpResponse::text(engine.metrics_report().to_prometheus()),
+                    proto::Action::Continue,
+                )
+            }
+        }
         ("POST", "/v1/snapshot") => dispatched(proto::Request::Snapshot),
         ("POST", "/v1/shutdown") => dispatched(proto::Request::Shutdown),
         ("POST", "/v1/solve") => match parse_body(&request.body) {
@@ -438,7 +560,7 @@ pub fn respond(engine: &QueryEngine, request: &HttpRequest) -> (HttpResponse, pr
             },
             Err(response) => (response, proto::Action::Continue),
         },
-        (_, "/healthz" | "/v1/stats") => (
+        (_, "/healthz" | "/v1/stats" | "/v1/metrics") => (
             HttpResponse {
                 allow: Some("GET, HEAD"),
                 ..HttpResponse::error(
@@ -487,6 +609,9 @@ pub fn serve_conn<C: crate::daemon::Connection>(
     let Ok(write_half) = conn.try_clone_conn() else {
         return;
     };
+    engine
+        .telemetry()
+        .conn_opened(crate::telemetry::Transport::Http);
     let mut reader = BufReader::new(conn);
     let mut writer = io::BufWriter::new(write_half);
     while !shutdown.is_triggered() {
@@ -498,17 +623,27 @@ pub fn serve_conn<C: crate::daemon::Connection>(
                 // write. Mirror the framed transport's reply cap: an
                 // oversized reply becomes a small error instead of an
                 // unbounded write.
-                let mut body = response.body.to_string();
+                let mut body = response.body.render();
                 if body.len() > MAX_FRAME_LEN {
+                    engine
+                        .telemetry()
+                        .oversize_reject(crate::telemetry::Transport::Http);
                     response = HttpResponse::error(
                         500,
                         "Internal Server Error",
                         "frame_too_large",
                         &format!("reply exceeds the {MAX_FRAME_LEN} byte cap (split the batch)"),
                     );
-                    body = response.body.to_string();
+                    let ctx = match &request.trace {
+                        Some(trace) => RequestCtx::with_trace(trace.clone()),
+                        None => RequestCtx::generate(),
+                    };
+                    response.body = match response.body {
+                        HttpBody::Json(json) => HttpBody::Json(proto::attach_trace(json, &ctx)),
+                        text => text,
+                    };
+                    body = response.body.render();
                 }
-                body.push('\n');
                 let keep_alive = request.keep_alive && action == proto::Action::Continue;
                 let written = write_response_parts(
                     &mut writer,
@@ -531,14 +666,43 @@ pub fn serve_conn<C: crate::daemon::Connection>(
                 // Idle timeouts and clean EOFs close silently; framing
                 // defects get a best-effort error response. Either way
                 // this connection is done — and only this connection.
+                match &error {
+                    HttpError::Io(e)
+                        if matches!(
+                            e.kind(),
+                            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                        ) =>
+                    {
+                        engine
+                            .telemetry()
+                            .idle_timeout(crate::telemetry::Transport::Http);
+                    }
+                    HttpError::BodyTooLarge { .. } => {
+                        engine
+                            .telemetry()
+                            .oversize_reject(crate::telemetry::Transport::Http);
+                    }
+                    _ => {}
+                }
                 if let Some((status, reason, code)) = error_status(&error) {
-                    let response = HttpResponse::error(status, reason, code, &error.to_string());
+                    let mut response =
+                        HttpResponse::error(status, reason, code, &error.to_string());
+                    // No request made it through parsing, so there is no
+                    // client-supplied ID — correlate with a fresh one.
+                    let ctx = RequestCtx::generate();
+                    response.body = match response.body {
+                        HttpBody::Json(json) => HttpBody::Json(proto::attach_trace(json, &ctx)),
+                        text => text,
+                    };
                     let _ = write_response(&mut writer, &response, false);
                 }
                 break;
             }
         }
     }
+    engine
+        .telemetry()
+        .conn_closed(crate::telemetry::Transport::Http);
 }
 
 /// A thin HTTP client over one keep-alive connection, mirroring
@@ -711,6 +875,16 @@ impl Client {
             .ok_or_else(|| HttpError::BadReply("stats reply missing payload".to_string()))
     }
 
+    /// `GET /v1/metrics?format=json`: the telemetry registry's JSON export
+    /// (the same payload as the framed protocol's `metrics` reply).
+    pub fn metrics(&mut self) -> Result<Json, HttpError> {
+        let reply = self.request("GET", "/v1/metrics?format=json", None)?;
+        Self::expect(reply, "metrics")?
+            .get("metrics")
+            .cloned()
+            .ok_or_else(|| HttpError::BadReply("metrics reply missing payload".to_string()))
+    }
+
     /// `POST /v1/snapshot`: asks the daemon to persist its warm cache
     /// right now; returns the `snapshot_ok` object. A daemon serving
     /// without `--snapshot` answers a `snapshot_unconfigured` error reply —
@@ -784,6 +958,21 @@ mod tests {
     }
 
     #[test]
+    fn request_id_header_and_query_string_are_captured() {
+        let request =
+            parse(b"GET /v1/metrics?format=json HTTP/1.1\r\nX-Request-Id: abc-123\r\n\r\n")
+                .unwrap()
+                .unwrap();
+        assert_eq!(request.path, "/v1/metrics");
+        assert_eq!(request.query.as_deref(), Some("format=json"));
+        assert_eq!(request.trace.as_deref(), Some("abc-123"));
+
+        let request = parse(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert!(request.query.is_none());
+        assert!(request.trace.is_none(), "no header, no trace");
+    }
+
+    #[test]
     fn clean_eof_is_none_and_defects_are_typed() {
         assert!(parse(b"").unwrap().is_none(), "clean EOF between requests");
         assert!(matches!(
@@ -837,6 +1026,8 @@ mod tests {
             &HttpRequest {
                 method: method.to_string(),
                 path: path.to_string(),
+                query: None,
+                trace: None,
                 keep_alive: true,
                 body: body.to_vec(),
             },
@@ -849,7 +1040,15 @@ mod tests {
 
         let (health, action) = get(&engine, "GET", "/healthz", b"");
         assert_eq!(health.status, 200);
-        assert_eq!(health.body.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            health
+                .body
+                .as_json()
+                .unwrap()
+                .get("ok")
+                .and_then(Json::as_bool),
+            Some(true)
+        );
         assert_eq!(action, proto::Action::Continue);
 
         // HEAD probes (common load-balancer default) route like GET; the
@@ -869,6 +1068,8 @@ mod tests {
         assert_eq!(
             solve
                 .body
+                .as_json()
+                .unwrap()
                 .get("response")
                 .and_then(|r| r.get("answer"))
                 .and_then(|a| a.get("size"))
@@ -883,12 +1084,16 @@ mod tests {
             br#"{"requests":[{"kind":"recognize","cotree":"(j a b)"}]}"#,
         );
         assert_eq!(batch.status, 200);
-        assert!(matches!(batch.body.get("responses"), Some(Json::Arr(r)) if r.len() == 1));
+        assert!(
+            matches!(batch.body.as_json().unwrap().get("responses"), Some(Json::Arr(r)) if r.len() == 1)
+        );
 
         let (stats, _) = get(&engine, "GET", "/v1/stats", b"");
         assert_eq!(stats.status, 200);
         assert!(stats
             .body
+            .as_json()
+            .unwrap()
             .get("stats")
             .and_then(|s| s.get("hits"))
             .is_some());
@@ -898,7 +1103,12 @@ mod tests {
         let (snapshot, action) = get(&engine, "POST", "/v1/snapshot", b"");
         assert_eq!(snapshot.status, 200);
         assert_eq!(
-            snapshot.body.get("code").and_then(Json::as_str),
+            snapshot
+                .body
+                .as_json()
+                .unwrap()
+                .get("code")
+                .and_then(Json::as_str),
             Some("snapshot_unconfigured")
         );
         assert_eq!(action, proto::Action::Continue);
@@ -910,8 +1120,104 @@ mod tests {
         assert_eq!(shutdown.status, 200);
         assert_eq!(action, proto::Action::Shutdown);
         assert_eq!(
-            shutdown.body.get("type").and_then(Json::as_str),
+            shutdown
+                .body
+                .as_json()
+                .unwrap()
+                .get("type")
+                .and_then(Json::as_str),
             Some("shutdown_ok")
+        );
+    }
+
+    #[test]
+    fn metrics_route_serves_prometheus_text_and_json() {
+        let engine = QueryEngine::default();
+        let (solve, _) = get(
+            &engine,
+            "POST",
+            "/v1/solve",
+            br#"{"kind":"min_cover_size","cotree":"(j a b c)"}"#,
+        );
+        assert_eq!(solve.status, 200);
+
+        // Default flavour: Prometheus text exposition, not JSON.
+        let (metrics, action) = get(&engine, "GET", "/v1/metrics", b"");
+        assert_eq!(metrics.status, 200);
+        assert_eq!(action, proto::Action::Continue);
+        assert!(metrics.body.as_json().is_none(), "prometheus body is text");
+        assert_eq!(
+            metrics.body.content_type(),
+            "text/plain; version=0.0.4; charset=utf-8"
+        );
+        let text = metrics.body.render();
+        assert!(text.contains("pc_requests_total{"), "{text}");
+        assert!(text.ends_with('\n'), "exposition must end with a newline");
+
+        // `?format=json` answers the framed protocol's metrics payload.
+        let request = HttpRequest {
+            method: "GET".to_string(),
+            path: "/v1/metrics".to_string(),
+            query: Some("format=json".to_string()),
+            trace: None,
+            keep_alive: true,
+            body: Vec::new(),
+        };
+        let (metrics, _) = respond(&engine, &request);
+        let payload = metrics.body.as_json().expect("json body");
+        assert_eq!(payload.get("type").and_then(Json::as_str), Some("metrics"));
+        assert_eq!(
+            payload
+                .get("metrics")
+                .and_then(|m| m.get("requests_total"))
+                .and_then(Json::as_u64),
+            Some(1),
+            "the solve above must be booked: {payload}"
+        );
+
+        let (metrics, _) = get(&engine, "POST", "/v1/metrics", b"");
+        assert_eq!(metrics.status, 405);
+        assert_eq!(metrics.allow, Some("GET, HEAD"));
+    }
+
+    #[test]
+    fn replies_echo_the_request_id_header() {
+        let engine = QueryEngine::default();
+        let request = HttpRequest {
+            method: "POST".to_string(),
+            path: "/v1/solve".to_string(),
+            query: None,
+            trace: Some("req-7".to_string()),
+            keep_alive: true,
+            body: br#"{"kind":"min_cover_size","cotree":"(j a b)"}"#.to_vec(),
+        };
+        let (response, _) = respond(&engine, &request);
+        let body = response.body.as_json().expect("json body");
+        assert_eq!(
+            body.get("trace_id").and_then(Json::as_str),
+            Some("req-7"),
+            "top-level echo: {body}"
+        );
+        assert_eq!(
+            body.get("response")
+                .and_then(|r| r.get("meta"))
+                .and_then(|m| m.get("trace_id"))
+                .and_then(Json::as_str),
+            Some("req-7"),
+            "response metadata echo: {body}"
+        );
+
+        // Error bodies carry a trace too — synthesized without the header.
+        let (response, _) = get(&engine, "GET", "/nope", b"");
+        let trace = response
+            .body
+            .as_json()
+            .and_then(|b| b.get("trace_id"))
+            .and_then(Json::as_str)
+            .map(str::to_string);
+        assert!(
+            trace.is_some_and(|t| t.starts_with("pc-")),
+            "404 body must carry a synthesized trace"
         );
     }
 
@@ -920,6 +1226,8 @@ mod tests {
         let engine = QueryEngine::default();
         let code = |r: &HttpResponse| {
             r.body
+                .as_json()
+                .unwrap()
                 .get("code")
                 .and_then(Json::as_str)
                 .unwrap_or("?")
@@ -964,6 +1272,8 @@ mod tests {
         assert_eq!(
             response
                 .body
+                .as_json()
+                .unwrap()
                 .get("response")
                 .and_then(|r| r.get("ok"))
                 .and_then(Json::as_bool),

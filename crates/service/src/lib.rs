@@ -73,6 +73,7 @@ pub mod json;
 pub mod model;
 pub mod proto;
 pub mod snapshot;
+pub mod telemetry;
 
 pub use cache::{
     canonical_eq, canonical_key, graph_fingerprint, CacheStats, CotreeCache, MemoisedScalars,
@@ -90,3 +91,7 @@ pub use model::{
 };
 pub use proto::{ProtoError, MAX_FRAME_LEN, PROTO_VERSION};
 pub use snapshot::{LoadOutcome, SnapshotError, SNAPSHOT_VERSION};
+pub use telemetry::{
+    Histogram, HistogramSnapshot, MetricsReport, Outcome, PipelineClock, RequestCtx, Stage,
+    Telemetry, Transport,
+};

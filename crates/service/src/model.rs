@@ -280,6 +280,10 @@ pub struct ResponseMeta {
     pub canonical_key: Option<u64>,
     /// Vertex count of the request's graph (0 when ingest failed).
     pub vertices: usize,
+    /// The trace ID of the request that produced this response (see
+    /// [`crate::telemetry::RequestCtx`]); echoed on the wire as
+    /// `meta.trace_id`.
+    pub trace_id: Option<String>,
 }
 
 /// A typed answer, one variant per [`QueryKind`].
@@ -389,6 +393,9 @@ impl QueryResponse {
         ];
         if let Some(key) = self.meta.canonical_key {
             meta.push(("key", Json::str(format!("{key:016x}"))));
+        }
+        if let Some(trace) = &self.meta.trace_id {
+            meta.push(("trace_id", Json::str(trace.clone())));
         }
         fields.push(("meta", Json::obj(meta)));
         Json::obj(fields)
@@ -535,6 +542,7 @@ mod tests {
                 cache: CacheStatus::Hit,
                 canonical_key: Some(0xdeadbeef),
                 vertices: 10,
+                trace_id: Some("pc-test".to_string()),
             },
         };
         let line = resp.to_json_line();
@@ -553,6 +561,7 @@ mod tests {
             meta.get("key").and_then(Json::as_str),
             Some("00000000deadbeef")
         );
+        assert_eq!(meta.get("trace_id").and_then(Json::as_str), Some("pc-test"));
     }
 
     #[test]
@@ -570,6 +579,7 @@ mod tests {
                 cache: CacheStatus::Miss,
                 canonical_key: None,
                 vertices: 9,
+                trace_id: None,
             },
         };
         let value = Json::parse(&resp.to_json_line()).unwrap();
@@ -600,6 +610,7 @@ mod tests {
                 cache: CacheStatus::Bypass,
                 canonical_key: None,
                 vertices: 0,
+                trace_id: None,
             },
         };
         let value = Json::parse(&resp.to_json_line()).unwrap();

@@ -19,12 +19,15 @@
 //!
 //! Client → server frames are objects tagged by a `"type"` field —
 //! [`Request::Hello`], [`Request::Solve`], [`Request::Batch`],
-//! [`Request::Stats`], [`Request::Snapshot`], [`Request::Shutdown`] — and
-//! every one is answered by exactly one reply frame (`hello`, `response`,
-//! `batch`, `stats`, `snapshot_ok`, `shutdown_ok` or `error`). Query and response payloads reuse the
+//! [`Request::Stats`], [`Request::Metrics`], [`Request::Snapshot`],
+//! [`Request::Shutdown`] — and every one is answered by exactly one reply
+//! frame (`hello`, `response`, `batch`, `stats`, `metrics`, `snapshot_ok`,
+//! `shutdown_ok` or `error`). Query and response payloads reuse the
 //! JSON-lines shapes of [`QueryRequest::from_json`] and
 //! [`QueryResponse::to_json`], so a daemon session speaks the same dialect
-//! as `pathcover-cli batch` files.
+//! as `pathcover-cli batch` files. Requests may carry a `trace_id` field;
+//! the server echoes it (or a synthesized ID) as a top-level `trace_id` on
+//! every reply — see [`crate::telemetry`].
 //!
 //! ## Error taxonomy
 //!
@@ -39,7 +42,8 @@ use crate::cache::ShardStats;
 use crate::engine::QueryEngine;
 use crate::json::{Json, JsonError};
 use crate::model::{GraphSpec, QueryRequest, QueryResponse};
-use crate::snapshot::{SaveReport, SnapshotError};
+use crate::snapshot::{SaveReport, SnapshotError, SNAPSHOT_VERSION};
+use crate::telemetry::{RequestCtx, Stage};
 use std::fmt;
 use std::io::{self, BufRead, Write};
 
@@ -244,6 +248,8 @@ pub enum Request {
     },
     /// Snapshot the engine's cache counters.
     Stats,
+    /// Fetch the full metrics report (see [`crate::telemetry`]).
+    Metrics,
     /// Persist the warm cache to the configured snapshot file right now
     /// (see [`crate::snapshot`]).
     Snapshot,
@@ -275,6 +281,7 @@ impl Request {
                 Ok(Request::Batch { shared, requests })
             }
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "snapshot" => Ok(Request::Snapshot),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(ProtoError::BadMessage(format!(
@@ -310,6 +317,7 @@ impl Request {
                 Json::obj(fields)
             }
             Request::Stats => Json::obj(vec![("type", Json::str("stats"))]),
+            Request::Metrics => Json::obj(vec![("type", Json::str("metrics"))]),
             Request::Snapshot => Json::obj(vec![("type", Json::str("snapshot"))]),
             Request::Shutdown => Json::obj(vec![("type", Json::str("shutdown"))]),
         }
@@ -353,10 +361,20 @@ pub enum Action {
 }
 
 /// Serves one decoded request against an engine, producing the reply frame
-/// payload and the follow-up action. This is the whole server semantics;
-/// [`crate::daemon`] only adds the transport around it.
+/// payload and the follow-up action, under a synthesized [`RequestCtx`].
+/// This is the whole server semantics; [`crate::daemon`] only adds the
+/// transport around it. Transports that carry a client trace ID use
+/// [`dispatch_ctx`] instead.
 pub fn dispatch(engine: &QueryEngine, request: &Request) -> (Json, Action) {
-    match request {
+    dispatch_ctx(engine, request, &RequestCtx::generate())
+}
+
+/// [`dispatch`] under a caller-supplied [`RequestCtx`]: the context's trace
+/// ID is threaded through the engine (so response metadata and slow-log
+/// lines carry it) and echoed as a top-level `trace_id` field of every
+/// reply, `error` replies included.
+pub fn dispatch_ctx(engine: &QueryEngine, request: &Request, ctx: &RequestCtx) -> (Json, Action) {
+    let (reply, action) = match request {
         Request::Hello { proto } => {
             if *proto == PROTO_VERSION {
                 (hello_reply(), Action::Continue)
@@ -371,17 +389,39 @@ pub fn dispatch(engine: &QueryEngine, request: &Request) -> (Json, Action) {
             }
         }
         Request::Solve(query) => {
-            let response = engine.execute(query);
+            let response = engine.execute_ctx(query, ctx);
             (response_reply(&response), Action::Continue)
         }
         Request::Batch { shared, requests } => {
-            let responses = engine.execute_batch(shared.as_ref(), requests);
+            let responses = engine.execute_batch_ctx(shared.as_ref(), requests, ctx);
             (batch_reply(&responses), Action::Continue)
         }
         Request::Stats => (stats_reply(engine), Action::Continue),
+        Request::Metrics => (metrics_reply(engine), Action::Continue),
         Request::Snapshot => (snapshot_now_reply(engine), Action::Continue),
         Request::Shutdown => (shutdown_reply(), Action::Shutdown),
+    };
+    (attach_trace(reply, ctx), action)
+}
+
+/// Appends the context's trace ID as a top-level `trace_id` reply field.
+pub fn attach_trace(reply: Json, ctx: &RequestCtx) -> Json {
+    match reply {
+        Json::Obj(mut fields) => {
+            if !fields.iter().any(|(key, _)| key == "trace_id") {
+                fields.push(("trace_id".to_string(), Json::str(ctx.trace_id.clone())));
+            }
+            Json::Obj(fields)
+        }
+        other => other,
     }
+}
+
+/// The client-supplied `trace_id` field of a raw request frame, if any —
+/// read by the transport *before* [`Request::from_json`] so even a frame
+/// that fails to decode gets its error reply correlated.
+pub fn request_trace(value: &Json) -> Option<&str> {
+    value.get("trace_id").and_then(Json::as_str)
 }
 
 /// Serves a `snapshot` (save-now) request: persists the cache and reports
@@ -447,16 +487,36 @@ fn shard_stats_json(shard: &ShardStats) -> Json {
         ("misses", Json::num(shard.misses)),
         ("evictions", Json::num(shard.evictions)),
         ("entries", Json::num(shard.entries as u64)),
+        ("hit_rate", Json::Num(shard.hit_rate())),
+    ])
+}
+
+/// Build/version identification of this daemon, carried in the stats
+/// payload so fleet operators can tell heterogeneous daemons apart: the
+/// crate version, the framed protocol dialect (`pcp<N>`) and the snapshot
+/// file format (`pcsnap<N>`).
+pub fn version_payload() -> Json {
+    Json::obj(vec![
+        ("crate", Json::str(env!("CARGO_PKG_VERSION"))),
+        ("server", Json::str(SERVER_NAME)),
+        ("proto", Json::str(format!("pcp{PROTO_VERSION}"))),
+        (
+            "snapshot_format",
+            Json::str(format!("pcsnap{SNAPSHOT_VERSION}")),
+        ),
     ])
 }
 
 /// The bare stats object carried inside a `stats` reply: the aggregated and
-/// per-shard cache counters, the daemon's uptime, and — when persistence is
-/// attached — the snapshot metadata (`path`, `loaded_entries`,
-/// `last_checkpoint_unix`); `"snapshot"` is `null` otherwise.
+/// per-shard cache counters, the daemon's uptime, build/version info,
+/// per-stage latency summaries (count/mean/p50/p90/p99, see
+/// [`crate::telemetry`]), and — when persistence is attached — the snapshot
+/// metadata (`path`, `loaded_entries`, `last_checkpoint_unix`);
+/// `"snapshot"` is `null` otherwise.
 pub fn stats_payload(engine: &QueryEngine) -> Json {
     let stats = engine.cache_stats();
     let shards = engine.cache_shard_stats();
+    let report = engine.metrics_report();
     let snapshot = match engine.snapshot_meta() {
         Some(meta) => Json::obj(vec![
             ("path", Json::str(meta.path.display().to_string())),
@@ -468,6 +528,13 @@ pub fn stats_payload(engine: &QueryEngine) -> Json {
         ]),
         None => Json::Null,
     };
+    let stages = Json::Obj(
+        Stage::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, stage)| (stage.as_str().to_string(), report.stages[i].summary_json()))
+            .collect(),
+    );
     Json::obj(vec![
         ("hits", Json::num(stats.hits)),
         ("misses", Json::num(stats.misses)),
@@ -480,6 +547,9 @@ pub fn stats_payload(engine: &QueryEngine) -> Json {
             Json::Arr(shards.iter().map(shard_stats_json).collect()),
         ),
         ("uptime_secs", Json::num(engine.uptime_secs())),
+        ("requests_total", Json::num(report.total_requests())),
+        ("stages", stages),
+        ("version", version_payload()),
         ("snapshot", snapshot),
     ])
 }
@@ -490,6 +560,16 @@ pub fn stats_reply(engine: &QueryEngine) -> Json {
         ("type", Json::str("stats")),
         ("stats", stats_payload(engine)),
     ])
+}
+
+/// Wraps the engine's full metrics report in a `metrics` reply (the
+/// [`crate::telemetry::MetricsReport::to_json`] shape plus version info).
+pub fn metrics_reply(engine: &QueryEngine) -> Json {
+    let mut metrics = engine.metrics_report().to_json();
+    if let Json::Obj(fields) = &mut metrics {
+        fields.push(("version".to_string(), version_payload()));
+    }
+    Json::obj(vec![("type", Json::str("metrics")), ("metrics", metrics)])
 }
 
 /// The `shutdown_ok` reply.
@@ -600,6 +680,16 @@ impl<S: io::Read + io::Write> Client<S> {
             .get("stats")
             .cloned()
             .ok_or_else(|| ProtoError::BadMessage("stats reply missing payload".to_string()))
+    }
+
+    /// Fetches the daemon's full metrics report object (the
+    /// [`crate::telemetry::MetricsReport::to_json`] shape).
+    pub fn metrics(&mut self) -> Result<Json, ProtoError> {
+        let reply = self.round_trip(&Request::Metrics.to_json(), "metrics")?;
+        reply
+            .get("metrics")
+            .cloned()
+            .ok_or_else(|| ProtoError::BadMessage("metrics reply missing payload".to_string()))
     }
 
     /// Asks the daemon to persist its warm cache right now; returns the
@@ -740,6 +830,7 @@ mod tests {
 
         for simple in [
             Request::Stats,
+            Request::Metrics,
             Request::Snapshot,
             Request::Shutdown,
             Request::Hello { proto: 1 },
@@ -824,6 +915,24 @@ mod tests {
             "no snapshot attached: metadata must be null, not absent"
         );
 
+        let (reply, action) = dispatch(&engine, &Request::Metrics);
+        assert_eq!(reply.get("type").and_then(Json::as_str), Some("metrics"));
+        assert_eq!(action, Action::Continue);
+        let metrics = reply.get("metrics").expect("metrics payload");
+        // The solve + batch above were booked: 3 requests, all ok.
+        assert_eq!(
+            metrics.get("requests_total").and_then(Json::as_u64),
+            Some(3)
+        );
+        assert!(metrics.get("stages").is_some());
+        assert_eq!(
+            metrics
+                .get("version")
+                .and_then(|v| v.get("proto"))
+                .and_then(Json::as_str),
+            Some("pcp1")
+        );
+
         // Save-now without persistence configured: a typed, recoverable
         // error reply, not a dead connection.
         let (reply, action) = dispatch(&engine, &Request::Snapshot);
@@ -840,5 +949,60 @@ mod tests {
             Some("shutdown_ok")
         );
         assert_eq!(action, Action::Shutdown);
+    }
+
+    #[test]
+    fn every_reply_echoes_the_trace_id() {
+        let engine = QueryEngine::default();
+        let ctx = RequestCtx::with_trace("trace-42");
+        let query = QueryRequest::new(
+            QueryKind::MinCoverSize,
+            GraphSpec::CotreeTerm("(j a b)".to_string()),
+        );
+        for request in [
+            Request::Hello {
+                proto: PROTO_VERSION,
+            },
+            Request::Hello { proto: 99 }, // error reply
+            Request::Solve(query.clone()),
+            Request::Batch {
+                shared: None,
+                requests: vec![query],
+            },
+            Request::Stats,
+            Request::Metrics,
+            Request::Snapshot, // snapshot_unconfigured error reply
+        ] {
+            let (reply, _) = dispatch_ctx(&engine, &request, &ctx);
+            assert_eq!(
+                reply.get("trace_id").and_then(Json::as_str),
+                Some("trace-42"),
+                "reply missing trace: {reply}"
+            );
+        }
+        // The engine threads the same trace into response metadata.
+        let (reply, _) = dispatch_ctx(
+            &engine,
+            &Request::Solve(QueryRequest::new(
+                QueryKind::Recognize,
+                GraphSpec::CotreeTerm("(u a b)".to_string()),
+            )),
+            &ctx,
+        );
+        assert_eq!(
+            reply
+                .get("response")
+                .and_then(|r| r.get("meta"))
+                .and_then(|m| m.get("trace_id"))
+                .and_then(Json::as_str),
+            Some("trace-42")
+        );
+        // And a client-supplied frame field is where transports read it from.
+        let frame = Json::parse(r#"{"type":"stats","trace_id":"abc"}"#).unwrap();
+        assert_eq!(request_trace(&frame), Some("abc"));
+        assert_eq!(
+            request_trace(&Json::parse(r#"{"type":"stats"}"#).unwrap()),
+            None
+        );
     }
 }

@@ -148,6 +148,9 @@ pub struct SaveReport {
     pub links: usize,
     /// File size in bytes.
     pub bytes: u64,
+    /// Wall time of the whole save (serialise + write + fsync + rename)
+    /// in microseconds, feeding the checkpoint-duration histogram.
+    pub elapsed_micros: u64,
 }
 
 /// What [`load`] imported.
@@ -227,6 +230,7 @@ struct ParsedSnapshot {
 
 /// Serialises the cache and writes it to `path` atomically (tmp + rename).
 pub fn save(cache: &CotreeCache, path: &Path) -> Result<SaveReport, SnapshotError> {
+    let save_started = std::time::Instant::now();
     let exported = cache.export();
     let mut records: Vec<String> = Vec::with_capacity(exported.len());
     let mut links = 0usize;
@@ -302,6 +306,7 @@ pub fn save(cache: &CotreeCache, path: &Path) -> Result<SaveReport, SnapshotErro
         entries,
         links,
         bytes,
+        elapsed_micros: save_started.elapsed().as_micros() as u64,
     })
 }
 

@@ -82,6 +82,7 @@ fn strip_volatile(response: &Json) -> Json {
                         "meta" => strip_volatile(value),
                         "solve_us" | "total_us" => Json::num(0),
                         "cache" => Json::str("x"),
+                        "trace_id" => Json::str("x"),
                         _ => value.clone(),
                     };
                     (key.clone(), value)

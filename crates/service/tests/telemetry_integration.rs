@@ -1,0 +1,144 @@
+//! End-to-end telemetry: one daemon serving both transports, verifying
+//! that trace IDs round-trip (client-supplied over HTTP `X-Request-Id`,
+//! synthesized over the framed protocol), that the `metrics` frame and
+//! `GET /v1/metrics` expose the same registry, and that the Prometheus
+//! text flavour is line-parseable with the request counters booked.
+
+#![cfg(unix)]
+
+use pcservice::{Daemon, DaemonConfig, GraphSpec, Json, QueryKind, QueryRequest};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn temp_socket() -> PathBuf {
+    std::env::temp_dir().join(format!("pcservice-telemetry-{}.sock", std::process::id()))
+}
+
+/// One raw HTTP/1.1 round trip: returns (status line, headers, body).
+fn raw_http(addr: &str, request: &str) -> (String, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("tcp connect");
+    stream.write_all(request.as_bytes()).expect("send");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    // `Connection: close` requests let EOF delimit the response.
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).expect("read reply");
+    let reply = String::from_utf8(reply).expect("utf-8 reply");
+    let (head, body) = reply.split_once("\r\n\r\n").expect("header terminator");
+    let (status, headers) = head.split_once("\r\n").unwrap_or((head, ""));
+    (status.to_string(), headers.to_string(), body.to_string())
+}
+
+#[test]
+fn telemetry_round_trips_across_both_transports() {
+    let path = temp_socket();
+    let mut config = DaemonConfig::new(&path);
+    config.http_addr = Some("127.0.0.1:0".to_string());
+    config.idle_timeout = Duration::from_secs(5);
+    config.engine.threads = 1;
+    let daemon = Daemon::bind(config).expect("bind");
+    let http_addr = daemon.http_addr().expect("http bound").to_string();
+    let handle = std::thread::spawn(move || daemon.run());
+
+    // Framed transport: a solve gets a synthesized trace in its metadata.
+    let mut unix_client = pcservice::daemon::connect(&path).expect("unix connect");
+    let request = QueryRequest::new(
+        QueryKind::MinCoverSize,
+        GraphSpec::CotreeTerm("(j a b c)".to_string()),
+    );
+    let response = unix_client.solve(&request).expect("framed solve");
+    let framed_trace = response
+        .get("meta")
+        .and_then(|m| m.get("trace_id"))
+        .and_then(Json::as_str)
+        .map(str::to_string);
+    assert!(
+        framed_trace.is_some_and(|t| t.starts_with("pc-")),
+        "framed responses carry a synthesized trace: {response}"
+    );
+
+    // HTTP transport: the X-Request-Id header is echoed top-level and in
+    // the response metadata.
+    let body = r#"{"kind":"min_cover_size","cotree":"(j a b c)"}"#;
+    let (status, _, reply) = raw_http(
+        &http_addr,
+        &format!(
+            "POST /v1/solve HTTP/1.1\r\nHost: t\r\nX-Request-Id: itest-1\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    );
+    assert!(status.contains("200"), "{status}");
+    let reply = Json::parse(reply.trim_end()).expect("json reply");
+    assert_eq!(
+        reply.get("trace_id").and_then(Json::as_str),
+        Some("itest-1"),
+        "top-level echo: {reply}"
+    );
+    assert_eq!(
+        reply
+            .get("response")
+            .and_then(|r| r.get("meta"))
+            .and_then(|m| m.get("trace_id"))
+            .and_then(Json::as_str),
+        Some("itest-1"),
+        "metadata echo: {reply}"
+    );
+
+    // The framed `metrics` verb sees both requests, the stage histograms
+    // and the connection gauges.
+    let metrics = unix_client.metrics().expect("metrics frame");
+    assert_eq!(
+        metrics.get("requests_total").and_then(Json::as_u64),
+        Some(2),
+        "one solve per transport: {metrics}"
+    );
+    let solve_count = metrics
+        .get("stages")
+        .and_then(|s| s.get("solve"))
+        .and_then(|s| s.get("count"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    assert!(solve_count >= 1, "solve stage sampled: {metrics}");
+    let framed_accepted = metrics
+        .get("connections")
+        .and_then(|c| c.get("framed"))
+        .and_then(|f| f.get("accepted"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    assert!(framed_accepted >= 1, "framed connection booked: {metrics}");
+
+    // Prometheus flavour: correct content type, every line parseable,
+    // request counter sums to the same total.
+    let (status, headers, exposition) = raw_http(
+        &http_addr,
+        "GET /v1/metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+    );
+    assert!(status.contains("200"), "{status}");
+    assert!(
+        headers.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8"),
+        "{headers}"
+    );
+    let mut requests_total = 0u64;
+    for line in exposition.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // Exposition grammar: `name{labels} value` or `name value`.
+        let (name_part, value) = line.rsplit_once(' ').expect("metric line has a value");
+        assert!(!name_part.is_empty(), "unnamed metric: {line}");
+        let value: f64 = value.parse().unwrap_or_else(|_| {
+            panic!("metric value must be numeric: {line}");
+        });
+        if name_part.starts_with("pc_requests_total{") {
+            requests_total += value as u64;
+        }
+    }
+    assert_eq!(requests_total, 2, "scrape agrees with the metrics frame");
+
+    unix_client.shutdown().expect("shutdown");
+    handle.join().expect("daemon thread").expect("clean exit");
+}

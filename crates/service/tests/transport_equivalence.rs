@@ -45,14 +45,14 @@ fn workload() -> Vec<QueryRequest> {
     requests
 }
 
-/// Strips the timing fields (`solve_us`, `total_us`) every response
-/// carries; everything else must match exactly.
+/// Strips the timing fields (`solve_us`, `total_us`) and the per-request
+/// `trace_id` every response carries; everything else must match exactly.
 fn strip_timing(value: &Json) -> Json {
     match value {
         Json::Obj(fields) => Json::Obj(
             fields
                 .iter()
-                .filter(|(k, _)| k != "solve_us" && k != "total_us")
+                .filter(|(k, _)| k != "solve_us" && k != "total_us" && k != "trace_id")
                 .map(|(k, v)| (k.clone(), strip_timing(v)))
                 .collect(),
         ),
