@@ -1,0 +1,177 @@
+//! `parallel_speedup` — wall-clock speedup-vs-cores curves for the pool
+//! backend, plus the PRAM-simulator reference points.
+//!
+//! Every kernel (scan, list ranking, Euler tour) and the end-to-end solve run
+//! on the pool backend at t ∈ {1, 2, 4, 8} worker threads for n = 2^16 and
+//! n = 2^20; the simulator reference runs the same workload at n = 2^16 so
+//! the pool-vs-sim wall-clock ratio can be read straight out of
+//! `BENCH_parallel.json` (`CRITERION_JSON=BENCH_parallel.json cargo bench
+//! -p pc-bench --bench parallel_speedup`). On a single-core host the curves
+//! are flat — the JSON carries a caveat note for that case.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parpool::Pool;
+use parprims::exec::Exec;
+use parprims::scan::{prefix_sums_exec, ScanOp};
+use parprims::tree::{RootedTree, NONE};
+use parprims::{euler_tour_numbers_exec, list_rank_exec};
+use pathcover::{pool_path_cover, pram_path_cover, PramConfig};
+use pc_bench::workloads::{CotreeFamily, Workload, DEFAULT_SEED};
+use pram::{Mode, Pram};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const POOL_THREADS: [usize; 4] = [1, 2, 4, 8];
+const POOL_SIZES: [usize; 2] = [1 << 16, 1 << 20];
+const SIM_SIZE: usize = 1 << 16;
+
+fn scan_input(n: usize) -> Vec<i64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(DEFAULT_SEED);
+    (0..n).map(|_| rng.gen_range(-100..100)).collect()
+}
+
+/// Single list over a random permutation: `succ[order[i]] = order[i + 1]`.
+fn list_input(n: usize) -> Vec<i64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(DEFAULT_SEED + 1);
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        order.swap(i, rng.gen_range(0..i + 1));
+    }
+    let mut succ = vec![-1i64; n];
+    for w in order.windows(2) {
+        succ[w[0]] = w[1] as i64;
+    }
+    succ
+}
+
+/// Random tree on `n` nodes given by parent pointers (node 0 is the root).
+fn tree_input(n: usize) -> RootedTree {
+    let mut rng = ChaCha8Rng::seed_from_u64(DEFAULT_SEED + 2);
+    let mut parent = vec![NONE; n];
+    for (v, slot) in parent.iter_mut().enumerate().skip(1) {
+        *slot = rng.gen_range(0..v);
+    }
+    RootedTree::from_parents(parent)
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_speedup/scan");
+    group.sample_size(10);
+    for n in POOL_SIZES {
+        let input = scan_input(n);
+        for t in POOL_THREADS {
+            let mut pool = Pool::new(t);
+            group.bench_with_input(
+                BenchmarkId::new(format!("pool/n={n}/threads"), t),
+                &input,
+                |b, input| {
+                    b.iter(|| {
+                        let mut exec = Exec::pool(&mut pool);
+                        let xs = exec.alloc_from(input);
+                        let out = prefix_sums_exec(&mut exec, xs, ScanOp::Sum, 0);
+                        exec.peek(out, input.len() - 1)
+                    })
+                },
+            );
+        }
+    }
+    let input = scan_input(SIM_SIZE);
+    group.bench_with_input(BenchmarkId::new("sim/n", SIM_SIZE), &input, |b, input| {
+        b.iter(|| {
+            let mut pram = Pram::new(Mode::Erew, pram::optimal_processors(input.len()));
+            let mut exec = Exec::sim(&mut pram);
+            let xs = exec.alloc_from(input);
+            let out = prefix_sums_exec(&mut exec, xs, ScanOp::Sum, 0);
+            exec.peek(out, input.len() - 1)
+        })
+    });
+    group.finish();
+}
+
+fn bench_ranking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_speedup/ranking");
+    group.sample_size(10);
+    for n in POOL_SIZES {
+        let succ = list_input(n);
+        for t in POOL_THREADS {
+            let mut pool = Pool::new(t);
+            group.bench_with_input(
+                BenchmarkId::new(format!("pool/n={n}/threads"), t),
+                &succ,
+                |b, succ| {
+                    b.iter(|| {
+                        let mut exec = Exec::pool(&mut pool);
+                        let xs = exec.alloc_from(succ);
+                        let rank = list_rank_exec(&mut exec, xs, 0);
+                        exec.peek(rank, 0)
+                    })
+                },
+            );
+        }
+    }
+    let succ = list_input(SIM_SIZE);
+    group.bench_with_input(BenchmarkId::new("sim/n", SIM_SIZE), &succ, |b, succ| {
+        b.iter(|| {
+            let mut pram = Pram::new(Mode::Erew, pram::optimal_processors(succ.len()));
+            let mut exec = Exec::sim(&mut pram);
+            let xs = exec.alloc_from(succ);
+            let rank = list_rank_exec(&mut exec, xs, 0);
+            exec.peek(rank, 0)
+        })
+    });
+    group.finish();
+}
+
+fn bench_euler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_speedup/euler");
+    group.sample_size(10);
+    for n in POOL_SIZES {
+        let tree = tree_input(n);
+        for t in POOL_THREADS {
+            let mut pool = Pool::new(t);
+            group.bench_with_input(
+                BenchmarkId::new(format!("pool/n={n}/threads"), t),
+                &tree,
+                |b, tree| {
+                    b.iter(|| {
+                        let mut exec = Exec::pool(&mut pool);
+                        euler_tour_numbers_exec(&mut exec, tree, None).preorder[0]
+                    })
+                },
+            );
+        }
+    }
+    let tree = tree_input(SIM_SIZE);
+    group.bench_with_input(BenchmarkId::new("sim/n", SIM_SIZE), &tree, |b, tree| {
+        b.iter(|| {
+            let mut pram = Pram::new(Mode::Erew, pram::optimal_processors(tree.len()));
+            let mut exec = Exec::sim(&mut pram);
+            euler_tour_numbers_exec(&mut exec, tree, None).preorder[0]
+        })
+    });
+    group.finish();
+}
+
+fn bench_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_speedup/solve");
+    group.sample_size(5);
+    for n in POOL_SIZES {
+        let cotree = Workload::new(CotreeFamily::Balanced, n, DEFAULT_SEED).cotree();
+        for t in POOL_THREADS {
+            let mut pool = Pool::new(t);
+            group.bench_with_input(
+                BenchmarkId::new(format!("pool/n={n}/threads"), t),
+                &cotree,
+                |b, cotree| b.iter(|| pool_path_cover(cotree, &mut pool).len()),
+            );
+        }
+    }
+    let cotree = Workload::new(CotreeFamily::Balanced, SIM_SIZE, DEFAULT_SEED).cotree();
+    group.bench_with_input(BenchmarkId::new("sim/n", SIM_SIZE), &cotree, |b, cotree| {
+        b.iter(|| pram_path_cover(cotree, PramConfig::default()).cover.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan, bench_ranking, bench_euler, bench_solve);
+criterion_main!(benches);

@@ -54,8 +54,20 @@ fn e1_lower_bound(sizes: &[usize]) {
             n.to_string(),
             outcome.cover.len().to_string(),
             or.to_string(),
-            outcome.metrics.steps.to_string(),
-            format!("{:.1}", outcome.metrics.steps_per_log(n)),
+            outcome
+                .metrics
+                .as_ref()
+                .expect("sim metrics")
+                .steps
+                .to_string(),
+            format!(
+                "{:.1}",
+                outcome
+                    .metrics
+                    .as_ref()
+                    .expect("sim metrics")
+                    .steps_per_log(n)
+            ),
         ]);
     }
     print_table("E1 - lower-bound reduction (Theorem 2.2)", &t);
@@ -144,19 +156,51 @@ fn e4_full_pipeline(sizes: &[usize]) {
             let outcome = pram_path_cover(&cotree, PramConfig::default());
             let reads = outcome
                 .metrics
+                .as_ref()
+                .expect("sim metrics")
                 .violations
                 .iter()
                 .filter(|v| v.kind == pram::ViolationKind::ConcurrentRead)
                 .count();
-            let writes = outcome.metrics.violations.len() - reads;
+            let writes = outcome
+                .metrics
+                .as_ref()
+                .expect("sim metrics")
+                .violations
+                .len()
+                - reads;
             t.add_row(vec![
                 family.name().to_string(),
                 n.to_string(),
                 outcome.cover.len().to_string(),
-                outcome.metrics.steps.to_string(),
-                format!("{:.1}", outcome.metrics.steps_per_log(n)),
-                outcome.metrics.work.to_string(),
-                format!("{:.1}", outcome.metrics.work_per_item(n)),
+                outcome
+                    .metrics
+                    .as_ref()
+                    .expect("sim metrics")
+                    .steps
+                    .to_string(),
+                format!(
+                    "{:.1}",
+                    outcome
+                        .metrics
+                        .as_ref()
+                        .expect("sim metrics")
+                        .steps_per_log(n)
+                ),
+                outcome
+                    .metrics
+                    .as_ref()
+                    .expect("sim metrics")
+                    .work
+                    .to_string(),
+                format!(
+                    "{:.1}",
+                    outcome
+                        .metrics
+                        .as_ref()
+                        .expect("sim metrics")
+                        .work_per_item(n)
+                ),
                 reads.to_string(),
                 writes.to_string(),
             ]);
@@ -181,30 +225,30 @@ fn e5_baselines(sizes: &[usize], quick: bool) {
             let ours = pram_path_cover(&cotree, PramConfig::default());
             let mut rows = vec![(
                 "this paper (optimal)",
-                ours.metrics.steps,
-                ours.metrics.work,
+                ours.metrics.as_ref().expect("sim metrics").steps,
+                ours.metrics.as_ref().expect("sim metrics").work,
                 ours.processors,
             )];
             let naive = naive_parallel_cover(&cotree);
             rows.push((
                 "naive bottom-up",
-                naive.metrics.steps,
-                naive.metrics.work,
+                naive.metrics.as_ref().expect("sim metrics").steps,
+                naive.metrics.as_ref().expect("sim metrics").work,
                 naive.processors,
             ));
             let lin = lin_etal_cover(&cotree);
             rows.push((
                 "Lin et al. [18]",
-                lin.metrics.steps,
-                lin.metrics.work,
+                lin.metrics.as_ref().expect("sim metrics").steps,
+                lin.metrics.as_ref().expect("sim metrics").work,
                 lin.processors,
             ));
             if n <= if quick { 1 << 10 } else { 1 << 12 } {
                 let ap = adhar_peng_like_cover(&cotree);
                 rows.push((
                     "Adhar-Peng-like [2]",
-                    ap.metrics.steps,
-                    ap.metrics.work,
+                    ap.metrics.as_ref().expect("sim metrics").steps,
+                    ap.metrics.as_ref().expect("sim metrics").work,
                     ap.processors,
                 ));
             }
@@ -250,14 +294,21 @@ fn e6_processor_sweep(n: usize) {
         );
         t.add_row(vec![
             p.to_string(),
-            outcome.metrics.steps.to_string(),
+            outcome
+                .metrics
+                .as_ref()
+                .expect("sim metrics")
+                .steps
+                .to_string(),
             format!(
                 "{:.2}",
-                base.metrics.steps as f64 / outcome.metrics.steps as f64
+                base.metrics.as_ref().expect("sim metrics").steps as f64
+                    / outcome.metrics.as_ref().expect("sim metrics").steps as f64
             ),
             format!(
                 "{:.2}",
-                (p as u64 * outcome.metrics.steps) as f64 / outcome.metrics.work as f64
+                (p as u64 * outcome.metrics.as_ref().expect("sim metrics").steps) as f64
+                    / outcome.metrics.as_ref().expect("sim metrics").work as f64
             ),
         ]);
         p *= 4;
@@ -285,8 +336,20 @@ fn e7_hamiltonian(sizes: &[usize]) {
             n.to_string(),
             (outcome.cover.len() == 1).to_string(),
             has_hamiltonian_cycle(&cotree).to_string(),
-            outcome.metrics.steps.to_string(),
-            format!("{:.1}", outcome.metrics.steps_per_log(n)),
+            outcome
+                .metrics
+                .as_ref()
+                .expect("sim metrics")
+                .steps
+                .to_string(),
+            format!(
+                "{:.1}",
+                outcome
+                    .metrics
+                    .as_ref()
+                    .expect("sim metrics")
+                    .steps_per_log(n)
+            ),
         ]);
     }
     print_table("E7 - Hamiltonian path / cycle decisions", &t);

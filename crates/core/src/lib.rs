@@ -48,7 +48,7 @@
 //! // PRAM-metered execution: O(log n) steps, O(n) work, EREW discipline.
 //! let outcome = pram_path_cover(&cotree, PramConfig::default());
 //! assert_eq!(outcome.cover.len(), cover.len());
-//! assert!(outcome.metrics.steps > 0);
+//! assert!(outcome.metrics.expect("simulator backend reports metrics").steps > 0);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -62,7 +62,10 @@ pub mod sequential;
 
 pub use hamiltonian::{hamiltonian_path, has_hamiltonian_cycle, has_hamiltonian_path};
 pub use lower_bound::{or_instance_cotree, or_via_path_cover};
-pub use pipeline::{min_path_cover_size, path_cover, pram_path_cover, PramConfig, PramOutcome};
+pub use pipeline::{
+    min_path_cover_size, path_cover, pool_path_cover, pram_path_cover, Backend, PramConfig,
+    PramOutcome,
+};
 pub use sequential::sequential_path_cover;
 
 /// Convenience re-exports for downstream users and the examples.
@@ -71,7 +74,8 @@ pub mod prelude {
     pub use crate::hamiltonian::{hamiltonian_path, has_hamiltonian_cycle, has_hamiltonian_path};
     pub use crate::lower_bound::{or_instance_cotree, or_via_path_cover};
     pub use crate::pipeline::{
-        min_path_cover_size, path_cover, pram_path_cover, PramConfig, PramOutcome,
+        min_path_cover_size, path_cover, pool_path_cover, pram_path_cover, Backend, PramConfig,
+        PramOutcome,
     };
     pub use crate::sequential::sequential_path_cover;
     pub use cograph::{BinaryCotree, Cotree, CotreeKind};

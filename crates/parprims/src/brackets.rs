@@ -17,6 +17,7 @@
 //!   experiment driver reports the phase separately so the deviation is
 //!   visible in the measurements (see `DESIGN.md`).
 
+use crate::exec::{Exec, Handle};
 use crate::ranking::NONE_WORD;
 use pram::{ArrayHandle, Pram};
 
@@ -67,18 +68,18 @@ pub fn match_brackets_seq(kinds: &[BracketKind]) -> Vec<Option<usize>> {
     partner
 }
 
-/// Tournament-tree bracket matching on the PRAM.
+/// Tournament-tree bracket matching on any [`Exec`] backend.
 ///
 /// `kinds` holds one word per position (0 = open, 1 = close). Returns a
 /// handle of the same length whose entries are the partner index or
 /// [`NONE_WORD`] for unmatched brackets.
-pub fn match_brackets_pram(pram: &mut Pram, kinds: ArrayHandle) -> ArrayHandle {
+pub fn match_brackets_exec(exec: &mut Exec<'_>, kinds: Handle) -> Handle {
     let n = kinds.len();
-    let partner = pram.alloc(n);
+    let partner = exec.alloc(n);
     if n == 0 {
         return partner;
     }
-    pram.parallel_for(n, |ctx, i| {
+    exec.parallel_for(n, move |ctx, i| {
         ctx.write(partner, i, NONE_WORD);
     });
 
@@ -86,12 +87,12 @@ pub fn match_brackets_pram(pram: &mut Pram, kinds: ArrayHandle) -> ArrayHandle {
     let size = n.next_power_of_two();
     // Node layout: 1-based heap order, nodes 1..2*size. uo = unmatched opens,
     // uc = unmatched closes, k = pairs matched at this node.
-    let uo = pram.alloc(2 * size);
-    let uc = pram.alloc(2 * size);
-    let kk = pram.alloc(2 * size);
+    let uo = exec.alloc(2 * size);
+    let uc = exec.alloc(2 * size);
+    let kk = exec.alloc(2 * size);
 
     // Leaves.
-    pram.parallel_for(size, |ctx, i| {
+    exec.parallel_for(size, move |ctx, i| {
         let node = size + i;
         if i < n {
             let kind = ctx.read(kinds, i);
@@ -107,7 +108,7 @@ pub fn match_brackets_pram(pram: &mut Pram, kinds: ArrayHandle) -> ArrayHandle {
     let mut level_size = size / 2;
     let mut level_start = size / 2;
     while level_size >= 1 {
-        pram.parallel_for(level_size, |ctx, i| {
+        exec.parallel_for(level_size, move |ctx, i| {
             let node = level_start + i;
             let l = 2 * node;
             let r = 2 * node + 1;
@@ -128,7 +129,7 @@ pub fn match_brackets_pram(pram: &mut Pram, kinds: ArrayHandle) -> ArrayHandle {
     // it is matched, then walks down the opposite subtree to locate its
     // opening partner. Concurrent reads of the tree counters (CREW); charged
     // honestly by the simulator.
-    pram.parallel_for(n, |ctx, i| {
+    exec.parallel_for(n, move |ctx, i| {
         if ctx.read(kinds, i) != 1 {
             return;
         }
@@ -179,13 +180,22 @@ pub fn match_brackets_pram(pram: &mut Pram, kinds: ArrayHandle) -> ArrayHandle {
     partner
 }
 
-/// Convenience wrapper running the PRAM matcher on a host slice and
-/// returning host results; used by the higher-level pipeline and by tests.
-pub fn match_brackets_on(pram: &mut Pram, kinds: &[BracketKind]) -> Vec<Option<usize>> {
+/// Tournament-tree bracket matching on the PRAM simulator (wrapper over
+/// [`match_brackets_exec`]).
+pub fn match_brackets_pram(pram: &mut Pram, kinds: ArrayHandle) -> ArrayHandle {
+    let mut exec = Exec::sim(pram);
+    let kinds = exec.adopt(kinds);
+    let partner = match_brackets_exec(&mut exec, kinds);
+    exec.sim_handle(partner)
+}
+
+/// Convenience wrapper running the matcher on a host slice and returning
+/// host results; used by the higher-level pipeline and by tests.
+pub fn match_brackets_on_exec(exec: &mut Exec<'_>, kinds: &[BracketKind]) -> Vec<Option<usize>> {
     let words: Vec<i64> = kinds.iter().map(|k| k.to_word()).collect();
-    let h = pram.alloc_from(&words);
-    let partner = match_brackets_pram(pram, h);
-    pram.snapshot(partner)
+    let h = exec.alloc_from(&words);
+    let partner = match_brackets_exec(exec, h);
+    exec.snapshot(partner)
         .into_iter()
         .map(|w| {
             if w == NONE_WORD {
@@ -195,6 +205,12 @@ pub fn match_brackets_on(pram: &mut Pram, kinds: &[BracketKind]) -> Vec<Option<u
             }
         })
         .collect()
+}
+
+/// [`match_brackets_on_exec`] specialised to the PRAM simulator.
+pub fn match_brackets_on(pram: &mut Pram, kinds: &[BracketKind]) -> Vec<Option<usize>> {
+    let mut exec = Exec::sim(pram);
+    match_brackets_on_exec(&mut exec, kinds)
 }
 
 #[cfg(test)]

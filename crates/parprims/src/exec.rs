@@ -1,0 +1,396 @@
+//! Backend abstraction for the PRAM kernels.
+//!
+//! Every primitive in this crate is written against [`Exec`], which offers
+//! the small machine surface the kernels need — array allocation, host-side
+//! `peek`/`poke`/`snapshot` between rounds, and the round-synchronous
+//! [`Exec::parallel_for`] — and dispatches it to one of two backends:
+//!
+//! * [`Exec::sim`] wraps the [`pram::Pram`] step simulator. This is the
+//!   fidelity backend: it meters steps and work under Brent's scheduling and
+//!   polices the EREW/CREW access discipline. It is the *only* source of
+//!   step/work metrics.
+//! * [`Exec::pool`] wraps a [`parpool::Pool`] and runs each round across
+//!   real cores. Reads go straight to shared `i64` cells; writes are
+//!   buffered in per-worker logs and committed after a barrier, so a round
+//!   observes exactly the pre-round memory — the same read-before-write
+//!   semantics the simulator enforces. Kernels that are conflict-free on the
+//!   simulator therefore produce bit-identical results here.
+//!
+//! Round bodies receive a `&mut dyn RoundCtx` instead of the simulator's
+//! `ProcCtx`; the closure must be `Send + Sync + 'static` because the pool
+//! ships it to persistent worker threads. Kernels achieve this by capturing
+//! only `Copy` data (handles and scalars).
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use pram::{ArrayHandle, Pram, ProcCtx};
+
+/// A backend-independent reference to an array allocated through [`Exec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Handle {
+    id: u32,
+    len: u32,
+}
+
+impl Handle {
+    /// Number of `i64` cells in the array.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// `true` when the array has zero cells.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Per-processor view of memory inside one [`Exec::parallel_for`] round.
+///
+/// Reads observe the memory state from before the round; writes become
+/// visible only when the round ends. `charge` adds simulator instruction
+/// cost and is a no-op on the pool backend.
+pub trait RoundCtx {
+    /// Reads `array[i]` (pre-round value).
+    fn read(&mut self, array: Handle, i: usize) -> i64;
+    /// Writes `array[i] = value`, visible after the round.
+    fn write(&mut self, array: Handle, i: usize, value: i64);
+    /// Charges `ops` extra simulator instructions (accounting only).
+    fn charge(&mut self, ops: u64);
+}
+
+/// Simulator-backed round context: delegates to [`ProcCtx`] through the
+/// handle table.
+struct SimRound<'a, 'b> {
+    pc: &'a mut ProcCtx<'b>,
+    table: &'a [ArrayHandle],
+}
+
+impl RoundCtx for SimRound<'_, '_> {
+    fn read(&mut self, array: Handle, i: usize) -> i64 {
+        self.pc.read(self.table[array.id as usize], i)
+    }
+
+    fn write(&mut self, array: Handle, i: usize, value: i64) {
+        self.pc.write(self.table[array.id as usize], i, value);
+    }
+
+    fn charge(&mut self, ops: u64) {
+        self.pc.charge(ops);
+    }
+}
+
+/// One buffered write in the pool backend's per-worker log.
+#[derive(Clone, Copy)]
+struct WriteRec {
+    id: u32,
+    idx: u32,
+    value: i64,
+}
+
+/// Pool-backed round context: relaxed atomic loads for reads, log append for
+/// writes. The commit happens in the round's finish phase, after the
+/// compute barrier.
+struct PoolRound<'a> {
+    arrays: &'a [Arc<Vec<AtomicI64>>],
+    log: &'a mut Vec<WriteRec>,
+}
+
+impl RoundCtx for PoolRound<'_> {
+    fn read(&mut self, array: Handle, i: usize) -> i64 {
+        self.arrays[array.id as usize][i].load(Ordering::Relaxed)
+    }
+
+    fn write(&mut self, array: Handle, i: usize, value: i64) {
+        self.log.push(WriteRec {
+            id: array.id,
+            idx: i as u32,
+            value,
+        });
+    }
+
+    fn charge(&mut self, _ops: u64) {}
+}
+
+/// Simulator backend state: the machine plus the handle table mapping
+/// backend-independent [`Handle`]s to simulator [`ArrayHandle`]s.
+pub struct SimExec<'p> {
+    pram: &'p mut Pram,
+    table: Vec<ArrayHandle>,
+}
+
+/// Pool backend state: the thread pool, the array registry, and the
+/// per-worker write logs reused across rounds.
+pub struct PoolExec<'p> {
+    pool: &'p mut parpool::Pool,
+    arrays: Vec<Arc<Vec<AtomicI64>>>,
+    logs: Arc<Vec<Mutex<Vec<WriteRec>>>>,
+}
+
+/// An execution backend for the PRAM kernels; see the module docs.
+pub enum Exec<'p> {
+    /// Step-counting simulator backend (the fidelity oracle).
+    Sim(SimExec<'p>),
+    /// Real-cores work-stealing pool backend.
+    Pool(PoolExec<'p>),
+}
+
+fn lock_ignore_poison<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl<'p> Exec<'p> {
+    /// Wraps the step simulator as a backend.
+    pub fn sim(pram: &'p mut Pram) -> Self {
+        Exec::Sim(SimExec {
+            pram,
+            table: Vec::new(),
+        })
+    }
+
+    /// Wraps a work-stealing pool as a backend.
+    pub fn pool(pool: &'p mut parpool::Pool) -> Self {
+        let workers = pool.threads();
+        Exec::Pool(PoolExec {
+            pool,
+            arrays: Vec::new(),
+            logs: Arc::new((0..workers).map(|_| Mutex::new(Vec::new())).collect()),
+        })
+    }
+
+    /// `true` when this backend meters simulator steps.
+    pub fn is_sim(&self) -> bool {
+        matches!(self, Exec::Sim(_))
+    }
+
+    /// Allocates a zero-initialised array of `len` cells.
+    pub fn alloc(&mut self, len: usize) -> Handle {
+        let len32 = u32::try_from(len).expect("array too large for backend handle");
+        match self {
+            Exec::Sim(sim) => {
+                let handle = sim.pram.alloc(len);
+                sim.table.push(handle);
+                Handle {
+                    id: (sim.table.len() - 1) as u32,
+                    len: len32,
+                }
+            }
+            Exec::Pool(pool) => {
+                let cells: Vec<AtomicI64> = (0..len).map(|_| AtomicI64::new(0)).collect();
+                pool.arrays.push(Arc::new(cells));
+                Handle {
+                    id: (pool.arrays.len() - 1) as u32,
+                    len: len32,
+                }
+            }
+        }
+    }
+
+    /// Allocates an array initialised from `data`.
+    pub fn alloc_from(&mut self, data: &[i64]) -> Handle {
+        let len32 = u32::try_from(data.len()).expect("array too large for backend handle");
+        match self {
+            Exec::Sim(sim) => {
+                let handle = sim.pram.alloc_from(data);
+                sim.table.push(handle);
+                Handle {
+                    id: (sim.table.len() - 1) as u32,
+                    len: len32,
+                }
+            }
+            Exec::Pool(pool) => {
+                let cells: Vec<AtomicI64> = data.iter().map(|&v| AtomicI64::new(v)).collect();
+                pool.arrays.push(Arc::new(cells));
+                Handle {
+                    id: (pool.arrays.len() - 1) as u32,
+                    len: len32,
+                }
+            }
+        }
+    }
+
+    /// Adopts an existing simulator array into this backend's handle table.
+    ///
+    /// # Panics
+    /// Panics on the pool backend: simulator handles have no meaning there.
+    pub fn adopt(&mut self, handle: ArrayHandle) -> Handle {
+        match self {
+            Exec::Sim(sim) => {
+                let len32 = u32::try_from(handle.len()).expect("array too large");
+                sim.table.push(handle);
+                Handle {
+                    id: (sim.table.len() - 1) as u32,
+                    len: len32,
+                }
+            }
+            Exec::Pool(_) => panic!("cannot adopt a simulator handle into the pool backend"),
+        }
+    }
+
+    /// Resolves a backend handle back to the simulator handle it wraps.
+    ///
+    /// # Panics
+    /// Panics on the pool backend.
+    pub fn sim_handle(&self, handle: Handle) -> ArrayHandle {
+        match self {
+            Exec::Sim(sim) => sim.table[handle.id as usize],
+            Exec::Pool(_) => panic!("pool backend has no simulator handles"),
+        }
+    }
+
+    /// Host-side read of `array[i]` between rounds.
+    pub fn peek(&self, array: Handle, i: usize) -> i64 {
+        match self {
+            Exec::Sim(sim) => sim.pram.peek(sim.table[array.id as usize], i),
+            Exec::Pool(pool) => pool.arrays[array.id as usize][i].load(Ordering::Relaxed),
+        }
+    }
+
+    /// Host-side write of `array[i] = value` between rounds.
+    pub fn poke(&mut self, array: Handle, i: usize, value: i64) {
+        match self {
+            Exec::Sim(sim) => sim.pram.poke(sim.table[array.id as usize], i, value),
+            Exec::Pool(pool) => pool.arrays[array.id as usize][i].store(value, Ordering::Relaxed),
+        }
+    }
+
+    /// Host-side copy of the whole array between rounds.
+    pub fn snapshot(&self, array: Handle) -> Vec<i64> {
+        match self {
+            Exec::Sim(sim) => sim.pram.snapshot(sim.table[array.id as usize]),
+            Exec::Pool(pool) => pool.arrays[array.id as usize]
+                .iter()
+                .map(|cell| cell.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
+    /// Marks a phase boundary in the simulator's step metering (no-op on the
+    /// pool backend).
+    pub fn phase(&mut self, label: &str) {
+        if let Exec::Sim(sim) = self {
+            sim.pram.phase(label);
+        }
+    }
+
+    /// Charges the simulator for `m` items of `extra_ops + 1` instructions
+    /// each (one scratch write plus `extra_ops` charged ops), mirroring the
+    /// accounting passes the kernels ran before the backend split. A no-op
+    /// on the pool backend: the pass computes nothing.
+    pub fn account(&mut self, m: usize, extra_ops: u64) {
+        if let Exec::Sim(_) = self {
+            if m == 0 {
+                return;
+            }
+            let scratch = self.alloc(m);
+            self.parallel_for(m, move |ctx, i| {
+                ctx.charge(extra_ops);
+                ctx.write(scratch, i, 1);
+            });
+        }
+    }
+
+    /// Runs one round: `body(ctx, i)` for every `i in 0..m`, with all reads
+    /// observing pre-round memory and all writes committed at round end.
+    pub fn parallel_for<F>(&mut self, m: usize, body: F)
+    where
+        F: Fn(&mut dyn RoundCtx, usize) + Send + Sync + 'static,
+    {
+        match self {
+            Exec::Sim(sim) => {
+                let table = &sim.table;
+                sim.pram.parallel_for(m, |pc, i| {
+                    let mut ctx = SimRound { pc, table };
+                    body(&mut ctx, i);
+                });
+            }
+            Exec::Pool(pool) => {
+                let arrays: Arc<Vec<Arc<Vec<AtomicI64>>>> = Arc::new(pool.arrays.clone());
+                let logs = Arc::clone(&pool.logs);
+                let commit_arrays = Arc::clone(&arrays);
+                let commit_logs = Arc::clone(&pool.logs);
+                pool.pool.round(
+                    m,
+                    move |worker: usize, range: Range<usize>| {
+                        let mut log = lock_ignore_poison(&logs[worker]);
+                        let mut ctx = PoolRound {
+                            arrays: &arrays,
+                            log: &mut log,
+                        };
+                        for i in range {
+                            body(&mut ctx, i);
+                        }
+                    },
+                    move |worker: usize| {
+                        let mut log = lock_ignore_poison(&commit_logs[worker]);
+                        for rec in log.drain(..) {
+                            commit_arrays[rec.id as usize][rec.idx as usize]
+                                .store(rec.value, Ordering::Relaxed);
+                        }
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pram::Mode;
+
+    fn both_backends(test: impl Fn(&mut Exec<'_>)) {
+        let mut pram = Pram::strict(Mode::Crew, 4);
+        let mut exec = Exec::sim(&mut pram);
+        test(&mut exec);
+        for threads in [1, 3] {
+            let mut pool = parpool::Pool::new(threads);
+            let mut exec = Exec::pool(&mut pool);
+            test(&mut exec);
+        }
+    }
+
+    #[test]
+    fn round_reads_see_pre_round_memory() {
+        both_backends(|exec| {
+            let a = exec.alloc_from(&[1, 2, 3, 4, 5, 6, 7, 8]);
+            // Shift left: out[i] = a[i + 1]; in-place would corrupt without
+            // deferred writes, so write into the same array deliberately.
+            exec.parallel_for(7, move |ctx, i| {
+                let next = ctx.read(a, i + 1);
+                ctx.write(a, i, next);
+            });
+            assert_eq!(exec.snapshot(a), vec![2, 3, 4, 5, 6, 7, 8, 8]);
+        });
+    }
+
+    #[test]
+    fn peek_poke_roundtrip() {
+        both_backends(|exec| {
+            let a = exec.alloc(4);
+            exec.poke(a, 2, 42);
+            assert_eq!(exec.peek(a, 2), 42);
+            assert_eq!(exec.snapshot(a), vec![0, 0, 42, 0]);
+            assert_eq!(a.len(), 4);
+            assert!(!a.is_empty());
+        });
+    }
+
+    #[test]
+    fn account_is_sim_only_metering() {
+        let mut pram = Pram::new(Mode::Erew, 4);
+        let mut exec = Exec::sim(&mut pram);
+        exec.account(16, 7);
+        drop(exec);
+        assert!(pram.metrics().work >= 16 * 8);
+
+        let mut pool = parpool::Pool::new(2);
+        let mut exec = Exec::pool(&mut pool);
+        exec.account(16, 7);
+        drop(exec);
+        assert_eq!(pool.stats().rounds, 0, "account must not run pool rounds");
+    }
+}

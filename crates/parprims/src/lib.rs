@@ -32,13 +32,17 @@
 pub mod brackets;
 pub mod contraction;
 pub mod euler;
+pub mod exec;
 pub mod ranking;
 pub mod scan;
 pub mod tree;
 
-pub use brackets::{match_brackets_pram, match_brackets_seq, BracketKind};
-pub use contraction::{evaluate_tree_pram, evaluate_tree_seq, MaxPlusAffine, NodeOp};
-pub use euler::{euler_tour_numbers, EulerNumbers};
-pub use ranking::{list_rank_blocked, list_rank_seq, list_rank_wyllie};
-pub use scan::{prefix_sums_pram, prefix_sums_seq, ScanOp};
+pub use brackets::{match_brackets_exec, match_brackets_pram, match_brackets_seq, BracketKind};
+pub use contraction::{
+    evaluate_tree_exec, evaluate_tree_pram, evaluate_tree_seq, MaxPlusAffine, NodeOp,
+};
+pub use euler::{euler_tour_numbers, euler_tour_numbers_exec, EulerNumbers};
+pub use exec::{Exec, Handle, RoundCtx};
+pub use ranking::{list_rank_blocked, list_rank_exec, list_rank_seq, list_rank_wyllie};
+pub use scan::{prefix_sums_exec, prefix_sums_pram, prefix_sums_seq, ScanOp};
 pub use tree::RootedTree;

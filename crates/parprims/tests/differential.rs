@@ -1,0 +1,308 @@
+//! Differential suite: every parprims kernel, both [`Exec`] backends.
+//!
+//! Each workload is generated from a fixed seed, evaluated by the sequential
+//! reference, then executed through the PRAM-simulator backend and through the
+//! real-cores pool backend at every thread count in `PC_POOL_THREADS`
+//! (comma-separated; defaults to `1,2,4`). All three must agree bit for bit —
+//! the pool's double-buffered rounds are required to preserve the simulator's
+//! read-before-write semantics exactly, not merely approximately.
+//!
+//! The suite runs well over 200 seeded workloads in total (the final test
+//! asserts the count), satisfying the coverage floor set for the pool backend.
+
+use parpool::Pool;
+use parprims::brackets::{match_brackets_on_exec, match_brackets_seq, BracketKind};
+use parprims::contraction::{evaluate_tree_exec, evaluate_tree_seq, NodeOp};
+use parprims::euler::{euler_numbers_seq, euler_tour_numbers_exec, EulerNumbers};
+use parprims::exec::Exec;
+use parprims::ranking::{list_rank_exec, list_rank_seq, list_rank_wyllie_exec, NONE_WORD};
+use parprims::scan::{
+    exclusive_scan_exec, prefix_sums_exec, prefix_sums_seq, tree_scan_exec, ScanOp,
+};
+use parprims::tree::{RootedTree, NONE};
+use pram::{Mode, Pram};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::fmt::Debug;
+
+/// Thread counts the pool backend is exercised at.
+fn pool_thread_counts() -> Vec<usize> {
+    match std::env::var("PC_POOL_THREADS") {
+        Ok(spec) => {
+            let counts: Vec<usize> = spec
+                .split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&t| t >= 1)
+                .collect();
+            assert!(!counts.is_empty(), "PC_POOL_THREADS='{spec}' parsed empty");
+            counts
+        }
+        Err(_) => vec![1, 2, 4],
+    }
+}
+
+/// One pool per thread count, reused across all workloads of a test.
+struct Backends {
+    pools: Vec<(usize, Pool)>,
+    workloads: usize,
+}
+
+impl Backends {
+    fn new() -> Self {
+        Backends {
+            pools: pool_thread_counts()
+                .into_iter()
+                .map(|t| (t, Pool::new(t)))
+                .collect(),
+            workloads: 0,
+        }
+    }
+
+    /// Runs `f` on the simulator and on every pool; all runs must reproduce
+    /// `expected` exactly.
+    fn check<T, F>(&mut self, label: &str, expected: &T, f: F)
+    where
+        T: PartialEq + Debug,
+        F: Fn(&mut Exec<'_>) -> T,
+    {
+        let mut pram = Pram::new(Mode::Erew, 16);
+        let mut sim = Exec::sim(&mut pram);
+        let got = f(&mut sim);
+        assert_eq!(&got, expected, "sim backend diverges on {label}");
+        for (threads, pool) in &mut self.pools {
+            let mut exec = Exec::pool(pool);
+            let got = f(&mut exec);
+            assert_eq!(
+                &got, expected,
+                "pool backend ({threads} threads) diverges on {label}"
+            );
+        }
+        self.workloads += 1;
+    }
+}
+
+/// Random tree on `n` nodes given by parent pointers (node 0 is the root).
+fn random_tree(n: usize, rng: &mut ChaCha8Rng) -> RootedTree {
+    let mut parent = vec![NONE; n];
+    for (v, slot) in parent.iter_mut().enumerate().skip(1) {
+        *slot = rng.gen_range(0..v);
+    }
+    RootedTree::from_parents(parent)
+}
+
+/// Random balanced bracket sequence with `pairs` matched pairs.
+fn random_brackets(pairs: usize, rng: &mut ChaCha8Rng) -> Vec<BracketKind> {
+    let mut kinds = Vec::with_capacity(2 * pairs);
+    let (mut open_left, mut depth) = (pairs, 0usize);
+    while kinds.len() < 2 * pairs {
+        let must_open = depth == 0;
+        let must_close = open_left == 0;
+        if must_close || (!must_open && rng.gen_range(0..2) == 0) {
+            kinds.push(BracketKind::Close);
+            depth -= 1;
+        } else {
+            kinds.push(BracketKind::Open);
+            open_left -= 1;
+            depth += 1;
+        }
+    }
+    kinds
+}
+
+const SCAN_WORKLOADS: usize = 80;
+const RANK_WORKLOADS: usize = 40;
+const EULER_WORKLOADS: usize = 42;
+const BRACKET_WORKLOADS: usize = 40;
+const CONTRACTION_WORKLOADS: usize = 40;
+
+#[test]
+fn scans_agree_across_backends() {
+    let mut backends = Backends::new();
+    // Inclusive scans: 6 sizes x 5 seeds x 2 ops.
+    for (i, &n) in [1usize, 2, 3, 17, 64, 257].iter().enumerate() {
+        for seed in 0..5u64 {
+            for &op in &[ScanOp::Sum, ScanOp::Max] {
+                let mut rng = ChaCha8Rng::seed_from_u64(1000 + 10 * seed + i as u64);
+                let input: Vec<i64> = (0..n).map(|_| rng.gen_range(-50..50)).collect();
+                let block = [1, 3, 8][seed as usize % 3];
+                let expected = prefix_sums_seq(&input, op);
+                backends.check(&format!("prefix_sums n={n} {op:?}"), &expected, |exec| {
+                    let xs = exec.alloc_from(&input);
+                    let out = prefix_sums_exec(exec, xs, op, block);
+                    exec.snapshot(out)
+                });
+            }
+        }
+    }
+    // Tree scans and exclusive scans: 5 sizes x 2 seeds each.
+    for &n in &[1usize, 5, 33, 100, 256] {
+        for seed in 0..2u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(2000 + 7 * seed + n as u64);
+            let input: Vec<i64> = (0..n).map(|_| rng.gen_range(-9..9)).collect();
+            let inclusive = prefix_sums_seq(&input, ScanOp::Sum);
+            backends.check(&format!("tree_scan n={n}"), &inclusive, |exec| {
+                let xs = exec.alloc_from(&input);
+                let out = tree_scan_exec(exec, xs, ScanOp::Sum);
+                exec.snapshot(out)
+            });
+            let mut exclusive = vec![0i64; n];
+            exclusive[1..].copy_from_slice(&inclusive[..n - 1]);
+            backends.check(&format!("exclusive_scan n={n}"), &exclusive, |exec| {
+                let xs = exec.alloc_from(&input);
+                let out = exclusive_scan_exec(exec, xs, ScanOp::Sum, 4);
+                exec.snapshot(out)
+            });
+        }
+    }
+    assert_eq!(backends.workloads, SCAN_WORKLOADS);
+}
+
+#[test]
+fn list_ranking_agrees_across_backends() {
+    let mut backends = Backends::new();
+    // 5 sizes x 4 seeds x 2 algorithms.
+    for &n in &[1usize, 2, 9, 33, 120] {
+        for seed in 0..4u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(3000 + 13 * seed + n as u64);
+            // Random permutation chopped into a few independent lists.
+            let mut order: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                order.swap(i, rng.gen_range(0..i + 1));
+            }
+            let mut succ = vec![NONE_WORD; n];
+            for w in order.windows(2) {
+                if rng.gen_range(0..5) > 0 {
+                    succ[w[0]] = w[1] as i64;
+                }
+            }
+            let expected = list_rank_seq(&succ);
+            let stride = [2usize, 8][seed as usize % 2];
+            backends.check(&format!("list_rank n={n} seed={seed}"), &expected, |exec| {
+                let xs = exec.alloc_from(&succ);
+                let rank = list_rank_exec(exec, xs, stride);
+                exec.snapshot(rank)
+            });
+            backends.check(&format!("wyllie n={n} seed={seed}"), &expected, |exec| {
+                let xs = exec.alloc_from(&succ);
+                let rank = list_rank_wyllie_exec(exec, xs);
+                exec.snapshot(rank)
+            });
+        }
+    }
+    assert_eq!(backends.workloads, RANK_WORKLOADS);
+}
+
+#[test]
+fn euler_tours_agree_across_backends() {
+    let mut backends = Backends::new();
+    // 6 sizes x 7 seeds.
+    for &n in &[1usize, 2, 3, 10, 40, 150] {
+        for seed in 0..7u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(4000 + 17 * seed + n as u64);
+            let tree = random_tree(n, &mut rng);
+            // The sequential oracle defines the six traversal numberings but
+            // not the tour positions (advance/retreat), which only the PRAM
+            // algorithm produces — validate those by sim/pool agreement.
+            let seq = euler_numbers_seq(&tree, None);
+            let mut pram = Pram::new(Mode::Erew, 16);
+            let mut sim = Exec::sim(&mut pram);
+            let expected: EulerNumbers = euler_tour_numbers_exec(&mut sim, &tree, None);
+            assert_eq!(expected.preorder, seq.preorder, "preorder n={n}");
+            assert_eq!(expected.postorder, seq.postorder, "postorder n={n}");
+            assert_eq!(expected.inorder, seq.inorder, "inorder n={n}");
+            assert_eq!(expected.depth, seq.depth, "depth n={n}");
+            assert_eq!(expected.subtree_size, seq.subtree_size, "size n={n}");
+            assert_eq!(expected.leaf_count, seq.leaf_count, "leaves n={n}");
+            backends.check(&format!("euler n={n} seed={seed}"), &expected, |exec| {
+                euler_tour_numbers_exec(exec, &tree, None)
+            });
+        }
+    }
+    assert_eq!(backends.workloads, EULER_WORKLOADS);
+}
+
+#[test]
+fn bracket_matching_agrees_across_backends() {
+    let mut backends = Backends::new();
+    // 5 sizes x 8 seeds.
+    for &pairs in &[1usize, 2, 5, 20, 80] {
+        for seed in 0..8u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(5000 + 19 * seed + pairs as u64);
+            let kinds = random_brackets(pairs, &mut rng);
+            let expected = match_brackets_seq(&kinds);
+            backends.check(
+                &format!("brackets pairs={pairs} seed={seed}"),
+                &expected,
+                |exec| match_brackets_on_exec(exec, &kinds),
+            );
+        }
+    }
+    assert_eq!(backends.workloads, BRACKET_WORKLOADS);
+}
+
+/// Random strictly binary expression tree with `leaves` leaves, built by
+/// repeatedly joining two random roots of a forest.
+fn random_expression(leaves: usize, rng: &mut ChaCha8Rng) -> (RootedTree, Vec<NodeOp>, Vec<i64>) {
+    let total = 2 * leaves - 1;
+    let mut parent = vec![NONE; total];
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); total];
+    let mut ops = vec![NodeOp::Add; total];
+    let mut values = vec![0i64; total];
+    let mut roots: Vec<usize> = (0..leaves).collect();
+    for value in values.iter_mut().take(leaves) {
+        *value = rng.gen_range(1..6);
+    }
+    let mut next = leaves;
+    while roots.len() > 1 {
+        let i = rng.gen_range(0..roots.len());
+        let a = roots.swap_remove(i);
+        let j = rng.gen_range(0..roots.len());
+        let b = roots.swap_remove(j);
+        parent[a] = next;
+        parent[b] = next;
+        children[next] = vec![a, b];
+        ops[next] = if rng.gen_range(0..2) == 0 {
+            NodeOp::Add
+        } else {
+            NodeOp::LeftAffine {
+                add: -rng.gen_range(0..5),
+                floor: 1,
+            }
+        };
+        roots.push(next);
+        next += 1;
+    }
+    (RootedTree::new(parent, children, roots[0]), ops, values)
+}
+
+#[test]
+fn tree_contraction_agrees_across_backends() {
+    let mut backends = Backends::new();
+    // 5 sizes x 8 seeds.
+    for &leaves in &[1usize, 3, 11, 47, 160] {
+        for seed in 0..8u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(6000 + 23 * seed + leaves as u64);
+            let (tree, ops, leaf_values) = random_expression(leaves, &mut rng);
+            let expected = evaluate_tree_seq(&tree, &ops, &leaf_values);
+            backends.check(
+                &format!("contraction leaves={leaves} seed={seed}"),
+                &expected,
+                |exec| evaluate_tree_exec(exec, &tree, &ops, &leaf_values),
+            );
+        }
+    }
+    assert_eq!(backends.workloads, CONTRACTION_WORKLOADS);
+}
+
+#[test]
+fn suite_covers_at_least_200_workloads() {
+    let total = SCAN_WORKLOADS
+        + RANK_WORKLOADS
+        + EULER_WORKLOADS
+        + BRACKET_WORKLOADS
+        + CONTRACTION_WORKLOADS;
+    assert!(
+        total >= 200,
+        "differential suite shrank to {total} workloads"
+    );
+}

@@ -22,9 +22,12 @@ use crate::model::{
     Answer, CacheStatus, GraphSpec, QueryKind, QueryRequest, QueryResponse, ResponseMeta,
 };
 use crate::snapshot::{self, LoadOutcome, SaveReport, SnapshotError};
-use crate::telemetry::{MetricsReport, Outcome, PipelineClock, RequestCtx, Stage, Telemetry};
+use crate::telemetry::{
+    MetricsReport, Outcome, PipelineClock, PoolReport, RequestCtx, Stage, Telemetry,
+};
 use cograph::{try_recognize, Cotree};
-use pathcover::{hamiltonian_path, path_cover};
+use parpool::Pool;
+use pathcover::{hamiltonian_path, path_cover, pool_path_cover};
 use pcgraph::{verify_path_cover, Graph, PathCover};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -54,6 +57,14 @@ pub struct EngineConfig {
     /// microseconds (`serve --slow-ms`); `None` logs only internal
     /// failures.
     pub slow_log_micros: Option<u64>,
+    /// Worker threads of the work-stealing pool used for large `FullCover`
+    /// solves; `0` resolves to the machine's available parallelism.
+    pub pool_threads: usize,
+    /// Minimum vertex count before a `FullCover` solve moves to the
+    /// work-stealing pool; `0` disables parallel solving. The pool only
+    /// engages when at least two worker threads are available, so the
+    /// default never slows down a single-core host.
+    pub parallel_min_vertices: usize,
 }
 
 impl Default for EngineConfig {
@@ -66,6 +77,8 @@ impl Default for EngineConfig {
             cache_shards: 0,
             telemetry: true,
             slow_log_micros: None,
+            pool_threads: 0,
+            parallel_min_vertices: 1 << 16,
         }
     }
 }
@@ -106,6 +119,9 @@ pub struct QueryEngine {
     started: Instant,
     snapshot: Mutex<Option<SnapshotMeta>>,
     telemetry: Telemetry,
+    /// Lazily created work-stealing pool shared by all large solves; the
+    /// mutex serialises parallel solves so one huge graph gets every core.
+    pool: Mutex<Option<Pool>>,
 }
 
 impl Default for QueryEngine {
@@ -130,6 +146,7 @@ impl QueryEngine {
             started: Instant::now(),
             snapshot: Mutex::new(None),
             telemetry,
+            pool: Mutex::new(None),
         }
     }
 
@@ -557,7 +574,7 @@ impl QueryEngine {
                 Ok(Answer::MinCoverSize { size })
             }
             QueryKind::FullCover => {
-                let cover = path_cover(&entry.cotree);
+                let cover = self.solve_cover(&entry.cotree);
                 clock.mark(Stage::Solve);
                 let verified = self.verify(resolved, &cover)?;
                 clock.mark(Stage::Verify);
@@ -605,6 +622,38 @@ impl QueryEngine {
             Some(g) => g.clone(),
             None => Arc::new(resolved.entry.cotree.to_graph()),
         }
+    }
+
+    /// Solves one cover, moving to the work-stealing pool when the graph is
+    /// large enough and at least two worker threads are available. The pool
+    /// is created on first use and reused for the life of the engine; its
+    /// cumulative statistics are published to the telemetry registry after
+    /// every parallel solve.
+    fn solve_cover(&self, cotree: &Cotree) -> PathCover {
+        let threshold = self.config.parallel_min_vertices;
+        if threshold > 0 && cotree.num_vertices() >= threshold {
+            let requested = match self.config.pool_threads {
+                0 => None,
+                t => Some(t),
+            };
+            let threads = parpool::resolve_threads(requested);
+            if threads >= 2 {
+                let mut guard = self.pool.lock().unwrap_or_else(|e| e.into_inner());
+                let pool = guard.get_or_insert_with(|| Pool::new(threads));
+                let cover = pool_path_cover(cotree, pool);
+                let stats = pool.stats();
+                self.telemetry.record_pool(&PoolReport {
+                    workers: stats.workers as u64,
+                    rounds: stats.rounds,
+                    steals: stats.steals,
+                    barrier_waits: stats.barrier_waits,
+                    barrier_wait_p50_us: stats.barrier_wait_p50_micros,
+                    barrier_wait_p99_us: stats.barrier_wait_p99_micros,
+                });
+                return cover;
+            }
+        }
+        path_cover(cotree)
     }
 
     fn verify(&self, resolved: &Resolved, cover: &PathCover) -> Result<bool, ServiceError> {

@@ -407,6 +407,13 @@ pub struct Telemetry {
     snapshot_save: Histogram,
     snapshot_failures: AtomicU64,
     snapshot_last_unix: AtomicU64,
+    pool_solves: AtomicU64,
+    pool_workers: AtomicU64,
+    pool_rounds: AtomicU64,
+    pool_steals: AtomicU64,
+    pool_barrier_waits: AtomicU64,
+    pool_barrier_wait_p50_us: AtomicU64,
+    pool_barrier_wait_p99_us: AtomicU64,
     last_log_nanos: AtomicU64,
 }
 
@@ -426,6 +433,13 @@ impl Telemetry {
             snapshot_save: Histogram::new(),
             snapshot_failures: AtomicU64::new(0),
             snapshot_last_unix: AtomicU64::new(0),
+            pool_solves: AtomicU64::new(0),
+            pool_workers: AtomicU64::new(0),
+            pool_rounds: AtomicU64::new(0),
+            pool_steals: AtomicU64::new(0),
+            pool_barrier_waits: AtomicU64::new(0),
+            pool_barrier_wait_p50_us: AtomicU64::new(0),
+            pool_barrier_wait_p99_us: AtomicU64::new(0),
             last_log_nanos: AtomicU64::new(0),
         }
     }
@@ -543,6 +557,25 @@ impl Telemetry {
         }
     }
 
+    /// Records the work-stealing pool's cumulative statistics after a
+    /// parallel solve: the counters are lifetime totals of the engine's
+    /// pool, so the latest snapshot replaces the previous one, and a
+    /// separate counter tracks how many solves went through the pool.
+    pub fn record_pool(&self, stats: &PoolReport) {
+        if self.enabled {
+            self.pool_solves.fetch_add(1, Ordering::Relaxed);
+            self.pool_workers.store(stats.workers, Ordering::Relaxed);
+            self.pool_rounds.store(stats.rounds, Ordering::Relaxed);
+            self.pool_steals.store(stats.steals, Ordering::Relaxed);
+            self.pool_barrier_waits
+                .store(stats.barrier_waits, Ordering::Relaxed);
+            self.pool_barrier_wait_p50_us
+                .store(stats.barrier_wait_p50_us, Ordering::Relaxed);
+            self.pool_barrier_wait_p99_us
+                .store(stats.barrier_wait_p99_us, Ordering::Relaxed);
+        }
+    }
+
     /// Snapshots the registry (cache/uptime/version context is supplied
     /// by the engine, which owns those).
     pub fn report(
@@ -567,6 +600,15 @@ impl Telemetry {
             snapshot_save: self.snapshot_save.snapshot(),
             snapshot_failures: self.snapshot_failures.load(Ordering::Relaxed),
             snapshot_last_unix: self.snapshot_last_unix.load(Ordering::Relaxed),
+            pool_solves: self.pool_solves.load(Ordering::Relaxed),
+            pool: PoolReport {
+                workers: self.pool_workers.load(Ordering::Relaxed),
+                rounds: self.pool_rounds.load(Ordering::Relaxed),
+                steals: self.pool_steals.load(Ordering::Relaxed),
+                barrier_waits: self.pool_barrier_waits.load(Ordering::Relaxed),
+                barrier_wait_p50_us: self.pool_barrier_wait_p50_us.load(Ordering::Relaxed),
+                barrier_wait_p99_us: self.pool_barrier_wait_p99_us.load(Ordering::Relaxed),
+            },
             cache,
             shards,
             uptime_secs,
@@ -591,6 +633,26 @@ pub struct TransportReport {
     pub oversize_rejects: u64,
 }
 
+/// Point-in-time counters of the engine's work-stealing pool (the
+/// real-cores PRAM backend). All values are lifetime totals of the pool as
+/// of the most recent parallel solve; zeros when no solve has used the
+/// pool yet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolReport {
+    /// Worker threads of the pool (gauge).
+    pub workers: u64,
+    /// PRAM rounds executed (counter).
+    pub rounds: u64,
+    /// Chunks stolen from another worker's queue (counter).
+    pub steals: u64,
+    /// Barrier wait observations (counter).
+    pub barrier_waits: u64,
+    /// Median barrier wait in microseconds (gauge).
+    pub barrier_wait_p50_us: u64,
+    /// 99th-percentile barrier wait in microseconds (gauge).
+    pub barrier_wait_p99_us: u64,
+}
+
 /// A point-in-time copy of every metric the daemon exposes, renderable as
 /// structured JSON (`metrics` proto frame) or Prometheus text
 /// (`GET /v1/metrics`).
@@ -613,6 +675,10 @@ pub struct MetricsReport {
     pub snapshot_failures: u64,
     /// Unix second of the last successful checkpoint (0 = never).
     pub snapshot_last_unix: u64,
+    /// Solves that ran on the work-stealing pool.
+    pub pool_solves: u64,
+    /// Work-stealing pool counters as of the latest parallel solve.
+    pub pool: PoolReport,
     /// Aggregate cache counters.
     pub cache: CacheStats,
     /// Per-shard cache counters.
@@ -725,6 +791,24 @@ impl MetricsReport {
                     ("checkpoints", self.snapshot_save.summary_json()),
                     ("failures", Json::num(self.snapshot_failures)),
                     ("last_success_unix", Json::num(self.snapshot_last_unix)),
+                ]),
+            ),
+            (
+                "pool",
+                Json::obj(vec![
+                    ("solves", Json::num(self.pool_solves)),
+                    ("workers", Json::num(self.pool.workers)),
+                    ("rounds", Json::num(self.pool.rounds)),
+                    ("steals", Json::num(self.pool.steals)),
+                    ("barrier_waits", Json::num(self.pool.barrier_waits)),
+                    (
+                        "barrier_wait_p50_us",
+                        Json::num(self.pool.barrier_wait_p50_us),
+                    ),
+                    (
+                        "barrier_wait_p99_us",
+                        Json::num(self.pool.barrier_wait_p99_us),
+                    ),
                 ]),
             ),
             (
@@ -863,6 +947,37 @@ impl MetricsReport {
              # TYPE pc_snapshot_last_success_unixtime gauge\n\
              pc_snapshot_last_success_unixtime {}\n",
             self.snapshot_failures, self.snapshot_last_unix
+        ));
+
+        out.push_str(&format!(
+            "# HELP pc_pool_solves_total Solves executed on the work-stealing pool.\n\
+             # TYPE pc_pool_solves_total counter\n\
+             pc_pool_solves_total {}\n\
+             # HELP pc_pool_workers Worker threads of the engine's work-stealing pool.\n\
+             # TYPE pc_pool_workers gauge\n\
+             pc_pool_workers {}\n\
+             # HELP pc_pool_rounds_total PRAM rounds executed by the pool.\n\
+             # TYPE pc_pool_rounds_total counter\n\
+             pc_pool_rounds_total {}\n\
+             # HELP pc_pool_steals_total Chunks stolen between pool workers.\n\
+             # TYPE pc_pool_steals_total counter\n\
+             pc_pool_steals_total {}\n\
+             # HELP pc_pool_barrier_waits_total Barrier wait observations in the pool.\n\
+             # TYPE pc_pool_barrier_waits_total counter\n\
+             pc_pool_barrier_waits_total {}\n\
+             # HELP pc_pool_barrier_wait_p50_us Median pool barrier wait in microseconds.\n\
+             # TYPE pc_pool_barrier_wait_p50_us gauge\n\
+             pc_pool_barrier_wait_p50_us {}\n\
+             # HELP pc_pool_barrier_wait_p99_us 99th-percentile pool barrier wait in microseconds.\n\
+             # TYPE pc_pool_barrier_wait_p99_us gauge\n\
+             pc_pool_barrier_wait_p99_us {}\n",
+            self.pool_solves,
+            self.pool.workers,
+            self.pool.rounds,
+            self.pool.steals,
+            self.pool.barrier_waits,
+            self.pool.barrier_wait_p50_us,
+            self.pool.barrier_wait_p99_us
         ));
 
         out.push_str(&format!(

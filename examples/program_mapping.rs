@@ -72,13 +72,19 @@ fn main() {
             mode: Mode::Erew,
             processors: None,
             strict: false,
+            ..PramConfig::default()
         },
     );
     println!(
         "PRAM schedule computation: {} steps, {} work, {} EREW violations",
-        outcome.metrics.steps,
-        outcome.metrics.work,
-        outcome.metrics.violations.len()
+        outcome.metrics.as_ref().expect("sim metrics").steps,
+        outcome.metrics.as_ref().expect("sim metrics").work,
+        outcome
+            .metrics
+            .as_ref()
+            .expect("sim metrics")
+            .violations
+            .len()
     );
     assert_eq!(outcome.cover.len(), cover.len());
 }

@@ -41,11 +41,21 @@ fn main() {
     println!(
         "PRAM run: p = {}, steps = {}, work = {}, violations = {}",
         outcome.processors,
-        outcome.metrics.steps,
-        outcome.metrics.work,
-        outcome.metrics.violations.len()
+        outcome.metrics.as_ref().expect("sim metrics").steps,
+        outcome.metrics.as_ref().expect("sim metrics").work,
+        outcome
+            .metrics
+            .as_ref()
+            .expect("sim metrics")
+            .violations
+            .len()
     );
-    for phase in outcome.metrics.phase_report() {
+    for phase in outcome
+        .metrics
+        .as_ref()
+        .expect("sim metrics")
+        .phase_report()
+    {
         println!(
             "  {:<32} steps = {:>8}  work = {:>10}",
             phase.name, phase.steps, phase.work

@@ -1,0 +1,66 @@
+//! End-to-end backend differential: `pram_path_cover` must produce identical
+//! covers through the PRAM simulator and the real-cores pool backend.
+//!
+//! The kernel-level 200+-workload suite lives in
+//! `crates/parprims/tests/differential.rs`; this file closes the loop at the
+//! pipeline level. Pool thread counts come from `PC_POOL_THREADS`
+//! (comma-separated, default `1,2,4`) so CI can pin the pool width.
+
+use cograph::{random_cotree, CotreeShape};
+use pathcover::{pram_path_cover, Backend, PramConfig};
+use pcgraph::verify_path_cover;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn pool_thread_counts() -> Vec<usize> {
+    match std::env::var("PC_POOL_THREADS") {
+        Ok(spec) => {
+            let counts: Vec<usize> = spec
+                .split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&t| t >= 1)
+                .collect();
+            assert!(!counts.is_empty(), "PC_POOL_THREADS='{spec}' parsed empty");
+            counts
+        }
+        Err(_) => vec![1, 2, 4],
+    }
+}
+
+#[test]
+fn pool_and_simulator_covers_are_identical() {
+    let threads = pool_thread_counts();
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    for shape in CotreeShape::ALL {
+        for n in [2usize, 7, 25, 96, 300] {
+            for _ in 0..2 {
+                let cotree = random_cotree(n, shape, &mut rng);
+                let graph = cotree.to_graph();
+                let sim = pram_path_cover(&cotree, PramConfig::default());
+                assert!(
+                    sim.metrics.is_some(),
+                    "simulator backend must report step metrics"
+                );
+                assert!(verify_path_cover(&graph, &sim.cover).is_valid());
+                for &t in &threads {
+                    let pooled = pram_path_cover(
+                        &cotree,
+                        PramConfig {
+                            backend: Backend::Pool,
+                            threads: Some(t),
+                            ..PramConfig::default()
+                        },
+                    );
+                    assert!(
+                        pooled.metrics.is_none(),
+                        "pool backend must not fabricate step metrics"
+                    );
+                    assert_eq!(
+                        pooled.cover, sim.cover,
+                        "{shape:?} n={n} threads={t}: pool cover diverges from simulator"
+                    );
+                }
+            }
+        }
+    }
+}

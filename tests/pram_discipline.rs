@@ -34,9 +34,13 @@ fn full_pipeline_reports_conflict_counts() {
             mode: Mode::Crew,
             processors: None,
             strict: false,
+            ..PramConfig::default()
         },
     );
-    assert!(crew.metrics.is_clean(), "CREW run reported violations");
+    assert!(
+        crew.metrics.as_ref().expect("sim metrics").is_clean(),
+        "CREW run reported violations"
+    );
     // Under EREW accounting the only tolerated conflicts are the concurrent
     // *reads* of the tournament tree in the bracket-matching extraction
     // phase (the documented approximation); no concurrent writes ever.
@@ -46,10 +50,13 @@ fn full_pipeline_reports_conflict_counts() {
             mode: Mode::Erew,
             processors: None,
             strict: false,
+            ..PramConfig::default()
         },
     );
     assert!(erew
         .metrics
+        .as_ref()
+        .expect("sim metrics")
         .violations
         .iter()
         .all(|v| v.kind == ViolationKind::ConcurrentRead));
@@ -81,14 +88,15 @@ fn processor_sweep_respects_brents_principle() {
                 mode: Mode::Erew,
                 processors: Some(p),
                 strict: false,
+                ..PramConfig::default()
             },
         );
         if let Some(prev) = prev_steps {
             assert!(
-                outcome.metrics.steps <= prev,
+                outcome.metrics.as_ref().expect("sim metrics").steps <= prev,
                 "more processors must not be slower"
             );
         }
-        prev_steps = Some(outcome.metrics.steps);
+        prev_steps = Some(outcome.metrics.as_ref().expect("sim metrics").steps);
     }
 }
