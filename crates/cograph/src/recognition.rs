@@ -31,6 +31,8 @@
 pub mod fast;
 pub mod reference;
 
+pub use fast::{IllegalInsertion, IncrementalCotree};
+
 use crate::cotree::Cotree;
 use pcgraph::{Graph, VertexId};
 use std::fmt;

@@ -230,45 +230,50 @@ impl Slab {
         self.hot[parent as usize].child_count -= 1;
     }
 
-    /// Inserts vertex `x` into the cotree of the inserted prefix `0..x`.
-    /// `neighbors` holds exactly x's already-inserted neighbours (ids
-    /// `< x`). Returns `false` when `G[0..=x]` is not a cograph (the tree
-    /// is left unchanged and clean in that case).
-    fn insert(&mut self, x: VertexId, neighbors: &[VertexId]) -> bool {
-        let inserted = x as usize;
-        if inserted == 0 {
-            self.root = x; // leaf x is slab node x
+    /// Inserts the pre-allocated leaf node `leaf` into the cotree of the
+    /// `num_existing` already-inserted vertices. `neighbor_leaves` holds the
+    /// slab leaf nodes of exactly the new vertex's already-inserted
+    /// neighbours. Returns `false` when the grown graph is not a cograph
+    /// (the tree is left unchanged and clean in that case).
+    ///
+    /// In the batch path ([`run`]) the leaf of vertex `v` *is* slab node
+    /// `v`, so vertex ids double as leaf indices; the growable
+    /// [`IncrementalCotree`] front allocates leaves on demand and maps ids
+    /// through `leaf_of` instead.
+    fn insert(&mut self, leaf: u32, neighbor_leaves: &[u32], num_existing: usize) -> bool {
+        if num_existing == 0 {
+            self.root = leaf;
             return true;
         }
-        let d = neighbors.len();
+        let d = neighbor_leaves.len();
         if d == 0 {
-            self.insert_at_root(x, UNION);
+            self.insert_at_root(leaf, UNION);
             return true;
         }
-        if d == inserted {
-            self.insert_at_root(x, JOIN);
+        if d == num_existing {
+            self.insert_at_root(leaf, JOIN);
             return true;
         }
-        self.mark(neighbors);
+        self.mark(neighbor_leaves);
         let lowest = self.find_lowest();
         if let Some(u) = lowest {
-            self.insert_at(x, u);
+            self.insert_at(leaf, u);
         }
         self.touched.clear();
         self.full_pairs.clear();
         lowest.is_some()
     }
 
-    /// Attaches the leaf of `x` at the root under the given label, merging
+    /// Attaches the leaf node at the root under the given label, merging
     /// with the root when the labels agree.
-    fn insert_at_root(&mut self, x: VertexId, tag: u8) {
+    fn insert_at_root(&mut self, leaf: u32, tag: u8) {
         if self.tag(self.root) == tag {
-            self.attach(x, self.root);
+            self.attach(leaf, self.root);
         } else {
             let new_root = self.alloc(tag, 0);
             let old_root = self.root;
             self.attach(old_root, new_root);
-            self.attach(x, new_root);
+            self.attach(leaf, new_root);
             self.root = new_root;
         }
     }
@@ -291,11 +296,10 @@ impl Slab {
     /// internal nodes travel through the queue. A parent's `md` is reset
     /// lazily on its clean→marked transition, so stale counters from older
     /// epochs are never read.
-    fn mark(&mut self, neighbors: &[VertexId]) {
+    fn mark(&mut self, neighbor_leaves: &[u32]) {
         debug_assert!(self.queue.is_empty());
         self.next_epoch();
-        for &y in neighbors {
-            // The leaf of y is slab node y.
+        for &y in neighbor_leaves {
             self.set_state(y, FULL);
             let w = self.hot[y as usize].parent;
             self.bump(w, y);
@@ -434,10 +438,9 @@ impl Slab {
         Some(lowest)
     }
 
-    /// Splices the new leaf for `x` into the tree at the lowest marked node
+    /// Splices the new leaf node into the tree at the lowest marked node
     /// `u`, preserving label alternation and arity ≥ 2.
-    fn insert_at(&mut self, x: VertexId, u: u32) {
-        let leaf = x; // the pre-allocated leaf of x
+    fn insert_at(&mut self, leaf: u32, u: u32) {
         let uu = u as usize;
         match self.hot[uu].tag as u8 {
             JOIN => {
@@ -563,6 +566,174 @@ impl Slab {
         }
         Cotree::from_raw_parts(kinds, children, parent, 0)
     }
+
+    /// Removes the most recently allocated slab node, which must be
+    /// detached. Used to undo the speculative leaf allocation of a rejected
+    /// [`IncrementalCotree`] insertion.
+    fn pop_last(&mut self) {
+        let last = self.hot.len() - 1;
+        debug_assert_eq!(self.hot[last].parent, NONE);
+        debug_assert_ne!(self.root, last as u32);
+        self.hot.pop();
+        self.mark.pop();
+        self.first_child.pop();
+        self.next_sibling.pop();
+        self.prev_sibling.pop();
+        self.label.pop();
+    }
+}
+
+/// A vertex insertion was rejected: the grown graph would contain an
+/// induced `P_4` and is therefore not a cograph. The tree is unchanged.
+///
+/// The certificate itself is not carried here — the slab does not retain
+/// the graph. Callers that kept the adjacency (as the serving layer's
+/// sessions do) obtain the witness by running
+/// [`recognize`](crate::recognition::try_recognize) on the grown graph,
+/// whose final insertion fails identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IllegalInsertion;
+
+impl std::fmt::Display for IllegalInsertion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vertex insertion would create an induced P4")
+    }
+}
+
+impl std::error::Error for IllegalInsertion {}
+
+/// A growable cotree maintained by incremental insertion: the serving-layer
+/// face of the recogniser's slab.
+///
+/// Unlike the batch path (where the leaf of vertex `v` is slab node `v`,
+/// pre-allocated for the whole graph up front), this front allocates leaves
+/// on demand, so internal nodes and leaves interleave in the slab and vertex
+/// ids are mapped through a `leaf_of` table. Each [`try_add_vertex`]
+/// insertion costs one `O(d)` marking pass; a rejected insertion leaves the
+/// tree exactly as it was (last-good state), so a long-lived handle can
+/// survive illegal updates.
+///
+/// [`try_add_vertex`]: IncrementalCotree::try_add_vertex
+pub struct IncrementalCotree {
+    slab: Slab,
+    /// Slab leaf node of each vertex, indexed by vertex id.
+    leaf_of: Vec<u32>,
+    /// Reused per-insertion buffer of neighbour leaf indices.
+    scratch: Vec<u32>,
+}
+
+impl IncrementalCotree {
+    /// An empty tree with no vertices.
+    pub fn new() -> IncrementalCotree {
+        IncrementalCotree {
+            slab: Slab::new(0),
+            leaf_of: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Builds the tree of an existing cograph by running the batch
+    /// insertion, or returns the typed rejection (with an induced-`P_4`
+    /// certificate) when `g` is not a cograph. This is the rebuild path for
+    /// mutations the insertion pass cannot absorb (edge updates).
+    pub fn from_graph(g: &Graph) -> Result<IncrementalCotree, RecognitionError> {
+        if g.num_vertices() == 0 {
+            return Err(RecognitionError::EmptyGraph);
+        }
+        match run(g) {
+            Ok(slab) => Ok(IncrementalCotree {
+                // Batch leaves sit at their vertex ids.
+                leaf_of: (0..g.num_vertices() as u32).collect(),
+                slab,
+                scratch: Vec::new(),
+            }),
+            Err(x) => {
+                let witness = find_p4_through(g, x)
+                    .expect("insertion failed, so an induced P4 through x exists");
+                debug_assert!(witness.verify(g));
+                Err(RecognitionError::InducedP4(witness))
+            }
+        }
+    }
+
+    /// Number of vertices inserted so far.
+    pub fn num_vertices(&self) -> usize {
+        self.leaf_of.len()
+    }
+
+    /// Inserts a new vertex adjacent to exactly `neighbors` and returns its
+    /// id (vertex ids are dense: the new id is [`num_vertices`] before the
+    /// call). One `O(d)` marking pass on acceptance; on rejection the tree
+    /// is left unchanged and the handle remains usable.
+    ///
+    /// # Panics
+    ///
+    /// `neighbors` must name distinct existing vertices — out-of-range or
+    /// duplicate ids panic. Callers at trust boundaries validate first.
+    ///
+    /// [`num_vertices`]: IncrementalCotree::num_vertices
+    pub fn try_add_vertex(&mut self, neighbors: &[VertexId]) -> Result<VertexId, IllegalInsertion> {
+        let id = self.leaf_of.len();
+        assert!(
+            id < (u32::MAX / 2) as usize,
+            "incremental recognition supports at most 2^31 vertices"
+        );
+        self.scratch.clear();
+        for &v in neighbors {
+            assert!(
+                (v as usize) < id,
+                "neighbor {v} out of range for new vertex {id}"
+            );
+            self.scratch.push(self.leaf_of[v as usize]);
+        }
+        debug_assert!(
+            {
+                let mut seen = self.scratch.clone();
+                seen.sort_unstable();
+                seen.windows(2).all(|w| w[0] != w[1])
+            },
+            "duplicate neighbor ids"
+        );
+        let leaf = self.slab.alloc(LEAF, id as VertexId);
+        // The reject path allocates nothing further, so on failure the leaf
+        // is still the newest slab node and pops cleanly.
+        let neighbor_leaves = std::mem::take(&mut self.scratch);
+        let ok = self.slab.insert(leaf, &neighbor_leaves, id);
+        self.scratch = neighbor_leaves;
+        if ok {
+            self.leaf_of.push(leaf);
+            Ok(id as VertexId)
+        } else {
+            self.slab.pop_last();
+            Err(IllegalInsertion)
+        }
+    }
+
+    /// Exports the current tree as the crate's arena [`Cotree`]; leaf
+    /// labels are the vertex ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty tree (a cotree needs at least one leaf).
+    pub fn to_cotree(&self) -> Cotree {
+        assert!(!self.leaf_of.is_empty(), "the empty graph has no cotree");
+        self.slab.to_cotree()
+    }
+}
+
+impl Default for IncrementalCotree {
+    fn default() -> IncrementalCotree {
+        IncrementalCotree::new()
+    }
+}
+
+impl std::fmt::Debug for IncrementalCotree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IncrementalCotree")
+            .field("vertices", &self.leaf_of.len())
+            .field("slab_nodes", &self.slab.hot.len())
+            .finish()
+    }
 }
 
 /// Runs the incremental insertion over all vertices of `g`. On failure
@@ -589,7 +760,9 @@ fn run(g: &Graph) -> Result<Slab, VertexId> {
     for x in 0..n {
         let list = &adjacency[x];
         let prefix = &list[..list.partition_point(|&y| (y as usize) < x)];
-        if !slab.insert(x as VertexId, prefix) {
+        // Leaves are pre-allocated at their vertex ids, so the neighbour ids
+        // are already the neighbour leaf indices.
+        if !slab.insert(x as u32, prefix, x) {
             return Err(x as VertexId);
         }
     }
@@ -746,6 +919,73 @@ mod tests {
         };
         assert!(w.verify(&g));
         assert!(w.path.iter().all(|&v| v >= base), "witness is the tail P4");
+    }
+
+    #[test]
+    fn incremental_growth_matches_batch_recognition() {
+        // Grow every generator shape vertex-by-vertex through the public
+        // growable front and check the exported tree matches the graph at
+        // every step.
+        let mut rng = ChaCha8Rng::seed_from_u64(41);
+        for shape in CotreeShape::ALL {
+            for n in [1usize, 2, 3, 5, 17, 48] {
+                let g = random_cotree(n, shape, &mut rng).to_graph();
+                let mut tree = IncrementalCotree::new();
+                for x in 0..n {
+                    let prefix: Vec<u32> = g
+                        .neighbors(x as u32)
+                        .iter()
+                        .copied()
+                        .filter(|&y| (y as usize) < x)
+                        .collect();
+                    let id = tree.try_add_vertex(&prefix).expect("cograph prefix");
+                    assert_eq!(id as usize, x);
+                    assert_eq!(tree.num_vertices(), x + 1);
+                }
+                let exported = tree.to_cotree();
+                assert!(exported.validate().is_ok(), "{shape:?} n={n}");
+                assert_eq!(exported.to_graph(), g, "{shape:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejected_insertion_preserves_last_good_state() {
+        // Grow a P3, attempt the insertion that would complete a P4, and
+        // check the handle still answers for the P3 and accepts a later
+        // legal vertex.
+        let mut tree = IncrementalCotree::new();
+        tree.try_add_vertex(&[]).unwrap();
+        tree.try_add_vertex(&[0]).unwrap();
+        tree.try_add_vertex(&[1]).unwrap();
+        assert_eq!(tree.try_add_vertex(&[2]), Err(IllegalInsertion));
+        assert_eq!(tree.num_vertices(), 3);
+        assert_eq!(tree.to_cotree().to_graph(), generators::path_graph(3));
+        // A dominating vertex is always legal.
+        let id = tree.try_add_vertex(&[0, 1, 2]).expect("join-all is legal");
+        assert_eq!(id, 3);
+        let grown = tree.to_cotree().to_graph();
+        let expected = Graph::from_edges(4, &[(0, 1), (1, 2), (0, 3), (1, 3), (2, 3)]).unwrap();
+        assert_eq!(grown, expected);
+    }
+
+    #[test]
+    fn from_graph_rebuild_matches_grown_tree() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let g = random_cotree(33, CotreeShape::Mixed, &mut rng).to_graph();
+        let rebuilt = IncrementalCotree::from_graph(&g).expect("cograph");
+        assert_eq!(rebuilt.num_vertices(), 33);
+        assert_eq!(rebuilt.to_cotree().to_graph(), g);
+        // Non-cographs reject with a verified witness.
+        let p4 = generators::p4();
+        let Err(RecognitionError::InducedP4(w)) = IncrementalCotree::from_graph(&p4) else {
+            panic!("P4 must be rejected");
+        };
+        assert!(w.verify(&p4));
+        assert_eq!(
+            IncrementalCotree::from_graph(&Graph::new(0)).err(),
+            Some(RecognitionError::EmptyGraph)
+        );
     }
 
     #[test]

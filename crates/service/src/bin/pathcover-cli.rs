@@ -9,6 +9,7 @@
 //! pathcover-cli metrics (--remote SOCK | --remote-http ADDR) [--json]
 //! pathcover-cli snapshot save (--remote SOCK | --remote-http ADDR)
 //! pathcover-cli snapshot inspect FILE [--json]
+//! pathcover-cli session <create|add-vertex|add-edges|remove-edge|query|drop> ... (--remote SOCK | --remote-http ADDR)
 //! pathcover-cli shutdown (--remote SOCK | --remote-http ADDR)
 //! pathcover-cli bench [--batches 1,64,4096] [--threads 1,2,4,8] [--n 64] [--json FILE]
 //! ```
@@ -53,6 +54,7 @@ fn main() -> ExitCode {
         "stats" => cmd_stats(rest),
         "metrics" => cmd_metrics(rest),
         "snapshot" => cmd_snapshot(rest),
+        "session" => cmd_session(rest),
         "shutdown" => cmd_shutdown(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -85,6 +87,12 @@ USAGE:
     pathcover-cli metrics (--remote SOCK | --remote-http ADDR) [--json]
     pathcover-cli snapshot save (--remote SOCK | --remote-http ADDR)
     pathcover-cli snapshot inspect FILE [--json]
+    pathcover-cli session create [<graph|->] [--format F] (--remote SOCK | --remote-http ADDR) [--json]
+    pathcover-cli session add-vertex HANDLE [--neighbors 0,2,5] (--remote ... | --remote-http ...) [--json]
+    pathcover-cli session add-edges HANDLE U V [U V ...] (--remote ... | --remote-http ...) [--json]
+    pathcover-cli session remove-edge HANDLE U V (--remote ... | --remote-http ...) [--json]
+    pathcover-cli session query HANDLE [--query KIND] (--remote ... | --remote-http ...) [--json]
+    pathcover-cli session drop HANDLE (--remote ... | --remote-http ...) [--json]
     pathcover-cli shutdown (--remote SOCK | --remote-http ADDR)
     pathcover-cli bench [--batches 1,64,4096] [--threads 1,2,4,8] [--n 64] [--json FILE]
 
@@ -121,7 +129,18 @@ PERSISTENCE:
     shutdown (and every --checkpoint-secs N while serving) and reloaded —
     after integrity verification; corrupt files are quarantined to
     PATH.corrupt — on the next serve. 'snapshot save' checkpoints a running
-    daemon now; 'snapshot inspect FILE' verifies a snapshot offline.";
+    daemon now; 'snapshot inspect FILE' verifies a snapshot offline.
+
+SESSIONS (v2 API):
+    'session' verbs talk the versioned v2 envelope (POST /v2/query over
+    --remote-http, pcp2 frames over --remote) to a daemon-resident graph
+    handle whose cotree is maintained incrementally across mutations.
+    'create' opens a handle (empty, or seeded from a graph file); 'add-vertex'
+    inserts one vertex wired to --neighbors (incremental recognition, no full
+    re-run); 'add-edges'/'remove-edge' mutate existing vertices; 'query' runs
+    any QUERY KIND against the resident cotree; 'drop' releases the handle.
+    A mutation that would leave a non-cograph is rejected with its induced-P4
+    witness and the session stays at the last good state.";
 
 /// Pull the value of `--flag VALUE` out of `args`, if present.
 fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
@@ -611,6 +630,16 @@ impl RemoteClient {
             RemoteClient::Http(client) => client.save_snapshot().map_err(|e| e.to_string()),
         }
     }
+
+    /// Sends one v2 envelope (`POST /v2/query` over HTTP, a `pcp2` frame
+    /// over the unix socket) and returns the reply envelope verbatim.
+    fn query_v2(&mut self, envelope: &Json) -> Result<Json, String> {
+        match self {
+            #[cfg(unix)]
+            RemoteClient::Socket(client) => client.query_v2(envelope).map_err(|e| e.to_string()),
+            RemoteClient::Http(client) => client.query_v2(envelope).map_err(|e| e.to_string()),
+        }
+    }
 }
 
 fn cmd_snapshot(args: &[String]) -> Result<ExitCode, String> {
@@ -689,6 +718,228 @@ fn cmd_snapshot(args: &[String]) -> Result<ExitCode, String> {
         }
         other => Err(format!("unknown snapshot action '{other}'\n{USAGE}")),
     }
+}
+
+/// Builds one v2 request envelope (`{"api_version":2,"op":...,"target":...,
+/// "params":...}`).
+fn v2_envelope(op: &str, target: Option<Json>, params: Vec<(&str, Json)>) -> Json {
+    let mut fields = vec![
+        ("api_version", Json::num(pcservice::API_VERSION)),
+        ("op", Json::str(op)),
+    ];
+    if let Some(target) = target {
+        fields.push(("target", target));
+    }
+    if !params.is_empty() {
+        fields.push(("params", Json::obj(params)));
+    }
+    Json::obj(fields)
+}
+
+/// The `{"session": HANDLE}` target object.
+fn session_target(handle: &str) -> Json {
+    Json::obj(vec![("session", Json::str(handle))])
+}
+
+fn parse_vertex(text: &str, what: &str) -> Result<Json, String> {
+    text.trim()
+        .parse::<u32>()
+        .map(|v| Json::num(v as u64))
+        .map_err(|_| format!("{what}: '{text}' is not a vertex id"))
+}
+
+/// One human-readable line for a session-state reply (`create` and every
+/// mutation answer this shape).
+fn print_session_state(result: &Json) {
+    let num = |field: &str| result.get(field).and_then(Json::as_u64).unwrap_or(0);
+    let new_vertex = result
+        .get("new_vertex")
+        .and_then(Json::as_u64)
+        .map(|v| format!(", new vertex {v}"))
+        .unwrap_or_default();
+    println!(
+        "session {}: {} vertices, {} edges (mutation #{}, cotree {}{new_vertex})",
+        result.get("handle").and_then(Json::as_str).unwrap_or("?"),
+        num("vertices"),
+        num("edges"),
+        num("mutations"),
+        result
+            .get("maintenance")
+            .and_then(Json::as_str)
+            .unwrap_or("?"),
+    );
+}
+
+fn cmd_session(args: &[String]) -> Result<ExitCode, String> {
+    let Some((action, rest)) = args.split_first() else {
+        return Err(format!(
+            "'session' needs an action: create, add-vertex, add-edges, remove-edge, query or drop\n{USAGE}"
+        ));
+    };
+    let mut rest = rest.to_vec();
+    let remote = take_remote(&mut rest)?.ok_or_else(|| {
+        format!("'session {action}' needs --remote SOCK or --remote-http ADDR\n{USAGE}")
+    })?;
+    let json = take_switch(&mut rest, "--json");
+    let envelope = match action.as_str() {
+        "create" => {
+            let format = take_flag(&mut rest, "--format")?;
+            let target = match rest.as_slice() {
+                [] => None,
+                [graph_path] => {
+                    let spec = graph_spec(read_input(graph_path)?, format.as_deref())?;
+                    Some(spec.to_json().expect("inline specs always serialise"))
+                }
+                _ => {
+                    return Err(format!(
+                        "'session create' takes at most one <graph>\n{USAGE}"
+                    ))
+                }
+            };
+            v2_envelope("session_create", target, vec![])
+        }
+        "add-vertex" => {
+            let neighbors = take_flag(&mut rest, "--neighbors")?;
+            let [handle] = rest.as_slice() else {
+                return Err(format!(
+                    "'session add-vertex' needs exactly one HANDLE\n{USAGE}"
+                ));
+            };
+            let neighbors: Vec<Json> = match neighbors {
+                None => vec![],
+                Some(list) => list
+                    .split(',')
+                    .filter(|t| !t.trim().is_empty())
+                    .map(|t| parse_vertex(t, "--neighbors"))
+                    .collect::<Result<_, _>>()?,
+            };
+            v2_envelope(
+                "session_add_vertex",
+                Some(session_target(handle)),
+                vec![("neighbors", Json::Arr(neighbors))],
+            )
+        }
+        "add-edges" => {
+            let Some((handle, vertices)) = rest.split_first() else {
+                return Err(format!(
+                    "'session add-edges' needs HANDLE U V [U V ...]\n{USAGE}"
+                ));
+            };
+            if vertices.is_empty() || vertices.len() % 2 != 0 {
+                return Err(
+                    "'session add-edges' needs an even, non-zero number of vertex ids \
+                     (each U V pair is one edge)"
+                        .to_string(),
+                );
+            }
+            let edges: Vec<Json> = vertices
+                .chunks(2)
+                .map(|pair| {
+                    Ok(Json::Arr(vec![
+                        parse_vertex(&pair[0], "add-edges")?,
+                        parse_vertex(&pair[1], "add-edges")?,
+                    ]))
+                })
+                .collect::<Result<_, String>>()?;
+            v2_envelope(
+                "session_add_edges",
+                Some(session_target(handle)),
+                vec![("edges", Json::Arr(edges))],
+            )
+        }
+        "remove-edge" => {
+            let [handle, u, v] = rest.as_slice() else {
+                return Err(format!("'session remove-edge' needs HANDLE U V\n{USAGE}"));
+            };
+            v2_envelope(
+                "session_remove_edge",
+                Some(session_target(handle)),
+                vec![(
+                    "edge",
+                    Json::Arr(vec![
+                        parse_vertex(u, "remove-edge")?,
+                        parse_vertex(v, "remove-edge")?,
+                    ]),
+                )],
+            )
+        }
+        "query" => {
+            let query = take_flag(&mut rest, "--query")?;
+            let [handle] = rest.as_slice() else {
+                return Err(format!("'session query' needs exactly one HANDLE\n{USAGE}"));
+            };
+            let kind = match query.as_deref() {
+                None => QueryKind::FullCover,
+                Some(name) => {
+                    QueryKind::parse(name).ok_or_else(|| format!("unknown query kind '{name}'"))?
+                }
+            };
+            v2_envelope(
+                "session_query",
+                Some(session_target(handle)),
+                vec![("kind", Json::str(kind.as_str()))],
+            )
+        }
+        "drop" => {
+            let [handle] = rest.as_slice() else {
+                return Err(format!("'session drop' needs exactly one HANDLE\n{USAGE}"));
+            };
+            v2_envelope("session_drop", Some(session_target(handle)), vec![])
+        }
+        other => return Err(format!("unknown session action '{other}'\n{USAGE}")),
+    };
+    let mut client = remote.connect()?;
+    let reply = client
+        .query_v2(&envelope)
+        .map_err(|e| format!("remote session {action}: {e}"))?;
+    if json {
+        println!("{reply}");
+    } else if reply.get("ok").and_then(Json::as_bool) != Some(true) {
+        // Operation-level failure: print the typed error (and, for a
+        // rejected insertion, its induced-P4 certificate) like solve does.
+        let error = reply.get("error").cloned().unwrap_or(Json::Null);
+        println!(
+            "error [{}]: {}",
+            error
+                .get("code")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown"),
+            error
+                .get("message")
+                .and_then(Json::as_str)
+                .unwrap_or("(no message)")
+        );
+        if let Some(Json::Arr(p4)) = error.get("p4") {
+            let path = p4
+                .iter()
+                .map(Json::to_string)
+                .collect::<Vec<_>>()
+                .join(" - ");
+            println!("  induced P4: {path}");
+        }
+    } else {
+        let result = reply.get("result").cloned().unwrap_or(Json::Null);
+        match action.as_str() {
+            "query" => print_human_json(&result),
+            "drop" => println!(
+                "session {} dropped",
+                result.get("handle").and_then(Json::as_str).unwrap_or("?")
+            ),
+            _ => print_session_state(&result),
+        }
+    }
+    let failed = reply.get("ok").and_then(Json::as_bool) != Some(true)
+        || (action == "query"
+            && reply
+                .get("result")
+                .and_then(|r| r.get("ok"))
+                .and_then(Json::as_bool)
+                != Some(true));
+    Ok(if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
@@ -809,7 +1060,7 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
             // The resolved address matters when --http asked for port 0.
             eprintln!(
                 "pathcover daemon serving http on {addr} (POST /v1/solve, POST /v1/batch, \
-                 GET /v1/stats, GET /healthz; POST /v1/shutdown to stop)"
+                 GET /v1/stats, GET /healthz, POST /v2/query; POST /v1/shutdown to stop)"
             );
         }
         daemon.run().map_err(|e| format!("serving: {e}"))?;

@@ -32,9 +32,11 @@
 
 use crate::engine::{EngineConfig, QueryEngine};
 use crate::http;
+use crate::json::Json;
 use crate::proto::{self, ProtoError, Request};
 use crate::snapshot;
 use crate::telemetry::{RequestCtx, Transport};
+use crate::v2;
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{Shutdown as SocketShutdown, SocketAddr, TcpListener, TcpStream};
@@ -583,12 +585,22 @@ pub fn serve_proto_conn<C: Connection>(conn: C, engine: &QueryEngine, shutdown: 
 /// Serves one frame: read, decode, dispatch, reply. The returned action is
 /// authoritative even when the reply could not be written — a `shutdown`
 /// whose acknowledgement hits a dead client must still stop the daemon.
+///
+/// The frame header's version tag picks the dialect — `pcp1` frames carry
+/// the legacy per-verb messages, `pcp2` frames the [`crate::v2`] envelope —
+/// and the reply is framed with the same tag, so one connection can
+/// interleave both dialects.
 fn serve_frame<R: BufRead, W: Write>(
     reader: &mut R,
     writer: &mut W,
     engine: &QueryEngine,
 ) -> Result<proto::Action, ProtoError> {
-    let payload = proto::read_frame(reader)?;
+    let (version, body) = proto::read_frame_raw(reader)?;
+    let decoded = Json::parse(&body).map_err(ProtoError::BadJson);
+    if version == v2::API_VERSION {
+        return serve_v2_frame(writer, engine, decoded);
+    }
+    let payload = decoded?;
     // The raw frame's trace_id is read *before* decoding, so even a frame
     // that fails to decode gets its error reply correlated.
     let ctx = match proto::request_trace(&payload) {
@@ -614,6 +626,48 @@ fn serve_frame<R: BufRead, W: Write>(
             let reply =
                 proto::attach_trace(proto::error_reply("frame_too_large", &e.to_string()), &ctx);
             proto::write_frame(writer, &reply)
+        }
+        other => other,
+    };
+    if action == proto::Action::Shutdown {
+        return Ok(action);
+    }
+    written?;
+    Ok(action)
+}
+
+/// The `pcp2` half of [`serve_frame`]: same recoverable-vs-fatal contract,
+/// but replies — protocol errors included — are v2 envelopes in `pcp2`
+/// frames.
+fn serve_v2_frame<W: Write>(
+    writer: &mut W,
+    engine: &QueryEngine,
+    decoded: Result<Json, ProtoError>,
+) -> Result<proto::Action, ProtoError> {
+    let payload = match decoded {
+        Ok(payload) => payload,
+        Err(error) if error.is_recoverable() => {
+            // The frame was consumed cleanly but its payload never parsed:
+            // report in-dialect and keep serving.
+            let reply = v2::protocol_error_envelope(
+                error.code(),
+                &error.to_string(),
+                &RequestCtx::generate(),
+            );
+            proto::write_frame_v(writer, &reply, v2::API_VERSION)?;
+            return Ok(proto::Action::Continue);
+        }
+        Err(error) => return Err(error),
+    };
+    let ctx = match proto::request_trace(&payload) {
+        Some(trace) => RequestCtx::with_trace(trace),
+        None => RequestCtx::generate(),
+    };
+    let (reply, action) = v2::dispatch_envelope(engine, &payload, &ctx);
+    let written = match proto::write_frame_v(writer, &reply, v2::API_VERSION) {
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+            let reply = v2::protocol_error_envelope("frame_too_large", &e.to_string(), &ctx);
+            proto::write_frame_v(writer, &reply, v2::API_VERSION)
         }
         other => other,
     };

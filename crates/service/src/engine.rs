@@ -65,6 +65,12 @@ pub struct EngineConfig {
     /// engages when at least two worker threads are available, so the
     /// default never slows down a single-core host.
     pub parallel_min_vertices: usize,
+    /// Admission cap on live daemon-resident session handles; creating a
+    /// session past the cap fails with [`ServiceError::TooManySessions`].
+    pub max_sessions: usize,
+    /// Idle time after which an untouched session handle becomes eligible
+    /// for the garbage sweep (run opportunistically on registry traffic).
+    pub session_idle_ttl: std::time::Duration,
 }
 
 impl Default for EngineConfig {
@@ -79,17 +85,20 @@ impl Default for EngineConfig {
             slow_log_micros: None,
             pool_threads: 0,
             parallel_min_vertices: 1 << 16,
+            max_sessions: 256,
+            session_idle_ttl: std::time::Duration::from_secs(600),
         }
     }
 }
 
-/// A graph resolved to its cotree, ready to solve.
-struct Resolved {
-    entry: Arc<SolveEntry>,
+/// A graph resolved to its cotree, ready to solve. Built by the resolve
+/// path here and by [`crate::session`] from a resident session cotree.
+pub(crate) struct Resolved {
+    pub(crate) entry: Arc<SolveEntry>,
     /// The graph as ingested (kept for cover verification); absent when the
     /// request arrived as a cotree and no graph was materialised yet.
-    graph: Option<Arc<Graph>>,
-    cache: CacheStatus,
+    pub(crate) graph: Option<Arc<Graph>>,
+    pub(crate) cache: CacheStatus,
 }
 
 /// The batch's shared graph, parsed once; every job using it still performs
@@ -122,6 +131,8 @@ pub struct QueryEngine {
     /// Lazily created work-stealing pool shared by all large solves; the
     /// mutex serialises parallel solves so one huge graph gets every core.
     pool: Mutex<Option<Pool>>,
+    /// Daemon-resident session handles (see [`crate::session`]).
+    pub(crate) sessions: crate::session::SessionRegistry,
 }
 
 impl Default for QueryEngine {
@@ -147,6 +158,7 @@ impl QueryEngine {
             snapshot: Mutex::new(None),
             telemetry,
             pool: Mutex::new(None),
+            sessions: crate::session::SessionRegistry::new(),
         }
     }
 
@@ -402,7 +414,7 @@ impl QueryEngine {
 
     /// Books a completed request into the registry and emits the
     /// structured slow-request/error log line when warranted.
-    fn finish_request(&self, response: &QueryResponse, ctx: &RequestCtx) {
+    pub(crate) fn finish_request(&self, response: &QueryResponse, ctx: &RequestCtx) {
         let outcome = match &response.outcome {
             Ok(_) => Outcome::Ok,
             Err(error) => Outcome::from_error_code(error.code()),
@@ -560,7 +572,7 @@ impl QueryEngine {
         })
     }
 
-    fn solve(
+    pub(crate) fn solve(
         &self,
         kind: QueryKind,
         resolved: &Resolved,

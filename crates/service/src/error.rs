@@ -7,6 +7,7 @@
 //! human-readable text and as a machine-readable JSON object.
 
 use crate::ingest::IngestError;
+use crate::json::Json;
 use cograph::RecognitionError;
 use pcgraph::VertexId;
 use std::fmt;
@@ -40,6 +41,19 @@ pub enum ServiceError {
     JobPanicked(String),
     /// The request itself was malformed (bad JSON line, unknown kind, ...).
     BadRequest(String),
+    /// The request named a session handle the daemon does not hold (never
+    /// created, already dropped, or reclaimed by the idle-TTL sweep).
+    SessionNotFound(String),
+    /// The session registry is at its admission cap; the client must drop
+    /// a handle (or wait for the idle sweep) before creating another.
+    TooManySessions {
+        /// The configured admission cap.
+        max: usize,
+    },
+    /// A session mutation named an invalid vertex: out of range, a
+    /// self-loop, or a duplicate within one insertion. Recoverable — the
+    /// session is untouched.
+    InvalidVertex(String),
 }
 
 impl ServiceError {
@@ -53,7 +67,30 @@ impl ServiceError {
             ServiceError::CoverVerificationFailed(_) => "cover_verification_failed",
             ServiceError::JobPanicked(_) => "job_panicked",
             ServiceError::BadRequest(_) => "bad_request",
+            ServiceError::SessionNotFound(_) => "session_not_found",
+            ServiceError::TooManySessions { .. } => "too_many_sessions",
+            ServiceError::InvalidVertex(_) => "invalid",
         }
+    }
+
+    /// The wire-format error body every transport and API version shares:
+    /// `code`, the human-readable `message`, and — for
+    /// [`ServiceError::NotACograph`] — the induced-`P_4` certificate as a
+    /// structured `p4` vertex array, so clients need not parse message
+    /// text. This is the single place the shape is built; the response
+    /// model and both the v1 and v2 dispatchers embed it verbatim.
+    pub fn wire_body(&self) -> Json {
+        let mut fields = vec![
+            ("code", Json::str(self.code())),
+            ("message", Json::str(self.to_string())),
+        ];
+        if let ServiceError::NotACograph { witness, .. } = self {
+            fields.push((
+                "p4",
+                Json::Arr(witness.iter().map(|&v| Json::num(v as u64)).collect()),
+            ));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -81,6 +118,13 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::JobPanicked(msg) => write!(f, "job panicked: {msg}"),
             ServiceError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServiceError::SessionNotFound(handle) => {
+                write!(f, "no such session: {handle}")
+            }
+            ServiceError::TooManySessions { max } => {
+                write!(f, "session limit reached ({max} live handles)")
+            }
+            ServiceError::InvalidVertex(msg) => write!(f, "invalid vertex: {msg}"),
         }
     }
 }

@@ -76,6 +76,7 @@ use crate::json::Json;
 use crate::model::{GraphSpec, QueryRequest};
 use crate::proto::{self, MAX_FRAME_LEN, PROTO_VERSION, SERVER_NAME};
 use crate::telemetry::RequestCtx;
+use crate::v2;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Read as _, Write};
 use std::net::TcpStream;
@@ -383,6 +384,9 @@ pub struct HttpResponse {
     pub reason: &'static str,
     /// The `Allow` header value (405 responses).
     pub allow: Option<&'static str>,
+    /// Emit a `Deprecation: true` header (every `/v1/*` response carries
+    /// it since the v2 envelope landed; `POST /v2/query` is the successor).
+    pub deprecated: bool,
     /// The body.
     pub body: HttpBody,
 }
@@ -393,6 +397,7 @@ impl HttpResponse {
             status: 200,
             reason: "OK",
             allow: None,
+            deprecated: false,
             body: HttpBody::Json(body),
         }
     }
@@ -402,6 +407,7 @@ impl HttpResponse {
             status: 200,
             reason: "OK",
             allow: None,
+            deprecated: false,
             body: HttpBody::Text(body),
         }
     }
@@ -411,8 +417,21 @@ impl HttpResponse {
             status,
             reason,
             allow: None,
+            deprecated: false,
             body: HttpBody::Json(proto::error_reply(code, message)),
         }
+    }
+
+    /// Attaches the trace id to the JSON body (idempotent; the Prometheus
+    /// text body is the one surface left untouched). Every reply path —
+    /// routed, oversize-reject and transport-error — funnels through here,
+    /// so no reply can leave without correlation.
+    fn attach_trace(&mut self, ctx: &RequestCtx) {
+        let body = std::mem::replace(&mut self.body, HttpBody::Text(String::new()));
+        self.body = match body {
+            HttpBody::Json(json) => HttpBody::Json(proto::attach_trace(json, ctx)),
+            text => text,
+        };
     }
 }
 
@@ -450,6 +469,9 @@ fn write_response_parts<W: Write>(
     )?;
     if let Some(allow) = response.allow {
         write!(w, "Allow: {allow}\r\n")?;
+    }
+    if response.deprecated {
+        write!(w, "Deprecation: true\r\n")?;
     }
     write!(
         w,
@@ -490,14 +512,42 @@ pub fn respond(engine: &QueryEngine, request: &HttpRequest) -> (HttpResponse, pr
         None => RequestCtx::generate(),
     };
     let (mut response, action) = route(engine, request, &ctx);
+    if request.path.starts_with("/v1/") {
+        // Deprecation surface: every /v1 route answers with a
+        // `Deprecation: true` header and a top-level `meta.api_version`
+        // marker in JSON bodies (Prometheus text can only carry the
+        // header). The markers sit *outside* the inner payload objects, so
+        // v1 bodies stay byte-identical to their v2-envelope equivalents.
+        response.deprecated = true;
+        if let HttpBody::Json(body) = response.body {
+            response.body = HttpBody::Json(attach_api_version(body, 1));
+        }
+    }
     // Locally-built replies (health, routing errors) get the trace here;
     // dispatched replies already carry it (the attachment is idempotent).
-    // The Prometheus text body is the one surface left untouched.
-    response.body = match response.body {
-        HttpBody::Json(body) => HttpBody::Json(proto::attach_trace(body, &ctx)),
-        text => text,
-    };
+    response.attach_trace(&ctx);
     (response, action)
+}
+
+/// Appends a top-level `meta.api_version` marker to a v1 reply body
+/// (merging into an existing top-level `meta` object if one ever appears).
+fn attach_api_version(body: Json, version: u64) -> Json {
+    let Json::Obj(mut fields) = body else {
+        return body;
+    };
+    match fields.iter_mut().find(|(key, _)| key == "meta") {
+        Some((_, Json::Obj(meta))) => {
+            if !meta.iter().any(|(key, _)| key == "api_version") {
+                meta.push(("api_version".to_string(), Json::num(version)));
+            }
+        }
+        Some(_) => {}
+        None => fields.push((
+            "meta".to_string(),
+            Json::obj(vec![("api_version", Json::num(version))]),
+        )),
+    }
+    Json::Obj(fields)
 }
 
 /// The route match behind [`respond`], before trace attachment.
@@ -560,6 +610,16 @@ fn route(
             },
             Err(response) => (response, proto::Action::Continue),
         },
+        // The v2 envelope: one route for every operation, body-dispatched.
+        // Operation failures are in-band (`ok: false` envelopes, status
+        // 200); only a body that is not JSON at all earns a 400.
+        ("POST", "/v2/query") => match parse_body(&request.body) {
+            Ok(value) => {
+                let (reply, action) = v2::dispatch_envelope(engine, &value, ctx);
+                (HttpResponse::ok(reply), action)
+            }
+            Err(response) => (response, proto::Action::Continue),
+        },
         (_, "/healthz" | "/v1/stats" | "/v1/metrics") => (
             HttpResponse {
                 allow: Some("GET, HEAD"),
@@ -572,7 +632,7 @@ fn route(
             },
             proto::Action::Continue,
         ),
-        (_, "/v1/solve" | "/v1/batch" | "/v1/snapshot" | "/v1/shutdown") => (
+        (_, "/v1/solve" | "/v1/batch" | "/v1/snapshot" | "/v1/shutdown" | "/v2/query") => (
             HttpResponse {
                 allow: Some("POST"),
                 ..HttpResponse::error(
@@ -638,10 +698,7 @@ pub fn serve_conn<C: crate::daemon::Connection>(
                         Some(trace) => RequestCtx::with_trace(trace.clone()),
                         None => RequestCtx::generate(),
                     };
-                    response.body = match response.body {
-                        HttpBody::Json(json) => HttpBody::Json(proto::attach_trace(json, &ctx)),
-                        text => text,
-                    };
+                    response.attach_trace(&ctx);
                     body = response.body.render();
                 }
                 let keep_alive = request.keep_alive && action == proto::Action::Continue;
@@ -689,11 +746,7 @@ pub fn serve_conn<C: crate::daemon::Connection>(
                         HttpResponse::error(status, reason, code, &error.to_string());
                     // No request made it through parsing, so there is no
                     // client-supplied ID — correlate with a fresh one.
-                    let ctx = RequestCtx::generate();
-                    response.body = match response.body {
-                        HttpBody::Json(json) => HttpBody::Json(proto::attach_trace(json, &ctx)),
-                        text => text,
-                    };
+                    response.attach_trace(&RequestCtx::generate());
                     let _ = write_response(&mut writer, &response, false);
                 }
                 break;
@@ -915,6 +968,14 @@ impl Client {
     pub fn shutdown(&mut self) -> Result<(), HttpError> {
         let reply = self.request("POST", "/v1/shutdown", None)?;
         Self::expect(reply, "shutdown_ok").map(|_| ())
+    }
+
+    /// `POST /v2/query`: sends one v2 envelope and returns the reply
+    /// envelope verbatim. Operation failures are *in-band* — the reply
+    /// answers 200 with `"ok": false` and a typed `error` object — so the
+    /// caller inspects the envelope rather than matching on [`HttpError`].
+    pub fn query_v2(&mut self, envelope: &Json) -> Result<Json, HttpError> {
+        self.request("POST", "/v2/query", Some(envelope))
     }
 }
 

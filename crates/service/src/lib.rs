@@ -26,14 +26,22 @@
 //! 5. Every returned cover and Hamiltonian witness is re-checked with
 //!    [`pcgraph::verify_path_cover`] before the response leaves the engine.
 //!
-//! Above the engine sits the serving stack: [`proto`] defines a versioned,
-//! length-framed JSON wire format (`hello` / `solve` / `batch` / `stats` /
-//! `snapshot` / `shutdown` and typed replies) over any byte stream,
-//! [`http`] adapts the same messages to HTTP/1.1 routes (`POST /v1/solve`,
-//! `POST /v1/batch`, `GET /v1/stats`, `GET /healthz`, `POST /v1/snapshot`,
-//! `POST /v1/shutdown`), and [`daemon`] runs a long-lived shared engine
-//! behind a unix domain socket, a TCP socket, or both at once, so the
-//! cotree cache amortises across client processes and transports.
+//! Above the engine sits the serving stack: [`v2`] defines the versioned
+//! request envelope (`{op, target, params, trace_id}`) and the single
+//! dispatcher every operation runs through; [`proto`] defines a
+//! length-framed JSON wire format over any byte stream, carrying both the
+//! legacy v1 verbs (`hello` / `solve` / `batch` / `stats` / `snapshot` /
+//! `shutdown`, each a thin shim over the v2 dispatcher) and raw `pcp2`
+//! envelope frames; [`http`] adapts the same messages to HTTP/1.1 routes
+//! (`POST /v1/solve`, `POST /v1/batch`, `GET /v1/stats`, `GET /healthz`,
+//! `POST /v1/snapshot`, `POST /v1/shutdown`, and `POST /v2/query` for the
+//! envelope); and [`daemon`] runs a long-lived shared engine behind a unix
+//! domain socket, a TCP socket, or both at once, so the cotree cache
+//! amortises across client processes and transports. [`session`] adds
+//! daemon-resident graph handles on top: mutate a resident graph
+//! edge-by-edge and query its incrementally-maintained cotree (insertions
+//! never re-run full recognition; an illegal one is refused with its
+//! induced-`P_4` witness and the session keeps its last good state).
 //! [`snapshot`] makes the cache survive the process itself: a verified,
 //! checksummed on-disk format (`pcsnap1`) saved on shutdown and on a
 //! background checkpoint interval, reloaded — after integrity verification,
@@ -41,9 +49,10 @@
 //! begin warm.
 //!
 //! The `pathcover-cli` binary in this crate exposes the engine on the
-//! command line (`solve`, `batch`, `bench`, `recognize`) reading files or
-//! stdin and emitting human-readable text or JSON lines; `serve` starts the
-//! daemon (`--socket` and/or `--http`) and `--remote <socket>` /
+//! command line (`solve`, `batch`, `bench`, `recognize`, plus a `session`
+//! noun that drives the v2 envelope) reading files or stdin and emitting
+//! human-readable text or JSON lines; `serve` starts the daemon
+//! (`--socket` and/or `--http`) and `--remote <socket>` /
 //! `--remote-http <addr>` turn the query subcommands into thin clients of
 //! one.
 //!
@@ -72,8 +81,10 @@ pub mod ingest;
 pub mod json;
 pub mod model;
 pub mod proto;
+pub mod session;
 pub mod snapshot;
 pub mod telemetry;
+pub mod v2;
 
 pub use cache::{
     canonical_eq, canonical_key, graph_fingerprint, CacheStats, CotreeCache, MemoisedScalars,
@@ -90,8 +101,10 @@ pub use model::{
     Answer, CacheStatus, GraphSpec, QueryKind, QueryRequest, QueryResponse, ResponseMeta,
 };
 pub use proto::{ProtoError, MAX_FRAME_LEN, PROTO_VERSION};
+pub use session::{Maintenance, SessionInfo, SessionRegistry, SessionState};
 pub use snapshot::{LoadOutcome, SnapshotError, SNAPSHOT_VERSION};
 pub use telemetry::{
     Histogram, HistogramSnapshot, MetricsReport, Outcome, PipelineClock, RequestCtx, Stage,
     Telemetry, Transport,
 };
+pub use v2::API_VERSION;

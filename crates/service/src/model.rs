@@ -369,20 +369,7 @@ impl QueryResponse {
             }
             Err(error) => {
                 fields.push(("ok", Json::Bool(false)));
-                let mut error_fields = vec![
-                    ("code", Json::str(error.code())),
-                    ("message", Json::str(error.to_string())),
-                ];
-                // Structured certificate: a not_a_cograph rejection carries
-                // its induced P4 as a machine-readable vertex array, so
-                // clients need not parse the message text.
-                if let ServiceError::NotACograph { witness, .. } = error {
-                    error_fields.push((
-                        "p4",
-                        Json::Arr(witness.iter().map(|&v| Json::num(v as u64)).collect()),
-                    ));
-                }
-                fields.push(("error", Json::obj(error_fields)));
+                fields.push(("error", error.wire_body()));
             }
         }
         let mut meta = vec![

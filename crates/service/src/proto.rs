@@ -15,6 +15,13 @@
 //! explicit length lets payloads contain newlines and lets the reader
 //! allocate exactly once.
 //!
+//! The version tag selects the payload dialect per frame: `pcp1` frames
+//! carry the per-verb messages below, `pcp2` frames carry the
+//! [`crate::v2`] request envelope (one `{op, target, params, trace_id}`
+//! shape for every operation, sessions included). Replies use the tag of
+//! the request they answer, so one connection can interleave both; the
+//! `hello` reply advertises `supported_versions` so clients can probe.
+//!
 //! ## Messages
 //!
 //! Client → server frames are objects tagged by a `"type"` field —
@@ -42,13 +49,20 @@ use crate::cache::ShardStats;
 use crate::engine::QueryEngine;
 use crate::json::{Json, JsonError};
 use crate::model::{GraphSpec, QueryRequest, QueryResponse};
-use crate::snapshot::{SaveReport, SnapshotError, SNAPSHOT_VERSION};
+use crate::snapshot::{SaveReport, SNAPSHOT_VERSION};
 use crate::telemetry::{RequestCtx, Stage};
+use crate::v2;
 use std::fmt;
 use std::io::{self, BufRead, Write};
 
-/// Protocol version spoken by this build.
+/// Protocol version spoken by this build's legacy (per-verb) dialect.
 pub const PROTO_VERSION: u64 = 1;
+
+/// Every frame dialect this build serves: `pcp1` (the legacy per-verb
+/// messages below) and `pcp2` (the [`crate::v2`] request envelope). The
+/// dialect is chosen per *frame*, not per connection, and the server
+/// replies with the tag the request used.
+pub const SUPPORTED_VERSIONS: [u64; 2] = [PROTO_VERSION, crate::v2::API_VERSION];
 
 /// Hard cap on a message payload's size (16 MiB). A peer announcing more is
 /// fatally rejected before any allocation happens.
@@ -159,6 +173,14 @@ impl From<io::Error> for ProtoError {
 /// *before* any bytes hit the stream, so the connection stays in sync and
 /// the caller can substitute a small `error` reply instead.
 pub fn write_frame<W: Write>(w: &mut W, payload: &Json) -> io::Result<()> {
+    write_frame_v(w, payload, PROTO_VERSION)
+}
+
+/// [`write_frame`] with an explicit dialect tag: `version` 1 writes a
+/// `pcp1` frame (the legacy per-verb messages), 2 a `pcp2` frame (the
+/// [`crate::v2`] envelope). The dialect is chosen per frame, not per
+/// connection — the server replies in whichever dialect each request used.
+pub fn write_frame_v<W: Write>(w: &mut W, payload: &Json, version: u64) -> io::Result<()> {
     let body = payload.to_string();
     if body.len() > MAX_FRAME_LEN {
         return Err(io::Error::new(
@@ -169,16 +191,35 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &Json) -> io::Result<()> {
             ),
         ));
     }
-    write!(w, "pcp{PROTO_VERSION} {}\n{body}\n", body.len())?;
+    write!(w, "pcp{version} {}\n{body}\n", body.len())?;
     w.flush()
 }
 
-/// Reads one frame, returning its decoded JSON payload.
+/// Reads one `pcp1` frame, returning its decoded JSON payload.
 ///
 /// Framing defects (bad magic, oversized length, truncated payload) are
 /// fatal; a payload that is not valid JSON is recoverable because exactly
-/// `len + 1` bytes were consumed either way.
+/// `len + 1` bytes were consumed either way. A well-formed frame in a
+/// different supported dialect (`pcp2`) is refused with
+/// [`ProtoError::UnsupportedVersion`] — version-1 clients use this reader;
+/// the version-agnostic server loop uses [`read_frame_raw`].
 pub fn read_frame<R: BufRead>(r: &mut R) -> Result<Json, ProtoError> {
+    let (version, body) = read_frame_raw(r)?;
+    if version != PROTO_VERSION {
+        return Err(ProtoError::UnsupportedVersion(version));
+    }
+    Json::parse(&body).map_err(ProtoError::BadJson)
+}
+
+/// Reads one frame in any supported dialect (`pcp1` / `pcp2`), returning
+/// the header's version tag and the raw payload text, not yet parsed.
+///
+/// The caller picks the dialect off the version: the daemon decodes
+/// version-1 payloads as [`Request`] messages and version-2 payloads as
+/// [`crate::v2`] envelopes, and replies with the same tag. Versions outside
+/// the supported set are refused *before* the payload is read — their
+/// framing cannot be trusted, so the connection must die in sync.
+pub fn read_frame_raw<R: BufRead>(r: &mut R) -> Result<(u64, String), ProtoError> {
     let mut header: Vec<u8> = Vec::new();
     loop {
         let mut byte = [0u8; 1];
@@ -207,7 +248,7 @@ pub fn read_frame<R: BufRead>(r: &mut R) -> Result<Json, ProtoError> {
     let rest = text.strip_prefix("pcp").ok_or_else(bad)?;
     let (version, len) = rest.split_once(' ').ok_or_else(bad)?;
     let version: u64 = version.parse().map_err(|_| bad())?;
-    if version != PROTO_VERSION {
+    if !SUPPORTED_VERSIONS.contains(&version) {
         return Err(ProtoError::UnsupportedVersion(version));
     }
     let len: usize = len.parse().map_err(|_| bad())?;
@@ -224,9 +265,9 @@ pub fn read_frame<R: BufRead>(r: &mut R) -> Result<Json, ProtoError> {
             "frame missing terminator".to_string(),
         ));
     }
-    let text = std::str::from_utf8(&body)
+    let text = String::from_utf8(body)
         .map_err(|_| ProtoError::BadMessage("frame payload is not UTF-8".to_string()))?;
-    Json::parse(text).map_err(ProtoError::BadJson)
+    Ok((version, text))
 }
 
 /// A decoded client → server message.
@@ -373,35 +414,82 @@ pub fn dispatch(engine: &QueryEngine, request: &Request) -> (Json, Action) {
 /// ID is threaded through the engine (so response metadata and slow-log
 /// lines carry it) and echoed as a top-level `trace_id` field of every
 /// reply, `error` replies included.
+///
+/// Since the v2 envelope landed, this is a *shim*: every verb (except the
+/// `hello` handshake, which has no v2 counterpart) is mapped onto a
+/// [`crate::v2::Op`], executed by [`crate::v2::execute_op`] — the one
+/// dispatcher both API versions share — and the identical result payload
+/// is re-wrapped in the legacy per-verb reply shape.
 pub fn dispatch_ctx(engine: &QueryEngine, request: &Request, ctx: &RequestCtx) -> (Json, Action) {
-    let (reply, action) = match request {
+    let op = match request {
         Request::Hello { proto } => {
-            if *proto == PROTO_VERSION {
-                (hello_reply(), Action::Continue)
+            let reply = if *proto == PROTO_VERSION {
+                hello_reply()
             } else {
-                (
-                    error_reply(
-                        "unsupported_version",
-                        &format!("server speaks pcp{PROTO_VERSION}, client sent pcp{proto}"),
-                    ),
-                    Action::Continue,
+                error_reply(
+                    "unsupported_version",
+                    &format!("server speaks pcp{PROTO_VERSION}, client sent pcp{proto}"),
                 )
-            }
+            };
+            return (attach_trace(reply, ctx), Action::Continue);
         }
-        Request::Solve(query) => {
-            let response = engine.execute_ctx(query, ctx);
-            (response_reply(&response), Action::Continue)
-        }
-        Request::Batch { shared, requests } => {
-            let responses = engine.execute_batch_ctx(shared.as_ref(), requests, ctx);
-            (batch_reply(&responses), Action::Continue)
-        }
-        Request::Stats => (stats_reply(engine), Action::Continue),
-        Request::Metrics => (metrics_reply(engine), Action::Continue),
-        Request::Snapshot => (snapshot_now_reply(engine), Action::Continue),
-        Request::Shutdown => (shutdown_reply(), Action::Shutdown),
+        Request::Solve(query) => v2::Op::Solve {
+            target: v2::Target::Inline(query.graph.clone()),
+            kind: query.kind,
+            id: query.id.clone(),
+        },
+        Request::Batch { shared, requests } => v2::Op::Batch {
+            shared: shared.clone(),
+            requests: requests.clone(),
+        },
+        Request::Stats => v2::Op::Stats,
+        Request::Metrics => v2::Op::Metrics,
+        Request::Snapshot => v2::Op::Snapshot,
+        Request::Shutdown => v2::Op::Shutdown,
     };
-    (attach_trace(reply, ctx), action)
+    let (result, action) = v2::execute_op(engine, &op, ctx);
+    (attach_trace(legacy_reply(&op, result), ctx), action)
+}
+
+/// Re-wraps a shared-dispatcher outcome in the legacy v1 reply shape for
+/// its verb. The payloads inside are the [`crate::v2::execute_op`] results,
+/// untouched — byte-identity between the API versions is by construction.
+fn legacy_reply(op: &v2::Op, result: Result<Json, v2::OpError>) -> Json {
+    let result = match result {
+        // v1 has no envelope to flag `ok` on: operation-level failures are
+        // `error` replies (engine-level failures ride inside the response
+        // objects, exactly as in v2 results).
+        Err(error) => return error_reply(error.code(), &error.message()),
+        Ok(result) => result,
+    };
+    match op {
+        v2::Op::Solve { .. } => {
+            Json::obj(vec![("type", Json::str("response")), ("response", result)])
+        }
+        v2::Op::Batch { .. } => Json::obj(vec![
+            ("type", Json::str("batch")),
+            (
+                "responses",
+                result
+                    .get("responses")
+                    .cloned()
+                    .unwrap_or(Json::Arr(vec![])),
+            ),
+        ]),
+        v2::Op::Stats => Json::obj(vec![("type", Json::str("stats")), ("stats", result)]),
+        v2::Op::Metrics => Json::obj(vec![("type", Json::str("metrics")), ("metrics", result)]),
+        v2::Op::Snapshot => {
+            let mut fields = vec![("type".to_string(), Json::str("snapshot_ok"))];
+            if let Json::Obj(result_fields) = result {
+                fields.extend(result_fields);
+            }
+            Json::Obj(fields)
+        }
+        v2::Op::Shutdown => shutdown_reply(),
+        // Session verbs exist only in the v2 envelope; no v1 request maps
+        // onto them.
+        _ => error_reply("bad_message", "operation has no v1 reply shape"),
+    }
 }
 
 /// Appends the context's trace ID as a top-level `trace_id` reply field.
@@ -424,28 +512,14 @@ pub fn request_trace(value: &Json) -> Option<&str> {
     value.get("trace_id").and_then(Json::as_str)
 }
 
-/// Serves a `snapshot` (save-now) request: persists the cache and reports
-/// what was written, or answers a typed error — `snapshot_unconfigured`
-/// when the daemon runs without `--snapshot`, `snapshot_failed` when the
-/// write itself failed. Both are recoverable error replies.
-fn snapshot_now_reply(engine: &QueryEngine) -> Json {
-    match engine.save_snapshot() {
-        Ok(report) => snapshot_reply(engine, &report),
-        Err(error @ SnapshotError::NotConfigured) => {
-            error_reply("snapshot_unconfigured", &error.to_string())
-        }
-        Err(error) => error_reply("snapshot_failed", &error.to_string()),
-    }
-}
-
-/// The `snapshot_ok` reply describing a completed save.
-pub fn snapshot_reply(engine: &QueryEngine, report: &SaveReport) -> Json {
+/// The fields of a completed save, shared verbatim between the v1
+/// `snapshot_ok` reply and the v2 `snapshot` result.
+pub fn snapshot_payload(engine: &QueryEngine, report: &SaveReport) -> Json {
     let path = engine
         .snapshot_meta()
         .map(|meta| Json::str(meta.path.display().to_string()))
         .unwrap_or(Json::Null);
     Json::obj(vec![
-        ("type", Json::str("snapshot_ok")),
         ("entries", Json::num(report.entries as u64)),
         ("links", Json::num(report.links as u64)),
         ("bytes", Json::num(report.bytes)),
@@ -453,11 +527,27 @@ pub fn snapshot_reply(engine: &QueryEngine, report: &SaveReport) -> Json {
     ])
 }
 
-/// The server's `hello` reply.
+/// The `snapshot_ok` reply describing a completed save.
+pub fn snapshot_reply(engine: &QueryEngine, report: &SaveReport) -> Json {
+    let mut fields = vec![("type".to_string(), Json::str("snapshot_ok"))];
+    if let Json::Obj(payload) = snapshot_payload(engine, report) {
+        fields.extend(payload);
+    }
+    Json::Obj(fields)
+}
+
+/// The server's `hello` reply. `proto` names the legacy dialect (what a
+/// version-1 client expects to match on); `supported_versions` advertises
+/// every frame dialect this build serves, so newer clients can discover
+/// `pcp2` without a second handshake.
 pub fn hello_reply() -> Json {
     Json::obj(vec![
         ("type", Json::str("hello")),
         ("proto", Json::num(PROTO_VERSION)),
+        (
+            "supported_versions",
+            Json::Arr(SUPPORTED_VERSIONS.iter().map(|&v| Json::num(v)).collect()),
+        ),
         ("server", Json::str(SERVER_NAME)),
     ])
 }
@@ -549,8 +639,39 @@ pub fn stats_payload(engine: &QueryEngine) -> Json {
         ("uptime_secs", Json::num(engine.uptime_secs())),
         ("requests_total", Json::num(report.total_requests())),
         ("stages", stages),
+        ("sessions", sessions_payload(engine)),
         ("version", version_payload()),
         ("snapshot", snapshot),
+    ])
+}
+
+/// The live-session block of the stats payload: the handle count plus one
+/// object per resident handle (`handle` / `vertices` / `edges` /
+/// `mutations` / `idle_secs`). Collecting it sweeps the idle-TTL reaper
+/// first, so stats never report already-expired handles. Sessions are
+/// daemon-resident state, deliberately *excluded* from `pcsnap1` cache
+/// snapshots — this block is where operators see them instead.
+pub fn sessions_payload(engine: &QueryEngine) -> Json {
+    let infos = engine.session_stats();
+    Json::obj(vec![
+        ("live", Json::num(infos.len() as u64)),
+        (
+            "handles",
+            Json::Arr(
+                infos
+                    .iter()
+                    .map(|info| {
+                        Json::obj(vec![
+                            ("handle", Json::str(info.handle.clone())),
+                            ("vertices", Json::num(info.vertices as u64)),
+                            ("edges", Json::num(info.edges as u64)),
+                            ("mutations", Json::num(info.mutations)),
+                            ("idle_secs", Json::num(info.idle_secs)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -562,14 +683,23 @@ pub fn stats_reply(engine: &QueryEngine) -> Json {
     ])
 }
 
-/// Wraps the engine's full metrics report in a `metrics` reply (the
-/// [`crate::telemetry::MetricsReport::to_json`] shape plus version info).
-pub fn metrics_reply(engine: &QueryEngine) -> Json {
+/// The full metrics report payload (the
+/// [`crate::telemetry::MetricsReport::to_json`] shape plus version info),
+/// shared verbatim between the v1 `metrics` reply and the v2 result.
+pub fn metrics_payload(engine: &QueryEngine) -> Json {
     let mut metrics = engine.metrics_report().to_json();
     if let Json::Obj(fields) = &mut metrics {
         fields.push(("version".to_string(), version_payload()));
     }
-    Json::obj(vec![("type", Json::str("metrics")), ("metrics", metrics)])
+    metrics
+}
+
+/// Wraps the engine's full metrics report in a `metrics` reply.
+pub fn metrics_reply(engine: &QueryEngine) -> Json {
+    Json::obj(vec![
+        ("type", Json::str("metrics")),
+        ("metrics", metrics_payload(engine)),
+    ])
 }
 
 /// The `shutdown_ok` reply.
@@ -705,6 +835,24 @@ impl<S: io::Read + io::Write> Client<S> {
         self.round_trip(&Request::Shutdown.to_json(), "shutdown_ok")?;
         Ok(())
     }
+
+    /// Sends one [`crate::v2`] envelope as a `pcp2` frame and returns the
+    /// v2 reply envelope verbatim (`ok` / `result` / `error` are the
+    /// caller's to inspect — v2 failures are in-band, not [`ProtoError`]s).
+    ///
+    /// The dialect is per frame, so v1 calls and v2 envelopes can be mixed
+    /// freely on one connected client.
+    pub fn query_v2(&mut self, envelope: &Json) -> Result<Json, ProtoError> {
+        write_frame_v(self.stream.get_mut(), envelope, v2::API_VERSION)?;
+        let (version, body) = read_frame_raw(&mut self.stream)?;
+        if version != v2::API_VERSION {
+            return Err(ProtoError::BadMessage(format!(
+                "expected a pcp{} reply, got pcp{version}",
+                v2::API_VERSION
+            )));
+        }
+        Json::parse(&body).map_err(ProtoError::BadJson)
+    }
 }
 
 #[cfg(test)]
@@ -771,10 +919,20 @@ mod tests {
             let err = read_frame(&mut reader).unwrap_err();
             assert!(!err.is_recoverable(), "{name} must be fatal, got {err:?}");
         }
+        // A `pcp2` frame is a supported dialect: the raw reader accepts it
+        // (and stays in sync), but the v1-only reader still refuses it.
+        let mut reader = io::BufReader::new(&b"pcp2 2\n{}\n"[..]);
+        assert_eq!(read_frame_raw(&mut reader).unwrap(), (2, "{}".to_string()));
         let mut reader = io::BufReader::new(&b"pcp2 2\n{}\n"[..]);
         assert!(matches!(
             read_frame(&mut reader),
             Err(ProtoError::UnsupportedVersion(2))
+        ));
+        // Unknown versions stay fatal, rejected before the payload.
+        let mut reader = io::BufReader::new(&b"pcp3 2\n{}\n"[..]);
+        assert!(matches!(
+            read_frame_raw(&mut reader),
+            Err(ProtoError::UnsupportedVersion(3))
         ));
     }
 

@@ -202,7 +202,9 @@ impl Stage {
         }
     }
 
-    fn index(self) -> usize {
+    /// Position of this stage in [`Stage::ALL`] (and in
+    /// [`MetricsReport::stages`]).
+    pub fn index(self) -> usize {
         match self {
             Stage::Ingest => 0,
             Stage::Recognize => 1,
@@ -268,7 +270,7 @@ impl Outcome {
 /// The two wire transports, used to label connection gauges.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Transport {
-    /// The length-framed `pcp1` protocol (unix socket).
+    /// The length-framed `pcp1`/`pcp2` protocol (unix socket).
     Framed,
     /// The HTTP/1.1 front-end (TCP).
     Http,
@@ -414,6 +416,13 @@ pub struct Telemetry {
     pool_barrier_waits: AtomicU64,
     pool_barrier_wait_p50_us: AtomicU64,
     pool_barrier_wait_p99_us: AtomicU64,
+    sessions_created: AtomicU64,
+    sessions_dropped: AtomicU64,
+    sessions_expired: AtomicU64,
+    sessions_live: AtomicI64,
+    session_mutations: AtomicU64,
+    session_recognize_incremental: AtomicU64,
+    session_recognize_rebuild: AtomicU64,
     last_log_nanos: AtomicU64,
 }
 
@@ -440,6 +449,13 @@ impl Telemetry {
             pool_barrier_waits: AtomicU64::new(0),
             pool_barrier_wait_p50_us: AtomicU64::new(0),
             pool_barrier_wait_p99_us: AtomicU64::new(0),
+            sessions_created: AtomicU64::new(0),
+            sessions_dropped: AtomicU64::new(0),
+            sessions_expired: AtomicU64::new(0),
+            sessions_live: AtomicI64::new(0),
+            session_mutations: AtomicU64::new(0),
+            session_recognize_incremental: AtomicU64::new(0),
+            session_recognize_rebuild: AtomicU64::new(0),
             last_log_nanos: AtomicU64::new(0),
         }
     }
@@ -576,6 +592,51 @@ impl Telemetry {
         }
     }
 
+    /// Records a session handle being created.
+    pub fn session_created(&self) {
+        if self.enabled {
+            self.sessions_created.fetch_add(1, Ordering::Relaxed);
+            self.sessions_live.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a session handle dropped by an explicit `session_drop`.
+    pub fn session_dropped(&self) {
+        if self.enabled {
+            self.sessions_dropped.fetch_add(1, Ordering::Relaxed);
+            self.sessions_live.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a session handle reclaimed by the idle-TTL sweep.
+    pub fn session_expired(&self) {
+        if self.enabled {
+            self.sessions_expired.fetch_add(1, Ordering::Relaxed);
+            self.sessions_live.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a successful session mutation (vertex or edge change).
+    pub fn session_mutation(&self) {
+        if self.enabled {
+            self.session_mutations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records how a session recognition ran: absorbed by the incremental
+    /// insertion pass, or fallen back to rebuild-from-scratch.
+    pub fn session_recognized(&self, incremental: bool) {
+        if self.enabled {
+            if incremental {
+                self.session_recognize_incremental
+                    .fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.session_recognize_rebuild
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Snapshots the registry (cache/uptime/version context is supplied
     /// by the engine, which owns those).
     pub fn report(
@@ -608,6 +669,15 @@ impl Telemetry {
                 barrier_waits: self.pool_barrier_waits.load(Ordering::Relaxed),
                 barrier_wait_p50_us: self.pool_barrier_wait_p50_us.load(Ordering::Relaxed),
                 barrier_wait_p99_us: self.pool_barrier_wait_p99_us.load(Ordering::Relaxed),
+            },
+            sessions: SessionReport {
+                live: self.sessions_live.load(Ordering::Relaxed),
+                created: self.sessions_created.load(Ordering::Relaxed),
+                dropped: self.sessions_dropped.load(Ordering::Relaxed),
+                expired: self.sessions_expired.load(Ordering::Relaxed),
+                mutations: self.session_mutations.load(Ordering::Relaxed),
+                recognize_incremental: self.session_recognize_incremental.load(Ordering::Relaxed),
+                recognize_rebuild: self.session_recognize_rebuild.load(Ordering::Relaxed),
             },
             cache,
             shards,
@@ -653,6 +723,25 @@ pub struct PoolReport {
     pub barrier_wait_p99_us: u64,
 }
 
+/// Point-in-time counters of the daemon-resident session registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionReport {
+    /// Live daemon-resident handles (gauge).
+    pub live: i64,
+    /// Sessions created since start.
+    pub created: u64,
+    /// Sessions released by an explicit `session_drop`.
+    pub dropped: u64,
+    /// Sessions reclaimed by the idle-TTL sweep.
+    pub expired: u64,
+    /// Successful mutations (vertex insertions, edge adds/removals).
+    pub mutations: u64,
+    /// Recognitions absorbed by the incremental insertion pass.
+    pub recognize_incremental: u64,
+    /// Recognitions that fell back to rebuild-from-scratch.
+    pub recognize_rebuild: u64,
+}
+
 /// A point-in-time copy of every metric the daemon exposes, renderable as
 /// structured JSON (`metrics` proto frame) or Prometheus text
 /// (`GET /v1/metrics`).
@@ -679,6 +768,8 @@ pub struct MetricsReport {
     pub pool_solves: u64,
     /// Work-stealing pool counters as of the latest parallel solve.
     pub pool: PoolReport,
+    /// Session registry counters.
+    pub sessions: SessionReport,
     /// Aggregate cache counters.
     pub cache: CacheStats,
     /// Per-shard cache counters.
@@ -808,6 +899,24 @@ impl MetricsReport {
                     (
                         "barrier_wait_p99_us",
                         Json::num(self.pool.barrier_wait_p99_us),
+                    ),
+                ]),
+            ),
+            (
+                "sessions",
+                Json::obj(vec![
+                    ("live", Json::num(self.sessions.live.max(0) as u64)),
+                    ("created", Json::num(self.sessions.created)),
+                    ("dropped", Json::num(self.sessions.dropped)),
+                    ("expired", Json::num(self.sessions.expired)),
+                    ("mutations", Json::num(self.sessions.mutations)),
+                    (
+                        "recognize_incremental",
+                        Json::num(self.sessions.recognize_incremental),
+                    ),
+                    (
+                        "recognize_rebuild",
+                        Json::num(self.sessions.recognize_rebuild),
                     ),
                 ]),
             ),
@@ -978,6 +1087,37 @@ impl MetricsReport {
             self.pool.barrier_waits,
             self.pool.barrier_wait_p50_us,
             self.pool.barrier_wait_p99_us
+        ));
+
+        out.push_str(&format!(
+            "# HELP pc_sessions_live Live daemon-resident session handles.\n\
+             # TYPE pc_sessions_live gauge\n\
+             pc_sessions_live {}\n\
+             # HELP pc_sessions_created_total Session handles created.\n\
+             # TYPE pc_sessions_created_total counter\n\
+             pc_sessions_created_total {}\n\
+             # HELP pc_sessions_dropped_total Session handles released by session_drop.\n\
+             # TYPE pc_sessions_dropped_total counter\n\
+             pc_sessions_dropped_total {}\n\
+             # HELP pc_sessions_expired_total Session handles reclaimed by the idle-TTL sweep.\n\
+             # TYPE pc_sessions_expired_total counter\n\
+             pc_sessions_expired_total {}\n\
+             # HELP pc_session_mutations_total Successful session mutations.\n\
+             # TYPE pc_session_mutations_total counter\n\
+             pc_session_mutations_total {}\n\
+             # HELP pc_session_recognize_incremental_total Session recognitions absorbed incrementally.\n\
+             # TYPE pc_session_recognize_incremental_total counter\n\
+             pc_session_recognize_incremental_total {}\n\
+             # HELP pc_session_recognize_rebuild_total Session recognitions that rebuilt from scratch.\n\
+             # TYPE pc_session_recognize_rebuild_total counter\n\
+             pc_session_recognize_rebuild_total {}\n",
+            self.sessions.live.max(0),
+            self.sessions.created,
+            self.sessions.dropped,
+            self.sessions.expired,
+            self.sessions.mutations,
+            self.sessions.recognize_incremental,
+            self.sessions.recognize_rebuild
         ));
 
         out.push_str(&format!(

@@ -1,0 +1,405 @@
+//! Daemon-resident session handles over the v2 envelope, end to end:
+//! concurrent handles from parallel connections, mutate/query interleaving
+//! on one handle, idle-TTL garbage collection observed through the
+//! telemetry gauges, and the headline acceptance property — a growing
+//! session never re-runs full recognition, only the incremental path.
+#![cfg(unix)]
+
+use pcservice::daemon::{connect, Daemon, DaemonConfig};
+use pcservice::{EngineConfig, Json};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Builds one v2 request envelope.
+fn envelope(op: &str, target: Option<Json>, params: Vec<(&str, Json)>) -> Json {
+    let mut fields = vec![("api_version", Json::num(2)), ("op", Json::str(op))];
+    if let Some(target) = target {
+        fields.push(("target", target));
+    }
+    if !params.is_empty() {
+        fields.push(("params", Json::obj(params)));
+    }
+    Json::obj(fields)
+}
+
+fn session_target(handle: &str) -> Json {
+    Json::obj(vec![("session", Json::str(handle))])
+}
+
+/// Asserts the envelope acknowledged (`ok: true`) and unwraps its result.
+fn ok_result(reply: Json) -> Json {
+    assert_eq!(
+        reply.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "envelope rejected: {reply}"
+    );
+    assert_eq!(reply.get("api_version").and_then(Json::as_u64), Some(2));
+    reply
+        .get("result")
+        .cloned()
+        .expect("ok reply carries a result")
+}
+
+/// `session_add_vertex` params wiring the new vertex to `neighbors`.
+fn add_vertex_params(neighbors: &[u64]) -> Vec<(&'static str, Json)> {
+    vec![(
+        "neighbors",
+        Json::Arr(neighbors.iter().map(|&v| Json::num(v)).collect()),
+    )]
+}
+
+fn single_threaded(mut config: DaemonConfig) -> DaemonConfig {
+    config.idle_timeout = Duration::from_secs(10);
+    config.engine = EngineConfig {
+        threads: 1,
+        ..EngineConfig::default()
+    };
+    config
+}
+
+#[test]
+fn parallel_connections_grow_distinct_handles() {
+    let socket =
+        std::env::temp_dir().join(format!("pcservice-session-par-{}.sock", std::process::id()));
+    let daemon = Daemon::bind(single_threaded(DaemonConfig::new(&socket))).expect("bind");
+    let server = std::thread::spawn(move || daemon.run());
+
+    let handles: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let workers: Vec<_> = (0..4)
+        .map(|_| {
+            let socket = socket.clone();
+            let handles = Arc::clone(&handles);
+            std::thread::spawn(move || {
+                let mut client = connect(&socket).expect("connect");
+                let created = ok_result(
+                    client
+                        .query_v2(&envelope("session_create", None, vec![]))
+                        .unwrap(),
+                );
+                let handle = created
+                    .get("handle")
+                    .and_then(Json::as_str)
+                    .expect("handle")
+                    .to_string();
+                // Grow a clique one vertex at a time: every insertion wires
+                // the newcomer to all residents, which the incremental
+                // recogniser absorbs without a rebuild.
+                for i in 0..10u64 {
+                    let state = ok_result(
+                        client
+                            .query_v2(&envelope(
+                                "session_add_vertex",
+                                Some(session_target(&handle)),
+                                add_vertex_params(&(0..i).collect::<Vec<_>>()),
+                            ))
+                            .unwrap(),
+                    );
+                    assert_eq!(state.get("vertices").and_then(Json::as_u64), Some(i + 1));
+                }
+                let response = ok_result(
+                    client
+                        .query_v2(&envelope(
+                            "session_query",
+                            Some(session_target(&handle)),
+                            vec![("kind", Json::str("min_cover_size"))],
+                        ))
+                        .unwrap(),
+                );
+                assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+                // A 10-clique is covered by a single hamiltonian path.
+                let size = response
+                    .get("answer")
+                    .and_then(|a| a.get("size"))
+                    .and_then(Json::as_u64);
+                assert_eq!(size, Some(1), "unexpected answer: {response}");
+                handles.lock().unwrap().push(handle);
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("worker");
+    }
+
+    // Four connections got four distinct live handles.
+    let mut handles = handles.lock().unwrap().clone();
+    handles.sort();
+    handles.dedup();
+    assert_eq!(handles.len(), 4);
+
+    let mut client = connect(&socket).expect("connect");
+    let stats = client.stats().expect("stats");
+    let sessions = stats.get("sessions").expect("stats carry sessions");
+    assert_eq!(sessions.get("live").and_then(Json::as_u64), Some(4));
+
+    client.shutdown().expect("shutdown");
+    server.join().expect("thread").expect("clean exit");
+}
+
+#[test]
+fn mutations_and_queries_interleave_on_one_handle() {
+    let socket = std::env::temp_dir().join(format!(
+        "pcservice-session-interleave-{}.sock",
+        std::process::id()
+    ));
+    let daemon = Daemon::bind(single_threaded(DaemonConfig::new(&socket))).expect("bind");
+    let server = std::thread::spawn(move || daemon.run());
+
+    let mut client = connect(&socket).expect("connect");
+    let created = ok_result(
+        client
+            .query_v2(&envelope("session_create", None, vec![]))
+            .unwrap(),
+    );
+    let handle = created
+        .get("handle")
+        .and_then(Json::as_str)
+        .expect("handle")
+        .to_string();
+    ok_result(
+        client
+            .query_v2(&envelope(
+                "session_add_vertex",
+                Some(session_target(&handle)),
+                add_vertex_params(&[]),
+            ))
+            .unwrap(),
+    );
+
+    // One writer keeps growing the clique while a second connection
+    // queries the same handle; the per-handle lock makes every query see
+    // some consistent prefix, where a clique's cover is always one path.
+    let writer = {
+        let socket = socket.clone();
+        let handle = handle.clone();
+        std::thread::spawn(move || {
+            let mut client = connect(&socket).expect("connect");
+            for i in 1..16u64 {
+                ok_result(
+                    client
+                        .query_v2(&envelope(
+                            "session_add_vertex",
+                            Some(session_target(&handle)),
+                            add_vertex_params(&(0..i).collect::<Vec<_>>()),
+                        ))
+                        .unwrap(),
+                );
+            }
+        })
+    };
+    let reader = {
+        let socket = socket.clone();
+        let handle = handle.clone();
+        std::thread::spawn(move || {
+            let mut client = connect(&socket).expect("connect");
+            for _ in 0..15 {
+                let response = ok_result(
+                    client
+                        .query_v2(&envelope(
+                            "session_query",
+                            Some(session_target(&handle)),
+                            vec![("kind", Json::str("min_cover_size"))],
+                        ))
+                        .unwrap(),
+                );
+                assert_eq!(
+                    response.get("ok").and_then(Json::as_bool),
+                    Some(true),
+                    "query failed mid-interleave: {response}"
+                );
+                let n = response
+                    .get("meta")
+                    .and_then(|m| m.get("n"))
+                    .and_then(Json::as_u64)
+                    .expect("meta.n");
+                assert!((1..=16).contains(&n), "saw impossible vertex count {n}");
+                let size = response
+                    .get("answer")
+                    .and_then(|a| a.get("size"))
+                    .and_then(Json::as_u64);
+                assert_eq!(size, Some(1), "clique cover must stay a single path");
+            }
+        })
+    };
+    writer.join().expect("writer");
+    reader.join().expect("reader");
+
+    let state = ok_result(
+        client
+            .query_v2(&envelope(
+                "session_query",
+                Some(session_target(&handle)),
+                vec![("kind", Json::str("recognize"))],
+            ))
+            .unwrap(),
+    );
+    assert_eq!(
+        state
+            .get("meta")
+            .and_then(|m| m.get("n"))
+            .and_then(Json::as_u64),
+        Some(16)
+    );
+
+    client.shutdown().expect("shutdown");
+    server.join().expect("thread").expect("clean exit");
+}
+
+#[test]
+fn idle_sessions_are_reclaimed_by_the_ttl_sweep() {
+    let socket =
+        std::env::temp_dir().join(format!("pcservice-session-ttl-{}.sock", std::process::id()));
+    let mut config = single_threaded(DaemonConfig::new(&socket));
+    config.engine.session_idle_ttl = Duration::from_millis(150);
+    let daemon = Daemon::bind(config).expect("bind");
+    let server = std::thread::spawn(move || daemon.run());
+
+    let mut client = connect(&socket).expect("connect");
+    for _ in 0..2 {
+        ok_result(
+            client
+                .query_v2(&envelope("session_create", None, vec![]))
+                .unwrap(),
+        );
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats
+            .get("sessions")
+            .and_then(|s| s.get("live"))
+            .and_then(Json::as_u64),
+        Some(2)
+    );
+
+    std::thread::sleep(Duration::from_millis(400));
+
+    // Any session-registry touch sweeps; stats does, so the idle handles
+    // are gone by the time its payload is built.
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats
+            .get("sessions")
+            .and_then(|s| s.get("live"))
+            .and_then(Json::as_u64),
+        Some(0)
+    );
+    let metrics = client.metrics().expect("metrics");
+    let sessions = metrics.get("sessions").expect("metrics carry sessions");
+    assert_eq!(sessions.get("expired").and_then(Json::as_u64), Some(2));
+    assert_eq!(sessions.get("live").and_then(Json::as_u64), Some(0));
+    assert_eq!(sessions.get("created").and_then(Json::as_u64), Some(2));
+
+    client.shutdown().expect("shutdown");
+    server.join().expect("thread").expect("clean exit");
+}
+
+#[test]
+fn incremental_sessions_never_rerun_full_recognition() {
+    let socket = std::env::temp_dir().join(format!(
+        "pcservice-session-incr-{}.sock",
+        std::process::id()
+    ));
+    let mut config = single_threaded(DaemonConfig::new(&socket));
+    config.http_addr = Some("127.0.0.1:0".to_string());
+    let daemon = Daemon::bind(config).expect("bind");
+    let addr = daemon.http_addr().expect("http bound").to_string();
+    let server = std::thread::spawn(move || daemon.run());
+
+    let mut unix = connect(&socket).expect("unix connect");
+    let mut http = pcservice::http::Client::connect(&addr).expect("http connect");
+
+    let recognize_count = |metrics: &Json| {
+        metrics
+            .get("stages")
+            .and_then(|s| s.get("recognize"))
+            .and_then(|r| r.get("count"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    let before = unix.metrics().expect("metrics");
+
+    // Grow a session edge-by-edge over the unix socket...
+    let created = ok_result(
+        unix.query_v2(&envelope("session_create", None, vec![]))
+            .unwrap(),
+    );
+    let handle = created
+        .get("handle")
+        .and_then(Json::as_str)
+        .expect("handle")
+        .to_string();
+    const K: u64 = 12;
+    for i in 0..K {
+        let state = ok_result(
+            unix.query_v2(&envelope(
+                "session_add_vertex",
+                Some(session_target(&handle)),
+                add_vertex_params(&(0..i).collect::<Vec<_>>()),
+            ))
+            .unwrap(),
+        );
+        assert_eq!(
+            state.get("maintenance").and_then(Json::as_str),
+            Some("incremental"),
+            "insertion {i} fell off the incremental path: {state}"
+        );
+        // ...and answer against the resident cotree over HTTP: the handle
+        // is daemon-resident, so both transports address the same session.
+        let response = ok_result(
+            http.query_v2(&envelope(
+                "session_query",
+                Some(session_target(&handle)),
+                vec![("kind", Json::str("min_cover_size"))],
+            ))
+            .unwrap(),
+        );
+        assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+    }
+
+    // The headline property: k insertions and k queries later, the full
+    // recogniser has not run once more — only the incremental counter
+    // moved.
+    let after = unix.metrics().expect("metrics");
+    assert_eq!(
+        recognize_count(&after),
+        recognize_count(&before),
+        "session traffic re-ran full recognition"
+    );
+    let sessions = after.get("sessions").expect("metrics carry sessions");
+    assert_eq!(
+        sessions.get("recognize_incremental").and_then(Json::as_u64),
+        Some(K)
+    );
+    assert_eq!(
+        sessions.get("recognize_rebuild").and_then(Json::as_u64),
+        Some(0)
+    );
+    assert_eq!(sessions.get("mutations").and_then(Json::as_u64), Some(K));
+
+    // Dropping over HTTP releases the handle for the unix side too.
+    ok_result(
+        http.query_v2(&envelope(
+            "session_drop",
+            Some(session_target(&handle)),
+            vec![],
+        ))
+        .unwrap(),
+    );
+    let reply = unix
+        .query_v2(&envelope(
+            "session_query",
+            Some(session_target(&handle)),
+            vec![("kind", Json::str("min_cover_size"))],
+        ))
+        .unwrap();
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        reply
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("session_not_found")
+    );
+
+    unix.shutdown().expect("shutdown");
+    server.join().expect("thread").expect("clean exit");
+}
