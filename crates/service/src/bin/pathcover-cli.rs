@@ -83,6 +83,8 @@ USAGE:
     pathcover-cli serve [--socket SOCK] [--http ADDR] [--snapshot PATH [--checkpoint-secs N]]
                         [--threads N] [--backend sim|pool] [--cache-capacity N]
                         [--cache-shards N] [--idle-timeout-ms MS] [--slow-ms MS] [--no-verify]
+                        [--max-inflight N] [--max-connections N] [--max-requests-per-conn N]
+                        [--drain-timeout-ms MS] [--fault-spec SPEC]
     pathcover-cli stats (--remote SOCK | --remote-http ADDR) [--json]
     pathcover-cli metrics (--remote SOCK | --remote-http ADDR) [--json]
     pathcover-cli snapshot save (--remote SOCK | --remote-http ADDR)
@@ -114,6 +116,22 @@ SERVING:
     as Prometheus text from GET /v1/metrics); '--slow-ms MS' logs requests
     slower than MS milliseconds with their trace IDs; 'shutdown' stops it
     gracefully.
+
+RESILIENCE:
+    '--max-inflight N' caps concurrently executing work requests (excess is
+    rejected with a typed, retryable 'overloaded' error carrying
+    retry_after_ms; HTTP clients see 503 + Retry-After). '--max-connections
+    N' caps accepted connections per listener; '--max-requests-per-conn N'
+    closes a connection after N requests (the last reply is an 'overloaded'
+    shed). Requests may carry a deadline ('deadline_ms' on the v2 envelope,
+    'X-Deadline-Ms' over HTTP); expired work fails with 'deadline_exceeded'.
+    Shutdown drains: in-flight requests get '--drain-timeout-ms MS'
+    (default 5000) to finish before connections are forced closed. Setting
+    PC_RETRIES=N makes the thin clients retry 'overloaded' rejections up to
+    N times with jittered exponential backoff honoring the server's
+    retry_after_ms hint. '--fault-spec SPEC' (or PC_FAULTS) enables the
+    built-in fault-injection harness for chaos testing, e.g.
+    'frame_stall_ms=20,panic_rate=0.05,overload_rate=0.2,seed=42'.
 
 PARALLEL EXECUTION:
     Large full-cover solves run on a work-stealing thread pool (the real-cores
@@ -547,11 +565,33 @@ fn take_remote(args: &mut Vec<String>) -> Result<Option<RemoteTarget>, String> {
     }
 }
 
+/// The client retry policy requested via `PC_RETRIES=N` (None when unset
+/// or zero: fail fast on `overloaded`).
+fn env_retry_policy() -> Result<Option<pcservice::proto::RetryPolicy>, String> {
+    match std::env::var("PC_RETRIES") {
+        Ok(text) if !text.is_empty() => {
+            let max_retries: u32 = text
+                .parse()
+                .map_err(|_| format!("PC_RETRIES: '{text}' is not a number"))?;
+            Ok((max_retries != 0).then(|| pcservice::proto::RetryPolicy {
+                max_retries,
+                ..pcservice::proto::RetryPolicy::default()
+            }))
+        }
+        _ => Ok(None),
+    }
+}
+
 impl RemoteTarget {
     fn connect(&self) -> Result<RemoteClient, String> {
+        let retry = env_retry_policy()?;
         match self {
             #[cfg(unix)]
             RemoteTarget::Socket(socket) => pcservice::daemon::connect(socket)
+                .map(|client| match retry {
+                    Some(policy) => client.with_retry(policy),
+                    None => client,
+                })
                 .map(RemoteClient::Socket)
                 .map_err(|e| format!("connecting to {socket}: {e}")),
             #[cfg(not(unix))]
@@ -561,6 +601,10 @@ impl RemoteTarget {
                     .to_string(),
             ),
             RemoteTarget::Http(addr) => pcservice::http::Client::connect(addr)
+                .map(|client| match retry {
+                    Some(policy) => client.with_retry(policy),
+                    None => client,
+                })
                 .map(RemoteClient::Http)
                 .map_err(|e| format!("connecting to http://{addr}: {e}")),
         }
@@ -986,6 +1030,19 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
             None => None,
         };
         let no_verify = take_switch(&mut args, "--no-verify");
+        let max_inflight = take_num_flag(&mut args, "--max-inflight", 0)?;
+        let max_connections = take_num_flag(&mut args, "--max-connections", 0)?;
+        let max_requests_per_conn = take_num_flag(&mut args, "--max-requests-per-conn", 0)?;
+        let drain_timeout_ms = take_num_flag(&mut args, "--drain-timeout-ms", 5_000)?;
+        let fault_spec = match take_flag(&mut args, "--fault-spec")? {
+            Some(text) => Some(text),
+            None => std::env::var("PC_FAULTS").ok().filter(|v| !v.is_empty()),
+        };
+        let faults = match fault_spec {
+            Some(text) => pcservice::FaultSpec::parse(&text)
+                .map_err(|e| format!("--fault-spec/PC_FAULTS: {e}"))?,
+            None => pcservice::FaultSpec::default(),
+        };
         if !args.is_empty() {
             return Err(format!("unexpected arguments: {args:?}"));
         }
@@ -996,6 +1053,10 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
             snapshot_path: snapshot.map(std::path::PathBuf::from),
             checkpoint_interval: checkpoint_secs
                 .map(|secs| std::time::Duration::from_secs(secs.max(1) as u64)),
+            max_connections,
+            max_requests_per_conn: max_requests_per_conn as u64,
+            drain_timeout: std::time::Duration::from_millis(drain_timeout_ms.max(1) as u64),
+            faults,
             engine: {
                 let mut engine = EngineConfig {
                     threads,
@@ -1004,6 +1065,7 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
                     cache_shards,
                     slow_log_micros: slow_ms.map(|ms| ms.saturating_mul(1000)),
                     pool_threads: threads,
+                    max_inflight,
                     ..EngineConfig::default()
                 };
                 match backend.as_deref() {

@@ -30,7 +30,9 @@
 //!   loop, open connections are shut down, handler threads are joined and
 //!   the socket file is removed.
 
-use crate::engine::{EngineConfig, QueryEngine};
+use crate::engine::{EngineConfig, QueryEngine, DEFAULT_RETRY_AFTER_MS};
+use crate::error::ServiceError;
+use crate::faults::{FaultSpec, Faults};
 use crate::http;
 use crate::json::Json;
 use crate::proto::{self, ProtoError, Request};
@@ -45,7 +47,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A served byte stream: what the generic accept loop and the per-protocol
 /// connection handlers need from a socket, beyond `Read + Write`.
@@ -178,23 +180,92 @@ impl ShutdownSignal {
     }
 }
 
+/// Per-listener resilience knobs for [`serve_listener`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Which transport this listener serves (telemetry labels).
+    pub transport: Transport,
+    /// Most concurrently-served connections (`0` = unlimited); an excess
+    /// connection gets the `reject` goodbye instead of a handler thread.
+    pub max_connections: usize,
+    /// How long the teardown waits for in-flight handlers to finish before
+    /// force-closing their connections.
+    pub drain_timeout: Duration,
+    /// The daemon's fault-injection runtime ([`Faults::default`] injects
+    /// nothing); the accept loop consults it for post-accept delays.
+    pub faults: Arc<Faults>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            transport: Transport::Framed,
+            max_connections: 0,
+            drain_timeout: Duration::from_secs(5),
+            faults: Arc::default(),
+        }
+    }
+}
+
+/// The v1 `overloaded` error reply body, retry hint included — the goodbye
+/// written to connections shed by the connection cap and to requests shed
+/// by fault injection or an exhausted per-connection budget.
+fn overloaded_reply() -> Json {
+    let error = ServiceError::Overloaded {
+        retry_after_ms: DEFAULT_RETRY_AFTER_MS,
+    };
+    let mut fields = vec![("type".to_string(), Json::str("error"))];
+    if let Json::Obj(body) = error.wire_body() {
+        fields.extend(body);
+    }
+    Json::Obj(fields)
+}
+
+/// Connection-cap goodbye for the framed transport: one `overloaded`
+/// error frame, then close.
+pub fn reject_proto_conn<C: Connection>(conn: C) {
+    let mut writer = BufWriter::new(conn);
+    let _ = proto::write_frame(&mut writer, &overloaded_reply());
+}
+
+/// Connection-cap goodbye for the HTTP transport: one `503` with a
+/// `Retry-After` header, then close.
+pub fn reject_http_conn<C: Connection>(mut conn: C) {
+    let mut body = overloaded_reply().to_string();
+    body.push('\n');
+    let secs = DEFAULT_RETRY_AFTER_MS.div_ceil(1000).max(1);
+    let _ = write!(
+        conn,
+        "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nRetry-After: {secs}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = conn.flush();
+}
+
 /// Serves one listener until the shared signal triggers: the accept loop,
-/// per-connection threads, the live-connection registry and the join-all
-/// teardown, shared by every transport.
+/// per-connection threads, the live-connection registry and the
+/// drain-then-join teardown, shared by every transport.
 ///
-/// `handler` serves one already-accepted connection to completion;
-/// [`crate::proto`] connections use [`serve_proto_conn`] and
-/// [`crate::http`] connections use [`http::serve_conn`].
-pub fn serve_listener<L, H>(
+/// `handler` serves one already-accepted connection to completion
+/// ([`serve_proto_conn`] for [`crate::proto`], [`http::serve_conn`] for
+/// [`crate::http`]); a handler panic — injected or organic — is contained
+/// to its connection. `reject` writes the overload goodbye to connections
+/// shed by `options.max_connections` ([`reject_proto_conn`] /
+/// [`reject_http_conn`]).
+pub fn serve_listener<L, H, R>(
     listener: L,
     engine: Arc<QueryEngine>,
     shutdown: Arc<ShutdownSignal>,
     idle_timeout: Duration,
+    options: ServeOptions,
     handler: H,
+    reject: R,
 ) -> io::Result<()>
 where
     L: Listener,
     H: Fn(L::Conn, &QueryEngine, &ShutdownSignal) + Send + Sync + 'static,
+    R: Fn(L::Conn) + Send + 'static,
 {
     shutdown.register_waker(listener.waker());
     if shutdown.is_triggered() {
@@ -210,27 +281,49 @@ where
     let connections: Arc<Mutex<HashMap<u64, L::Conn>>> = Arc::new(Mutex::new(HashMap::new()));
     let mut next_id: u64 = 0;
     let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    // Bounded exponential backoff for persistently failing accepts (EMFILE
+    // until connections drain): starts small so a one-off failure barely
+    // delays the next accept, doubles to a cap so a persistent one cannot
+    // busy-spin a core, resets on the first successful accept.
+    const ACCEPT_BACKOFF_FLOOR: Duration = Duration::from_millis(5);
+    const ACCEPT_BACKOFF_CAP: Duration = Duration::from_millis(500);
+    let mut accept_backoff = ACCEPT_BACKOFF_FLOOR;
     loop {
         if shutdown.is_triggered() {
             break;
         }
         let conn = match listener.accept_conn() {
-            Ok(conn) => conn,
+            Ok(conn) => {
+                accept_backoff = ACCEPT_BACKOFF_FLOOR;
+                conn
+            }
             // A failed accept (peer vanished mid-handshake, or fd
-            // exhaustion under connection pressure) affects nobody else;
-            // the pause keeps a *persistent* failure (EMFILE until
-            // connections drain) from busy-spinning a core.
+            // exhaustion under connection pressure) affects nobody else.
             Err(_) => {
+                engine.telemetry().accept_error(options.transport);
                 if shutdown.is_triggered() {
                     break;
                 }
-                std::thread::sleep(Duration::from_millis(50));
+                std::thread::sleep(accept_backoff);
+                accept_backoff = (accept_backoff * 2).min(ACCEPT_BACKOFF_CAP);
                 continue;
             }
         };
         if shutdown.is_triggered() {
             // The accepted connection was (or raced with) a waker poke.
             break;
+        }
+        if let Some(delay) = options.faults.accept_delay() {
+            std::thread::sleep(delay);
+        }
+        if options.max_connections != 0
+            && connections.lock().expect("connection registry").len() >= options.max_connections
+        {
+            // Over the cap: a typed goodbye, not a silent close, so clients
+            // back off instead of retrying instantly.
+            engine.telemetry().overload_rejected();
+            reject(conn);
+            continue;
         }
         let _ = conn.set_conn_read_timeout(Some(idle_timeout));
         let conn_id = next_id;
@@ -246,7 +339,16 @@ where
         let registry = connections.clone();
         let handler = handler.clone();
         handlers.push(std::thread::spawn(move || {
-            handler(conn, &engine, &shutdown);
+            // Contain handler panics (fault-injected or organic) to this
+            // connection: the registry entry is still removed, the daemon
+            // keeps serving, and the telemetry gauges stay balanced (the
+            // handlers decrement them in Drop guards).
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                handler(conn, &engine, &shutdown)
+            }));
+            if outcome.is_err() {
+                eprintln!("pcservice: connection handler panicked (contained to the connection)");
+            }
             registry
                 .lock()
                 .expect("connection registry")
@@ -256,7 +358,14 @@ where
         // tracks live connections, not its connection history.
         handlers.retain(|h| !h.is_finished());
     }
-    // Shutdown: unblock any handler waiting in a read, then join all.
+    // Graceful drain: stop accepting (the loop above has exited), give
+    // in-flight handlers up to the drain timeout to finish their current
+    // requests, then force-close whatever remains so a stuck or idle
+    // connection cannot hold shutdown hostage.
+    let deadline = Instant::now() + options.drain_timeout;
+    while handlers.iter().any(|h| !h.is_finished()) && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
     for (_, conn) in connections.lock().expect("connection registry").drain() {
         conn.shutdown_conn();
     }
@@ -285,6 +394,21 @@ pub struct DaemonConfig {
     /// serving; `None` means save-on-shutdown only. Ignored without
     /// `snapshot_path`.
     pub checkpoint_interval: Option<Duration>,
+    /// Most concurrently-served connections per listener (`0` = unlimited).
+    /// An excess connection is answered with a typed `overloaded` goodbye
+    /// in its transport's dialect and closed without taking a handler
+    /// thread; the OS accept backlog stays the only queue.
+    pub max_connections: usize,
+    /// Requests one connection may issue before being shed with
+    /// `overloaded` and closed (`0` = unlimited) — a rogue keep-alive
+    /// client cannot monopolise a handler thread forever.
+    pub max_requests_per_conn: u64,
+    /// How long shutdown waits for in-flight connections to finish before
+    /// force-closing them.
+    pub drain_timeout: Duration,
+    /// Fault-injection spec (see [`crate::faults`]); the all-zero default
+    /// disables every hook.
+    pub faults: FaultSpec,
     /// Configuration of the shared query engine.
     pub engine: EngineConfig,
 }
@@ -299,6 +423,10 @@ impl DaemonConfig {
             idle_timeout: Duration::from_secs(30),
             snapshot_path: None,
             checkpoint_interval: None,
+            max_connections: 0,
+            max_requests_per_conn: 0,
+            drain_timeout: Duration::from_secs(5),
+            faults: FaultSpec::default(),
             engine: EngineConfig::default(),
         }
     }
@@ -311,6 +439,10 @@ impl DaemonConfig {
             idle_timeout: Duration::from_secs(30),
             snapshot_path: None,
             checkpoint_interval: None,
+            max_connections: 0,
+            max_requests_per_conn: 0,
+            drain_timeout: Duration::from_secs(5),
+            faults: FaultSpec::default(),
             engine: EngineConfig::default(),
         }
     }
@@ -325,6 +457,10 @@ pub struct Daemon {
     http: Option<TcpTransport>,
     snapshot_load: Option<snapshot::LoadOutcome>,
     checkpoint_interval: Option<Duration>,
+    max_connections: usize,
+    max_requests_per_conn: u64,
+    drain_timeout: Duration,
+    faults: Arc<Faults>,
 }
 
 impl Daemon {
@@ -369,6 +505,10 @@ impl Daemon {
             http,
             snapshot_load,
             checkpoint_interval: config.checkpoint_interval,
+            max_connections: config.max_connections,
+            max_requests_per_conn: config.max_requests_per_conn,
+            drain_timeout: config.drain_timeout,
+            faults: Arc::new(Faults::new(config.faults)),
         })
     }
 
@@ -407,26 +547,51 @@ impl Daemon {
             http,
             snapshot_load: _,
             checkpoint_interval,
+            max_connections,
+            max_requests_per_conn,
+            drain_timeout,
+            faults,
         } = self;
         // Background checkpointing: persist the warm cache periodically so
         // even a crash (no graceful shutdown) loses at most one interval of
         // cache warmth. The thread polls the shutdown flag between short
-        // sleeps rather than blocking the accept loops in any way; save
-        // failures are reported and retried next interval.
+        // sleeps rather than blocking the accept loops in any way. A save
+        // failure is retried with capped exponential backoff — a full disk
+        // is probed at 2×, 4×, ... the interval instead of hammered on
+        // every tick — and the consecutive-failure count is surfaced in
+        // `/v1/stats` (the engine books it in telemetry).
         let checkpoint_thread = match (checkpoint_interval, engine.snapshot_meta()) {
             (Some(every), Some(_)) => {
                 let engine = engine.clone();
                 let shutdown = shutdown.clone();
                 Some(std::thread::spawn(move || {
                     const POLL: Duration = Duration::from_millis(50);
+                    const BACKOFF_CAP: Duration = Duration::from_secs(300);
                     let mut since_last = Duration::ZERO;
+                    let mut target = every;
+                    let mut consecutive_failures: u32 = 0;
                     while !shutdown.is_triggered() {
                         std::thread::sleep(POLL);
                         since_last += POLL;
-                        if since_last >= every {
+                        if since_last >= target {
                             since_last = Duration::ZERO;
-                            if let Err(error) = engine.save_snapshot() {
-                                eprintln!("pcservice: checkpoint failed: {error}");
+                            match engine.save_snapshot() {
+                                Ok(_) => {
+                                    consecutive_failures = 0;
+                                    target = every;
+                                }
+                                Err(error) => {
+                                    consecutive_failures += 1;
+                                    target = every
+                                        .saturating_mul(1u32 << consecutive_failures.min(16))
+                                        .min(BACKOFF_CAP)
+                                        .max(every);
+                                    eprintln!(
+                                        "pcservice: checkpoint failed \
+                                         ({consecutive_failures} consecutive, next retry in \
+                                         {target:?}): {error}"
+                                    );
+                                }
                             }
                         }
                     }
@@ -439,18 +604,59 @@ impl Daemon {
         let http_thread = http.map(|listener| {
             let engine = engine.clone();
             let shutdown = shutdown.clone();
+            let faults = faults.clone();
+            let handler_faults = faults.clone();
             std::thread::spawn(move || {
-                serve_listener(listener, engine, shutdown, idle_timeout, http::serve_conn)
+                serve_listener(
+                    listener,
+                    engine,
+                    shutdown,
+                    idle_timeout,
+                    ServeOptions {
+                        transport: Transport::Http,
+                        max_connections,
+                        drain_timeout,
+                        faults,
+                    },
+                    move |conn, engine: &QueryEngine, shutdown: &ShutdownSignal| {
+                        http::serve_conn_opts(
+                            conn,
+                            engine,
+                            shutdown,
+                            &handler_faults,
+                            max_requests_per_conn,
+                        )
+                    },
+                    reject_http_conn,
+                )
             })
         });
         let unix_result = match unix {
-            Some(listener) => serve_listener(
-                listener,
-                engine.clone(),
-                shutdown.clone(),
-                idle_timeout,
-                serve_proto_conn,
-            ),
+            Some(listener) => {
+                let handler_faults = faults.clone();
+                serve_listener(
+                    listener,
+                    engine.clone(),
+                    shutdown.clone(),
+                    idle_timeout,
+                    ServeOptions {
+                        transport: Transport::Framed,
+                        max_connections,
+                        drain_timeout,
+                        faults: faults.clone(),
+                    },
+                    move |conn, engine: &QueryEngine, shutdown: &ShutdownSignal| {
+                        serve_proto_conn_opts(
+                            conn,
+                            engine,
+                            shutdown,
+                            &handler_faults,
+                            max_requests_per_conn,
+                        )
+                    },
+                    reject_proto_conn,
+                )
+            }
             None => Ok(()),
         };
         let http_result = match http_thread {
@@ -531,14 +737,45 @@ fn is_idle_timeout(error: &ProtoError) -> bool {
 /// Serves one framed-protocol connection to completion: the per-frame loop
 /// with the recoverable-vs-fatal error handling of [`crate::proto`].
 pub fn serve_proto_conn<C: Connection>(conn: C, engine: &QueryEngine, shutdown: &ShutdownSignal) {
+    serve_proto_conn_opts(conn, engine, shutdown, &Faults::default(), 0)
+}
+
+/// [`serve_proto_conn`] with the daemon's resilience knobs: a
+/// fault-injection runtime and a per-connection request budget (`0` =
+/// unlimited; a frame beyond the budget is answered with a recoverable
+/// `overloaded` error and the connection closes).
+pub fn serve_proto_conn_opts<C: Connection>(
+    conn: C,
+    engine: &QueryEngine,
+    shutdown: &ShutdownSignal,
+    faults: &Faults,
+    request_budget: u64,
+) {
     let Ok(write_half) = conn.try_clone_conn() else {
         return;
     };
     engine.telemetry().conn_opened(Transport::Framed);
+    // Decrement the gauge on *every* exit, injected handler panics
+    // included, so chaos runs cannot leak open-connection counts.
+    struct ConnGauge<'t>(&'t crate::telemetry::Telemetry);
+    impl Drop for ConnGauge<'_> {
+        fn drop(&mut self) {
+            self.0.conn_closed(Transport::Framed);
+        }
+    }
+    let _gauge = ConnGauge(engine.telemetry());
     let mut reader = BufReader::new(conn);
     let mut writer = BufWriter::new(write_half);
+    let mut served: u64 = 0;
     while !shutdown.is_triggered() {
-        match serve_frame(&mut reader, &mut writer, engine) {
+        match serve_frame(
+            &mut reader,
+            &mut writer,
+            engine,
+            faults,
+            request_budget,
+            &mut served,
+        ) {
             Ok(proto::Action::Continue) => {}
             Ok(proto::Action::Shutdown) => {
                 // Wakes every accept loop (all transports) via the signal's
@@ -579,7 +816,6 @@ pub fn serve_proto_conn<C: Connection>(conn: C, engine: &QueryEngine, shutdown: 
             }
         }
     }
-    engine.telemetry().conn_closed(Transport::Framed);
 }
 
 /// Serves one frame: read, decode, dispatch, reply. The returned action is
@@ -594,19 +830,55 @@ fn serve_frame<R: BufRead, W: Write>(
     reader: &mut R,
     writer: &mut W,
     engine: &QueryEngine,
+    faults: &Faults,
+    request_budget: u64,
+    served: &mut u64,
 ) -> Result<proto::Action, ProtoError> {
     let (version, body) = proto::read_frame_raw(reader)?;
+    if let Some(stall) = faults.frame_stall() {
+        std::thread::sleep(stall);
+    }
+    if faults.should_panic() {
+        panic!("injected fault: framed handler panic");
+    }
     let decoded = Json::parse(&body).map_err(ProtoError::BadJson);
+    // Per-connection budget and fault-forced sheds: a typed, recoverable
+    // `overloaded` reply in the frame's own dialect, before dispatch. A
+    // spent budget additionally closes the connection (silently, after the
+    // reply — the client saw a recoverable error and can reconnect).
+    let budget_spent = request_budget != 0 && *served >= request_budget;
+    if budget_spent || faults.should_overload() {
+        engine.telemetry().overload_rejected();
+        let ctx = match decoded.as_ref().ok().and_then(proto::request_trace) {
+            Some(trace) => RequestCtx::with_trace(trace),
+            None => RequestCtx::generate(),
+        };
+        if version == v2::API_VERSION {
+            let error = v2::OpError::Service(ServiceError::Overloaded {
+                retry_after_ms: DEFAULT_RETRY_AFTER_MS,
+            });
+            proto::write_frame_v(writer, &v2::error_envelope(None, &error, &ctx), version)?;
+        } else {
+            proto::write_frame(writer, &proto::attach_trace(overloaded_reply(), &ctx))?;
+        }
+        if budget_spent {
+            return Err(ProtoError::Closed);
+        }
+        return Ok(proto::Action::Continue);
+    }
+    *served += 1;
     if version == v2::API_VERSION {
         return serve_v2_frame(writer, engine, decoded);
     }
     let payload = decoded?;
     // The raw frame's trace_id is read *before* decoding, so even a frame
-    // that fails to decode gets its error reply correlated.
+    // that fails to decode gets its error reply correlated; the optional
+    // deadline_ms field bounds the job from this point on.
     let ctx = match proto::request_trace(&payload) {
         Some(trace) => RequestCtx::with_trace(trace),
         None => RequestCtx::generate(),
-    };
+    }
+    .with_deadline_ms(proto::request_deadline_ms(&payload));
     let request = match Request::from_json(&payload) {
         Ok(request) => request,
         Err(error) if error.is_recoverable() => {
@@ -662,7 +934,8 @@ fn serve_v2_frame<W: Write>(
     let ctx = match proto::request_trace(&payload) {
         Some(trace) => RequestCtx::with_trace(trace),
         None => RequestCtx::generate(),
-    };
+    }
+    .with_deadline_ms(proto::request_deadline_ms(&payload));
     let (reply, action) = v2::dispatch_envelope(engine, &payload, &ctx);
     let written = match proto::write_frame_v(writer, &reply, v2::API_VERSION) {
         Err(e) if e.kind() == io::ErrorKind::InvalidData => {
@@ -825,7 +1098,10 @@ mod tests {
             "transports must share one engine: {response}"
         );
 
-        // Shutdown over HTTP stops the unix accept loop too.
+        // Shutdown over HTTP stops the unix accept loop too. Drop the
+        // idle unix client first so the drain finds nothing in flight
+        // (its handler exits on the EOF immediately).
+        drop(unix_client);
         http_client.shutdown().expect("http shutdown");
         handle.join().expect("daemon thread").expect("clean exit");
         assert!(!path.exists(), "socket file removed on shutdown");

@@ -71,6 +71,12 @@ pub struct EngineConfig {
     /// Idle time after which an untouched session handle becomes eligible
     /// for the garbage sweep (run opportunistically on registry traffic).
     pub session_idle_ttl: std::time::Duration,
+    /// Admission cap on concurrently executing work requests (solves,
+    /// batches, session ops); `0` means unlimited. Past the cap,
+    /// [`QueryEngine::try_admit`] fails with [`ServiceError::Overloaded`]
+    /// instead of queueing, so overload turns into fast typed rejections
+    /// rather than pile-up.
+    pub max_inflight: usize,
 }
 
 impl Default for EngineConfig {
@@ -87,9 +93,14 @@ impl Default for EngineConfig {
             parallel_min_vertices: 1 << 16,
             max_sessions: 256,
             session_idle_ttl: std::time::Duration::from_secs(600),
+            max_inflight: 0,
         }
     }
 }
+
+/// Backoff hint carried in [`ServiceError::Overloaded`] rejections issued
+/// by the admission gate and per-connection budgets.
+pub const DEFAULT_RETRY_AFTER_MS: u64 = 100;
 
 /// A graph resolved to its cotree, ready to solve. Built by the resolve
 /// path here and by [`crate::session`] from a resident session cotree.
@@ -133,6 +144,30 @@ pub struct QueryEngine {
     pool: Mutex<Option<Pool>>,
     /// Daemon-resident session handles (see [`crate::session`]).
     pub(crate) sessions: crate::session::SessionRegistry,
+    /// Work requests currently admitted (the admission-gate counter; the
+    /// telemetry gauge mirrors it for export).
+    inflight: AtomicUsize,
+}
+
+/// RAII permit for one admitted work request, handed out by
+/// [`QueryEngine::try_admit`]. Dropping it releases the admission slot and
+/// decrements the in-flight gauge, so a permit can never leak across a
+/// panic or early return.
+pub struct InflightGuard<'e> {
+    engine: &'e QueryEngine,
+}
+
+impl std::fmt::Debug for InflightGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("InflightGuard")
+    }
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.engine.inflight.fetch_sub(1, Ordering::Release);
+        self.engine.telemetry.inflight_finished();
+    }
 }
 
 impl Default for QueryEngine {
@@ -159,6 +194,37 @@ impl QueryEngine {
             telemetry,
             pool: Mutex::new(None),
             sessions: crate::session::SessionRegistry::new(),
+            inflight: AtomicUsize::new(0),
+        }
+    }
+
+    /// Tries to admit one work request under the `max_inflight` cap. On
+    /// success the returned guard holds the slot until dropped; past the
+    /// cap the request is shed with [`ServiceError::Overloaded`] carrying
+    /// the [`DEFAULT_RETRY_AFTER_MS`] backoff hint. A cap of `0` admits
+    /// everything (but still maintains the in-flight gauge).
+    pub fn try_admit(&self) -> Result<InflightGuard<'_>, ServiceError> {
+        let max = self.config.max_inflight;
+        let mut current = self.inflight.load(Ordering::Relaxed);
+        loop {
+            if max != 0 && current >= max {
+                self.telemetry.overload_rejected();
+                return Err(ServiceError::Overloaded {
+                    retry_after_ms: DEFAULT_RETRY_AFTER_MS,
+                });
+            }
+            match self.inflight.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.telemetry.inflight_started();
+                    return Ok(InflightGuard { engine: self });
+                }
+                Err(observed) => current = observed,
+            }
         }
     }
 
@@ -371,7 +437,14 @@ impl QueryEngine {
     ) -> QueryResponse {
         let started = Instant::now();
         let mut clock = self.telemetry.pipeline_clock();
-        let resolved = self.resolve_request(&request.graph, shared, &mut clock);
+        // Deadlines are checked cooperatively at stage boundaries: before
+        // ingest/recognition and again before the solve, so an
+        // already-expired request never starts the expensive work.
+        let resolved = if ctx.deadline_expired() {
+            Err(ServiceError::DeadlineExceeded)
+        } else {
+            self.resolve_request(&request.graph, shared, &mut clock)
+        };
         let (outcome, meta) = match resolved {
             Err(error) => (
                 Err(error),
@@ -386,7 +459,11 @@ impl QueryEngine {
             ),
             Ok(resolved) => {
                 let solve_started = Instant::now();
-                let outcome = self.solve(request.kind, &resolved, &mut clock);
+                let outcome = if ctx.deadline_expired() {
+                    Err(ServiceError::DeadlineExceeded)
+                } else {
+                    self.solve(request.kind, &resolved, &mut clock)
+                };
                 (
                     outcome,
                     ResponseMeta {
@@ -419,6 +496,9 @@ impl QueryEngine {
             Ok(_) => Outcome::Ok,
             Err(error) => Outcome::from_error_code(error.code()),
         };
+        if matches!(response.outcome, Err(ServiceError::DeadlineExceeded)) {
+            self.telemetry.deadline_exceeded();
+        }
         let total = response.meta.total_micros;
         self.telemetry.record_request(response.kind, outcome, total);
         if self.telemetry.should_log(outcome, total) {
@@ -862,6 +942,58 @@ mod tests {
         let r2 = e.execute(&QueryRequest::new(QueryKind::MinCoverSize, spec));
         assert_eq!(r1.meta.cache, CacheStatus::Bypass);
         assert_eq!(r2.meta.cache, CacheStatus::Bypass);
+    }
+
+    #[test]
+    fn admission_gate_sheds_over_cap_and_releases_on_drop() {
+        let e = QueryEngine::new(EngineConfig {
+            max_inflight: 2,
+            ..EngineConfig::default()
+        });
+        let g1 = e.try_admit().expect("first slot");
+        let _g2 = e.try_admit().expect("second slot");
+        let rejected = e.try_admit().expect_err("cap reached");
+        assert_eq!(rejected.code(), "overloaded");
+        assert_eq!(
+            rejected,
+            ServiceError::Overloaded {
+                retry_after_ms: DEFAULT_RETRY_AFTER_MS
+            }
+        );
+        drop(g1);
+        let _g3 = e.try_admit().expect("slot freed by drop");
+        let report = e.metrics_report();
+        assert_eq!(report.rejected_overload, 1);
+        assert_eq!(report.inflight, 2);
+    }
+
+    #[test]
+    fn unlimited_gate_admits_everything_but_tracks_inflight() {
+        let e = engine();
+        let guards: Vec<_> = (0..64).map(|_| e.try_admit().expect("no cap")).collect();
+        assert_eq!(e.metrics_report().inflight, 64);
+        drop(guards);
+        assert_eq!(e.metrics_report().inflight, 0);
+        assert_eq!(e.metrics_report().rejected_overload, 0);
+    }
+
+    #[test]
+    fn expired_deadline_short_circuits_the_pipeline() {
+        let e = engine();
+        let req = QueryRequest::new(
+            QueryKind::FullCover,
+            GraphSpec::EdgeList("0 1\n1 2\n0 2\n".to_string()),
+        );
+        let ctx = RequestCtx::generate().with_deadline_ms(Some(0));
+        let resp = e.execute_ctx(&req, &ctx);
+        assert_eq!(resp.outcome, Err(ServiceError::DeadlineExceeded));
+        // The expired request never reached ingest: no cache traffic.
+        assert_eq!(e.cache_stats().misses, 0);
+        assert_eq!(e.metrics_report().deadline_exceeded, 1);
+        // A generous deadline solves normally.
+        let ctx = RequestCtx::generate().with_deadline_ms(Some(60_000));
+        let resp = e.execute_ctx(&req, &ctx);
+        assert!(resp.outcome.is_ok());
     }
 
     #[test]

@@ -54,6 +54,18 @@ pub enum ServiceError {
     /// self-loop, or a duplicate within one insertion. Recoverable — the
     /// session is untouched.
     InvalidVertex(String),
+    /// The daemon shed this request under load (in-flight cap reached, a
+    /// per-connection budget exhausted, or an injected fault). Recoverable
+    /// and retryable: the wire body carries `retry_after_ms` so clients can
+    /// back off before trying again.
+    Overloaded {
+        /// Suggested client backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request's deadline expired before the work completed; the job
+    /// was cut short instead of burning a core on an answer nobody is
+    /// waiting for.
+    DeadlineExceeded,
 }
 
 impl ServiceError {
@@ -70,6 +82,8 @@ impl ServiceError {
             ServiceError::SessionNotFound(_) => "session_not_found",
             ServiceError::TooManySessions { .. } => "too_many_sessions",
             ServiceError::InvalidVertex(_) => "invalid",
+            ServiceError::Overloaded { .. } => "overloaded",
+            ServiceError::DeadlineExceeded => "deadline_exceeded",
         }
     }
 
@@ -89,6 +103,9 @@ impl ServiceError {
                 "p4",
                 Json::Arr(witness.iter().map(|&v| Json::num(v as u64)).collect()),
             ));
+        }
+        if let ServiceError::Overloaded { retry_after_ms } = self {
+            fields.push(("retry_after_ms", Json::num(*retry_after_ms)));
         }
         Json::obj(fields)
     }
@@ -125,6 +142,10 @@ impl fmt::Display for ServiceError {
                 write!(f, "session limit reached ({max} live handles)")
             }
             ServiceError::InvalidVertex(msg) => write!(f, "invalid vertex: {msg}"),
+            ServiceError::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded; retry after {retry_after_ms} ms")
+            }
+            ServiceError::DeadlineExceeded => write!(f, "request deadline exceeded"),
         }
     }
 }

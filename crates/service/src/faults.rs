@@ -1,0 +1,253 @@
+//! Fault injection for chaos testing the daemon.
+//!
+//! A [`FaultSpec`] describes which faults to inject and how often; a
+//! [`Faults`] runtime makes the per-event decisions deterministically from
+//! a seeded counter, so a chaos run with a fixed seed injects the same
+//! fault sequence every time. The harness is compiled in but default-off:
+//! the all-zero spec ([`FaultSpec::default`]) makes every hook a no-op, so
+//! production binaries pay a single branch per hook.
+//!
+//! Faults are enabled with `pathcover-cli serve --fault-spec <spec>` or the
+//! `PC_FAULTS` environment variable. The grammar is comma-separated
+//! `key=value` pairs:
+//!
+//! ```text
+//! accept_delay_ms=5,frame_stall_ms=20,panic_rate=0.05,overload_rate=0.2,seed=42
+//! ```
+//!
+//! * `accept_delay_ms` — sleep this long after every accepted connection,
+//!   simulating a slow accept path.
+//! * `frame_stall_ms` — sleep this long before serving each request,
+//!   simulating a stalled handler mid-frame.
+//! * `panic_rate` — probability (`0.0..=1.0`) that a request handler
+//!   panics; the daemon must contain the panic to that connection.
+//! * `overload_rate` — probability that a request is answered with a
+//!   forced `overloaded` rejection without touching the engine.
+//! * `seed` — seed of the deterministic decision stream.
+//!
+//! The chaos integration suite (`tests/chaos.rs`) and the `chaos-smoke` CI
+//! job drive the daemon through these faults and assert that every reply
+//! is either byte-identical to the fault-free run or a typed
+//! `overloaded` error, and that drain shutdown stays clean.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Which faults to inject and how often. The all-zero default disables
+/// everything.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultSpec {
+    /// Milliseconds to sleep after every accepted connection.
+    pub accept_delay_ms: u64,
+    /// Milliseconds to stall before serving each request.
+    pub frame_stall_ms: u64,
+    /// Probability (`0.0..=1.0`) that a request handler panics.
+    pub panic_rate: f64,
+    /// Probability (`0.0..=1.0`) that a request is rejected `overloaded`.
+    pub overload_rate: f64,
+    /// Seed of the deterministic decision stream.
+    pub seed: u64,
+}
+
+impl FaultSpec {
+    /// Parses the `key=value,key=value` grammar (see the module docs).
+    /// Unknown keys, malformed numbers, and rates outside `0.0..=1.0` are
+    /// rejected with a message naming the offending pair. The empty string
+    /// parses to the disabled spec.
+    pub fn parse(text: &str) -> Result<FaultSpec, String> {
+        let mut spec = FaultSpec::default();
+        for pair in text.split(',') {
+            let pair = pair.trim();
+            if pair.is_empty() {
+                continue;
+            }
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec entry '{pair}' is not key=value"))?;
+            let (key, value) = (key.trim(), value.trim());
+            let bad_num = || format!("fault spec entry '{pair}' has a malformed value");
+            match key {
+                "accept_delay_ms" => spec.accept_delay_ms = value.parse().map_err(|_| bad_num())?,
+                "frame_stall_ms" => spec.frame_stall_ms = value.parse().map_err(|_| bad_num())?,
+                "panic_rate" => spec.panic_rate = parse_rate(value).ok_or_else(bad_num)?,
+                "overload_rate" => spec.overload_rate = parse_rate(value).ok_or_else(bad_num)?,
+                "seed" => spec.seed = value.parse().map_err(|_| bad_num())?,
+                other => {
+                    return Err(format!(
+                        "unknown fault spec key '{other}' (expected accept_delay_ms, \
+                         frame_stall_ms, panic_rate, overload_rate, or seed)"
+                    ))
+                }
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Whether any fault is configured (false for the all-zero default).
+    pub fn is_active(&self) -> bool {
+        self.accept_delay_ms != 0
+            || self.frame_stall_ms != 0
+            || self.panic_rate > 0.0
+            || self.overload_rate > 0.0
+    }
+}
+
+fn parse_rate(value: &str) -> Option<f64> {
+    let rate: f64 = value.parse().ok()?;
+    (0.0..=1.0).contains(&rate).then_some(rate)
+}
+
+/// The fault-injection runtime: a [`FaultSpec`] plus the deterministic
+/// decision stream. One instance is shared by every connection handler of
+/// a daemon, so rate decisions are made over the global request sequence.
+#[derive(Debug, Default)]
+pub struct Faults {
+    spec: FaultSpec,
+    seq: AtomicU64,
+}
+
+impl Faults {
+    /// Builds the runtime for a spec. [`Faults::default`] is the disabled
+    /// runtime (every hook a no-op).
+    pub fn new(spec: FaultSpec) -> Self {
+        Faults {
+            spec,
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// The spec this runtime was built from.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// Whether any fault is configured.
+    pub fn is_active(&self) -> bool {
+        self.spec.is_active()
+    }
+
+    /// The configured post-accept delay, if any.
+    pub fn accept_delay(&self) -> Option<Duration> {
+        (self.spec.accept_delay_ms != 0).then(|| Duration::from_millis(self.spec.accept_delay_ms))
+    }
+
+    /// The configured pre-request stall, if any.
+    pub fn frame_stall(&self) -> Option<Duration> {
+        (self.spec.frame_stall_ms != 0).then(|| Duration::from_millis(self.spec.frame_stall_ms))
+    }
+
+    /// Whether the next request handler should panic (deterministic in the
+    /// seed and the request sequence number).
+    pub fn should_panic(&self) -> bool {
+        self.spec.panic_rate > 0.0 && self.roll() < self.spec.panic_rate
+    }
+
+    /// Whether the next request should be answered with a forced
+    /// `overloaded` rejection.
+    pub fn should_overload(&self) -> bool {
+        self.spec.overload_rate > 0.0 && self.roll() < self.spec.overload_rate
+    }
+
+    /// One draw from the decision stream, uniform in `[0, 1)`: a
+    /// splitmix64-style mix of the seed and a global sequence counter.
+    /// Deterministic — no clocks, no OS randomness — so a seeded chaos run
+    /// is reproducible.
+    fn roll(&self) -> f64 {
+        let n = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut z = self
+            .spec
+            .seed
+            .wrapping_add(n.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        // 53 high bits → uniform double in [0, 1).
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_default_specs_are_disabled() {
+        assert!(!FaultSpec::default().is_active());
+        assert!(!FaultSpec::parse("").expect("empty spec").is_active());
+        let faults = Faults::default();
+        assert!(faults.accept_delay().is_none());
+        assert!(faults.frame_stall().is_none());
+        assert!(!faults.should_panic());
+        assert!(!faults.should_overload());
+    }
+
+    #[test]
+    fn grammar_round_trips_every_key() {
+        let spec = FaultSpec::parse(
+            "accept_delay_ms=5, frame_stall_ms=20,panic_rate=0.05,overload_rate=0.2,seed=42",
+        )
+        .expect("full spec");
+        assert_eq!(
+            spec,
+            FaultSpec {
+                accept_delay_ms: 5,
+                frame_stall_ms: 20,
+                panic_rate: 0.05,
+                overload_rate: 0.2,
+                seed: 42,
+            }
+        );
+        assert!(spec.is_active());
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_with_the_offender_named() {
+        for (spec, fragment) in [
+            ("bogus=1", "unknown fault spec key 'bogus'"),
+            ("panic_rate=2.0", "malformed value"),
+            ("overload_rate=-0.1", "malformed value"),
+            ("accept_delay_ms=abc", "malformed value"),
+            ("frame_stall_ms", "not key=value"),
+        ] {
+            let error = FaultSpec::parse(spec).expect_err(spec);
+            assert!(error.contains(fragment), "for '{spec}': {error}");
+        }
+    }
+
+    #[test]
+    fn rate_decisions_are_deterministic_and_roughly_calibrated() {
+        let spec = FaultSpec {
+            overload_rate: 0.25,
+            seed: 7,
+            ..FaultSpec::default()
+        };
+        let a = Faults::new(spec.clone());
+        let b = Faults::new(spec);
+        let draws_a: Vec<bool> = (0..1000).map(|_| a.should_overload()).collect();
+        let draws_b: Vec<bool> = (0..1000).map(|_| b.should_overload()).collect();
+        assert_eq!(draws_a, draws_b, "same seed, same decision stream");
+        let hits = draws_a.iter().filter(|&&x| x).count();
+        assert!(
+            (150..=350).contains(&hits),
+            "rate 0.25 over 1000 draws should land near 250, got {hits}"
+        );
+    }
+
+    #[test]
+    fn zero_rate_never_fires_and_one_always_fires() {
+        let never = Faults::new(FaultSpec {
+            panic_rate: 0.0,
+            seed: 3,
+            ..FaultSpec::default()
+        });
+        let always = Faults::new(FaultSpec {
+            overload_rate: 1.0,
+            seed: 3,
+            ..FaultSpec::default()
+        });
+        for _ in 0..100 {
+            assert!(!never.should_panic());
+            assert!(always.should_overload());
+        }
+    }
+}

@@ -48,8 +48,13 @@
 //! * **404 / 405** — unknown route / known route with the wrong method
 //!   (`Allow` header carried on the 405).
 //! * **413** — a body exceeding [`proto::MAX_FRAME_LEN`], the exact cap
-//!   the framed protocol enforces on its frames.
+//!   the framed protocol enforces on its frames. The announced
+//!   `Content-Length` is checked *before* any body byte is read or
+//!   buffered, so an oversized declaration costs no allocation.
 //! * **501** — `Transfer-Encoding` (chunked bodies are not supported).
+//! * **503** — the admission gate shed the request (error body `code:
+//!   "overloaded"`); `retry_after_ms` in the body and the `Retry-After`
+//!   header (seconds, rounded up) carry the retry hint.
 //!
 //! Connections are keep-alive by default (HTTP/1.1 semantics, honouring
 //! `Connection: close` and HTTP/1.0 defaults) and bounded by the daemon's
@@ -63,6 +68,11 @@
 //! echoes it as a top-level `"trace_id"` field, and response objects carry
 //! it again under `meta.trace_id`, so a log line on either side of the
 //! connection correlates with the server's slow-request log.
+//! An `X-Deadline-Ms` header gives the request a deadline: the pipeline
+//! checks it cooperatively and an expired request answers with a
+//! `deadline_exceeded` per-job error (status 200 — the request *was*
+//! dispatched; expiry is a property of the job, exactly like a batch
+//! line's failure).
 //! `GET /v1/metrics` serves the telemetry registry as Prometheus text
 //! exposition 0.0.4 (`text/plain`) by default, or as the framed protocol's
 //! `metrics` payload with `?format=json`.
@@ -113,6 +123,8 @@ pub enum HttpError {
         code: String,
         /// Human-readable message.
         message: String,
+        /// The server's retry hint (overload rejections), when present.
+        retry_after_ms: Option<u64>,
     },
     /// The server's reply could not be interpreted (client side only).
     BadReply(String),
@@ -132,6 +144,7 @@ impl fmt::Display for HttpError {
                 status,
                 code,
                 message,
+                ..
             } => write!(f, "server answered {status} [{code}]: {message}"),
             HttpError::BadReply(msg) => write!(f, "bad reply: {msg}"),
         }
@@ -174,6 +187,9 @@ pub struct HttpRequest {
     /// The `X-Request-Id` header value, when one was sent — becomes the
     /// request's trace ID.
     pub trace: Option<String>,
+    /// The `X-Deadline-Ms` header value, when one was sent — becomes the
+    /// request's deadline, measured from when the header was parsed.
+    pub deadline_ms: Option<u64>,
     /// Whether the connection should stay open after the response
     /// (HTTP/1.1 default, overridden by `Connection` headers).
     pub keep_alive: bool,
@@ -254,6 +270,7 @@ pub fn read_request<R: BufRead, W: Write>(
     let mut content_length: Option<usize> = None;
     let mut expect_continue = false;
     let mut trace: Option<String> = None;
+    let mut deadline_ms: Option<u64> = None;
     for count in 0.. {
         if count > MAX_HEADERS {
             return Err(HttpError::BadRequest("too many headers".to_string()));
@@ -300,6 +317,12 @@ pub fn read_request<R: BufRead, W: Write>(
             "x-request-id" if !value.is_empty() => {
                 trace = Some(value.to_string());
             }
+            "x-deadline-ms" => {
+                let ms: u64 = value
+                    .parse()
+                    .map_err(|_| HttpError::BadRequest(format!("bad X-Deadline-Ms {value:?}")))?;
+                deadline_ms = Some(ms);
+            }
             "transfer-encoding" => {
                 return Err(HttpError::Unsupported(format!(
                     "Transfer-Encoding {value:?} (send a Content-Length body)"
@@ -323,6 +346,7 @@ pub fn read_request<R: BufRead, W: Write>(
         path,
         query,
         trace,
+        deadline_ms,
         keep_alive,
         body,
     }))
@@ -387,6 +411,9 @@ pub struct HttpResponse {
     /// Emit a `Deprecation: true` header (every `/v1/*` response carries
     /// it since the v2 envelope landed; `POST /v2/query` is the successor).
     pub deprecated: bool,
+    /// The `Retry-After` hint in milliseconds (503 overload rejections);
+    /// serialized as whole seconds, rounded up.
+    pub retry_after_ms: Option<u64>,
     /// The body.
     pub body: HttpBody,
 }
@@ -398,6 +425,7 @@ impl HttpResponse {
             reason: "OK",
             allow: None,
             deprecated: false,
+            retry_after_ms: None,
             body: HttpBody::Json(body),
         }
     }
@@ -408,6 +436,7 @@ impl HttpResponse {
             reason: "OK",
             allow: None,
             deprecated: false,
+            retry_after_ms: None,
             body: HttpBody::Text(body),
         }
     }
@@ -418,6 +447,7 @@ impl HttpResponse {
             reason,
             allow: None,
             deprecated: false,
+            retry_after_ms: None,
             body: HttpBody::Json(proto::error_reply(code, message)),
         }
     }
@@ -473,6 +503,11 @@ fn write_response_parts<W: Write>(
     if response.deprecated {
         write!(w, "Deprecation: true\r\n")?;
     }
+    if let Some(ms) = response.retry_after_ms {
+        // Retry-After is whole seconds on the wire; round up so the header
+        // never understates the JSON body's millisecond hint.
+        write!(w, "Retry-After: {}\r\n", ms.div_ceil(1000).max(1))?;
+    }
     write!(
         w,
         "Connection: {}\r\n\r\n",
@@ -510,8 +545,18 @@ pub fn respond(engine: &QueryEngine, request: &HttpRequest) -> (HttpResponse, pr
     let ctx = match &request.trace {
         Some(trace) => RequestCtx::with_trace(trace.clone()),
         None => RequestCtx::generate(),
-    };
+    }
+    .with_deadline_ms(request.deadline_ms);
     let (mut response, action) = route(engine, request, &ctx);
+    // Admission-gate sheds surface as HTTP 503 with a Retry-After header,
+    // whichever dispatcher (v1 verb or v2 envelope) produced the reply.
+    if response.status == 200 {
+        if let Some(hint) = response.body.as_json().and_then(overload_retry_hint) {
+            response.status = 503;
+            response.reason = "Service Unavailable";
+            response.retry_after_ms = Some(hint);
+        }
+    }
     if request.path.starts_with("/v1/") {
         // Deprecation surface: every /v1 route answers with a
         // `Deprecation: true` header and a top-level `meta.api_version`
@@ -527,6 +572,28 @@ pub fn respond(engine: &QueryEngine, request: &HttpRequest) -> (HttpResponse, pr
     // dispatched replies already carry it (the attachment is idempotent).
     response.attach_trace(&ctx);
     (response, action)
+}
+
+/// Detects an admission-gate rejection in a dispatched reply body and
+/// returns its retry hint. Two shapes carry one: a v1 error reply
+/// (`{"type":"error","code":"overloaded",...}`) and a v2 error envelope
+/// (`{"ok":false,"error":{"code":"overloaded",...}}`). Per-job failures
+/// live *inside* response objects and never match here.
+fn overload_retry_hint(body: &Json) -> Option<u64> {
+    let error = if body.get("type").and_then(Json::as_str) == Some("error") {
+        body
+    } else {
+        body.get("error")?
+    };
+    if error.get("code").and_then(Json::as_str) != Some("overloaded") {
+        return None;
+    }
+    Some(
+        error
+            .get("retry_after_ms")
+            .and_then(Json::as_u64)
+            .unwrap_or(crate::engine::DEFAULT_RETRY_AFTER_MS),
+    )
 }
 
 /// Appends a top-level `meta.api_version` marker to a v1 reply body
@@ -656,6 +723,25 @@ fn route(
     }
 }
 
+/// A `503 Service Unavailable` rejection carrying the standard overload
+/// error body and retry hint — used for faults-forced sheds and exhausted
+/// per-connection budgets (engine-side sheds arrive through [`respond`]).
+fn overloaded_response(retry_after_ms: u64) -> HttpResponse {
+    let error = crate::error::ServiceError::Overloaded { retry_after_ms };
+    let mut fields = vec![("type".to_string(), Json::str("error"))];
+    if let Json::Obj(body) = error.wire_body() {
+        fields.extend(body);
+    }
+    HttpResponse {
+        status: 503,
+        reason: "Service Unavailable",
+        allow: None,
+        deprecated: false,
+        retry_after_ms: Some(retry_after_ms),
+        body: HttpBody::Json(Json::Obj(fields)),
+    }
+}
+
 /// Serves one HTTP connection to completion: the keep-alive request loop
 /// with the status-code error mapping. The [`crate::daemon`] accept loop
 /// plugs this in exactly where the framed transport plugs in
@@ -666,19 +752,63 @@ pub fn serve_conn<C: crate::daemon::Connection>(
     engine: &QueryEngine,
     shutdown: &crate::daemon::ShutdownSignal,
 ) {
+    serve_conn_opts(conn, engine, shutdown, &crate::faults::Faults::default(), 0)
+}
+
+/// [`serve_conn`] with the daemon's resilience knobs: a fault-injection
+/// runtime and a per-connection request budget (`0` = unlimited; a
+/// request beyond the budget is answered `503 overloaded` and the
+/// connection closes).
+#[cfg(unix)]
+pub fn serve_conn_opts<C: crate::daemon::Connection>(
+    conn: C,
+    engine: &QueryEngine,
+    shutdown: &crate::daemon::ShutdownSignal,
+    faults: &crate::faults::Faults,
+    request_budget: u64,
+) {
     let Ok(write_half) = conn.try_clone_conn() else {
         return;
     };
     engine
         .telemetry()
         .conn_opened(crate::telemetry::Transport::Http);
+    // Decrement the gauge on *every* exit, injected handler panics
+    // included, so chaos runs cannot leak open-connection counts.
+    struct ConnGauge<'t>(&'t crate::telemetry::Telemetry);
+    impl Drop for ConnGauge<'_> {
+        fn drop(&mut self) {
+            self.0.conn_closed(crate::telemetry::Transport::Http);
+        }
+    }
+    let _gauge = ConnGauge(engine.telemetry());
     let mut reader = BufReader::new(conn);
     let mut writer = io::BufWriter::new(write_half);
+    let mut served: u64 = 0;
     while !shutdown.is_triggered() {
         match read_request(&mut reader, &mut writer) {
             Ok(None) => break,
             Ok(Some(request)) => {
-                let (mut response, action) = respond(engine, &request);
+                if let Some(stall) = faults.frame_stall() {
+                    std::thread::sleep(stall);
+                }
+                if faults.should_panic() {
+                    panic!("injected fault: http handler panic");
+                }
+                let budget_spent = request_budget != 0 && served >= request_budget;
+                let (mut response, action) = if budget_spent || faults.should_overload() {
+                    engine.telemetry().overload_rejected();
+                    let mut response = overloaded_response(crate::engine::DEFAULT_RETRY_AFTER_MS);
+                    let ctx = match &request.trace {
+                        Some(trace) => RequestCtx::with_trace(trace.clone()),
+                        None => RequestCtx::generate(),
+                    };
+                    response.attach_trace(&ctx);
+                    (response, proto::Action::Continue)
+                } else {
+                    served += 1;
+                    respond(engine, &request)
+                };
                 // One serialization serves both the cap check and the
                 // write. Mirror the framed transport's reply cap: an
                 // oversized reply becomes a small error instead of an
@@ -701,7 +831,8 @@ pub fn serve_conn<C: crate::daemon::Connection>(
                     response.attach_trace(&ctx);
                     body = response.body.render();
                 }
-                let keep_alive = request.keep_alive && action == proto::Action::Continue;
+                let keep_alive =
+                    request.keep_alive && action == proto::Action::Continue && !budget_spent;
                 let written = write_response_parts(
                     &mut writer,
                     &response,
@@ -753,16 +884,16 @@ pub fn serve_conn<C: crate::daemon::Connection>(
             }
         }
     }
-    engine
-        .telemetry()
-        .conn_closed(crate::telemetry::Transport::Http);
 }
 
 /// A thin HTTP client over one keep-alive connection, mirroring
 /// [`proto::Client`] method-for-method so `pathcover-cli` can treat the
-/// two transports interchangeably.
+/// two transports interchangeably. With a [`proto::RetryPolicy`] attached
+/// ([`Client::with_retry`]), idempotent calls answered `503 overloaded`
+/// are retried with backoff; the default is no retrying.
 pub struct Client {
     reader: BufReader<TcpStream>,
+    retry: Option<proto::RetryPolicy>,
 }
 
 impl Client {
@@ -772,6 +903,7 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         let mut client = Client {
             reader: BufReader::new(stream),
+            retry: None,
         };
         let health = client.request("GET", "/healthz", None)?;
         if health.get("ok").and_then(Json::as_bool) != Some(true) {
@@ -780,6 +912,13 @@ impl Client {
             )));
         }
         Ok(client)
+    }
+
+    /// Attaches a retry policy for idempotent calls (`solve` / `batch` /
+    /// `stats` / `metrics`) answered `503 overloaded`.
+    pub fn with_retry(mut self, policy: proto::RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
     }
 
     /// One request/response round trip. Error statuses are decoded into
@@ -795,28 +934,46 @@ impl Client {
             text.push('\n');
             text
         });
-        let stream = self.reader.get_mut();
-        write!(
-            stream,
-            "{method} {path} HTTP/1.1\r\nHost: pcservice\r\nConnection: keep-alive\r\n"
-        )?;
-        if let Some(text) = &body_text {
+        let written = (|| -> io::Result<()> {
+            let stream = self.reader.get_mut();
             write!(
                 stream,
-                "Content-Type: application/json\r\nContent-Length: {}\r\n",
-                text.len()
+                "{method} {path} HTTP/1.1\r\nHost: pcservice\r\nConnection: keep-alive\r\n"
             )?;
-        } else if method == "POST" {
-            // An explicit zero keeps bodyless POSTs unambiguous for any
-            // intermediary between here and the daemon.
-            stream.write_all(b"Content-Length: 0\r\n")?;
+            if let Some(text) = &body_text {
+                write!(
+                    stream,
+                    "Content-Type: application/json\r\nContent-Length: {}\r\n",
+                    text.len()
+                )?;
+            } else if method == "POST" {
+                // An explicit zero keeps bodyless POSTs unambiguous for any
+                // intermediary between here and the daemon.
+                stream.write_all(b"Content-Length: 0\r\n")?;
+            }
+            stream.write_all(b"\r\n")?;
+            if let Some(text) = &body_text {
+                stream.write_all(text.as_bytes())?;
+            }
+            stream.flush()
+        })();
+        if let Err(error) = written {
+            // The daemon may have rejected this connection at accept time
+            // (connection cap) and closed it after writing one 503. Our
+            // write raced that close — prefer the buffered typed rejection
+            // over a bare broken pipe.
+            return match self.read_response() {
+                Ok(value) => Ok(value),
+                Err(_) => Err(error.into()),
+            };
         }
-        stream.write_all(b"\r\n")?;
-        if let Some(text) = &body_text {
-            stream.write_all(text.as_bytes())?;
-        }
-        stream.flush()?;
+        self.read_response()
+    }
 
+    /// Reads and decodes one HTTP response (the read half of
+    /// [`Client::request`]). Error statuses are decoded into
+    /// [`HttpError::Status`].
+    fn read_response(&mut self) -> Result<Json, HttpError> {
         let status_line = read_line(&mut self.reader)?.ok_or(HttpError::Closed)?;
         let mut parts = status_line.split_whitespace();
         let status: u16 = match (parts.next(), parts.next()) {
@@ -872,9 +1029,46 @@ impl Client {
                     .and_then(Json::as_str)
                     .unwrap_or("")
                     .to_string(),
+                retry_after_ms: value.get("retry_after_ms").and_then(Json::as_u64),
             });
         }
         Ok(value)
+    }
+
+    /// [`Client::request`] with overload retries, used only by the
+    /// idempotent calls: a `503` whose body carries `code: "overloaded"`
+    /// is retried under the attached policy, honoring the server's
+    /// `retry_after_ms` hint as the minimum wait.
+    fn request_retry(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&Json>,
+    ) -> Result<Json, HttpError> {
+        let mut attempt = 0u32;
+        loop {
+            let result = self.request(method, path, body);
+            let delay = match (&self.retry, &result) {
+                (
+                    Some(policy),
+                    Err(HttpError::Status {
+                        code,
+                        retry_after_ms,
+                        ..
+                    }),
+                ) if attempt < policy.max_retries && code == "overloaded" => {
+                    Some(policy.backoff(attempt, *retry_after_ms))
+                }
+                _ => None,
+            };
+            match delay {
+                Some(delay) => {
+                    std::thread::sleep(delay);
+                    attempt += 1;
+                }
+                None => return result,
+            }
+        }
     }
 
     /// Checks a 2xx reply's `"type"` tag against the route's expectation.
@@ -895,7 +1089,7 @@ impl Client {
     /// `POST /v1/solve`: executes one query remotely; returns the response
     /// object (the `QueryResponse::to_json` shape).
     pub fn solve(&mut self, request: &QueryRequest) -> Result<Json, HttpError> {
-        let reply = self.request("POST", "/v1/solve", Some(&request.to_json()))?;
+        let reply = self.request_retry("POST", "/v1/solve", Some(&request.to_json()))?;
         Self::expect(reply, "response")?
             .get("response")
             .cloned()
@@ -910,7 +1104,7 @@ impl Client {
         requests: Vec<QueryRequest>,
     ) -> Result<Vec<Json>, HttpError> {
         let payload = proto::Request::Batch { shared, requests }.to_json();
-        let reply = self.request("POST", "/v1/batch", Some(&payload))?;
+        let reply = self.request_retry("POST", "/v1/batch", Some(&payload))?;
         match Self::expect(reply, "batch")?.get("responses") {
             Some(Json::Arr(items)) => Ok(items.clone()),
             _ => Err(HttpError::BadReply(
@@ -921,7 +1115,7 @@ impl Client {
 
     /// `GET /v1/stats`: the daemon's cache statistics object.
     pub fn stats(&mut self) -> Result<Json, HttpError> {
-        let reply = self.request("GET", "/v1/stats", None)?;
+        let reply = self.request_retry("GET", "/v1/stats", None)?;
         Self::expect(reply, "stats")?
             .get("stats")
             .cloned()
@@ -931,7 +1125,7 @@ impl Client {
     /// `GET /v1/metrics?format=json`: the telemetry registry's JSON export
     /// (the same payload as the framed protocol's `metrics` reply).
     pub fn metrics(&mut self) -> Result<Json, HttpError> {
-        let reply = self.request("GET", "/v1/metrics?format=json", None)?;
+        let reply = self.request_retry("GET", "/v1/metrics?format=json", None)?;
         Self::expect(reply, "metrics")?
             .get("metrics")
             .cloned()
@@ -958,6 +1152,7 @@ impl Client {
                     .and_then(Json::as_str)
                     .unwrap_or("")
                     .to_string(),
+                retry_after_ms: reply.get("retry_after_ms").and_then(Json::as_u64),
             });
         }
         Self::expect(reply, "snapshot_ok")
@@ -1089,6 +1284,7 @@ mod tests {
                 path: path.to_string(),
                 query: None,
                 trace: None,
+                deadline_ms: None,
                 keep_alive: true,
                 body: body.to_vec(),
             },
@@ -1221,6 +1417,7 @@ mod tests {
             path: "/v1/metrics".to_string(),
             query: Some("format=json".to_string()),
             trace: None,
+            deadline_ms: None,
             keep_alive: true,
             body: Vec::new(),
         };
@@ -1249,6 +1446,7 @@ mod tests {
             path: "/v1/solve".to_string(),
             query: None,
             trace: Some("req-7".to_string()),
+            deadline_ms: None,
             keep_alive: true,
             body: br#"{"kind":"min_cover_size","cotree":"(j a b)"}"#.to_vec(),
         };
@@ -1366,6 +1564,192 @@ mod tests {
         let text = String::from_utf8(bytes).unwrap();
         assert!(text.contains("Content-Length: 12\r\n"), "{text}");
         assert!(text.ends_with("\r\n\r\n"), "headers only: {text}");
+    }
+
+    #[test]
+    fn deadline_header_is_parsed_and_expired_requests_fail_typed() {
+        let request = parse(b"POST /v1/solve HTTP/1.1\r\nX-Deadline-Ms: 250\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(request.deadline_ms, Some(250));
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1\r\nX-Deadline-Ms: soon\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+
+        // An already-expired deadline short-circuits the pipeline: the
+        // request dispatches (200) but the job fails `deadline_exceeded`.
+        let engine = QueryEngine::default();
+        let request = HttpRequest {
+            method: "POST".to_string(),
+            path: "/v1/solve".to_string(),
+            query: None,
+            trace: None,
+            deadline_ms: Some(0),
+            keep_alive: true,
+            body: br#"{"kind":"min_cover_size","cotree":"(j a b)"}"#.to_vec(),
+        };
+        let (response, _) = respond(&engine, &request);
+        assert_eq!(response.status, 200);
+        let body = response.body.as_json().expect("json body");
+        assert_eq!(
+            body.get("response")
+                .and_then(|r| r.get("error"))
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some("deadline_exceeded"),
+            "{body}"
+        );
+        assert_eq!(engine.metrics_report().deadline_exceeded, 1);
+    }
+
+    #[test]
+    fn overload_sheds_map_to_503_with_a_retry_after_header() {
+        let engine = QueryEngine::new(crate::engine::EngineConfig {
+            max_inflight: 1,
+            ..crate::engine::EngineConfig::default()
+        });
+        let permit = engine.try_admit().expect("fill the gate");
+        let (response, _) = get(
+            &engine,
+            "POST",
+            "/v1/solve",
+            br#"{"kind":"min_cover_size","cotree":"(j a b)"}"#,
+        );
+        assert_eq!(response.status, 503);
+        assert_eq!(
+            response.retry_after_ms,
+            Some(crate::engine::DEFAULT_RETRY_AFTER_MS)
+        );
+        let body = response.body.as_json().expect("json body");
+        assert_eq!(
+            body.get("code").and_then(Json::as_str),
+            Some("overloaded"),
+            "{body}"
+        );
+        assert_eq!(
+            body.get("retry_after_ms").and_then(Json::as_u64),
+            Some(crate::engine::DEFAULT_RETRY_AFTER_MS)
+        );
+        drop(permit);
+        let (response, _) = get(
+            &engine,
+            "POST",
+            "/v1/solve",
+            br#"{"kind":"min_cover_size","cotree":"(j a b)"}"#,
+        );
+        assert_eq!(response.status, 200, "released permit admits again");
+
+        // The Retry-After header is serialized in whole seconds, rounded
+        // up, and never understates the millisecond hint.
+        let mut bytes = Vec::new();
+        write_response(&mut bytes, &overloaded_response(100), false).unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"), "{text}");
+    }
+
+    #[test]
+    fn overload_detection_reads_both_reply_shapes() {
+        let v1 = Json::parse(r#"{"type":"error","code":"overloaded","retry_after_ms":250}"#);
+        assert_eq!(overload_retry_hint(&v1.unwrap()), Some(250));
+        let v2 = Json::parse(r#"{"ok":false,"error":{"code":"overloaded"}}"#);
+        assert_eq!(
+            overload_retry_hint(&v2.unwrap()),
+            Some(crate::engine::DEFAULT_RETRY_AFTER_MS),
+            "missing hint falls back to the default"
+        );
+        for benign in [
+            r#"{"type":"error","code":"bad_json"}"#,
+            r#"{"ok":false,"error":{"code":"deadline_exceeded"}}"#,
+            r#"{"type":"response","response":{"ok":false}}"#,
+        ] {
+            assert_eq!(overload_retry_hint(&Json::parse(benign).unwrap()), None);
+        }
+    }
+
+    /// Satellite: an oversized *declared* Content-Length is refused at
+    /// header-parse time — before any body byte is read and before the
+    /// body buffer is allocated.
+    #[test]
+    fn oversized_declared_length_is_rejected_before_the_body() {
+        /// A reader that panics if the parser ever tries to read past the
+        /// headers — proof no body byte is consumed (and therefore no
+        /// body-sized buffer could have been filled).
+        struct HeadersOnly {
+            headers: io::Cursor<Vec<u8>>,
+        }
+        impl io::Read for HeadersOnly {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                let n = self.headers.read(buf)?;
+                if n == 0 {
+                    panic!("parser read past the headers of an oversized request");
+                }
+                Ok(n)
+            }
+        }
+        let text = format!(
+            "POST /v1/solve HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_FRAME_LEN + 1
+        );
+        let mut reader = BufReader::new(HeadersOnly {
+            headers: io::Cursor::new(text.into_bytes()),
+        });
+        let mut sink = Vec::new();
+        let error = read_request(&mut reader, &mut sink).unwrap_err();
+        match error {
+            HttpError::BodyTooLarge { len, max } => {
+                assert_eq!(len, MAX_FRAME_LEN + 1);
+                assert_eq!(max, MAX_FRAME_LEN);
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+        let (status, _, code) = error_status(&error).expect("server-rendered");
+        assert_eq!((status, code), (413, "body_too_large"));
+    }
+
+    /// An exhausted per-connection request budget answers 503 and closes.
+    #[cfg(unix)]
+    #[test]
+    fn request_budget_exhaustion_sheds_and_closes() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().unwrap();
+        let shutdown = crate::daemon::ShutdownSignal::new();
+        let server_shutdown = shutdown.clone();
+        let server = std::thread::spawn(move || {
+            let engine = QueryEngine::default();
+            let (conn, _) = listener.accept().expect("accept");
+            // Budget of one: the connect-time healthz probe spends it.
+            serve_conn_opts(
+                conn,
+                &engine,
+                &server_shutdown,
+                &crate::faults::Faults::default(),
+                1,
+            );
+            engine.metrics_report().rejected_overload
+        });
+        let mut client = Client::connect(&addr.to_string()).expect("connect");
+        let request = QueryRequest::new(
+            QueryKind::MinCoverSize,
+            GraphSpec::CotreeTerm("(j a b)".to_string()),
+        );
+        match client.solve(&request) {
+            Err(HttpError::Status {
+                status,
+                code,
+                retry_after_ms,
+                ..
+            }) => {
+                assert_eq!(status, 503);
+                assert_eq!(code, "overloaded");
+                assert!(retry_after_ms.is_some());
+            }
+            other => panic!("expected a 503 shed, got {other:?}"),
+        }
+        let rejected = server.join().expect("server thread");
+        assert_eq!(rejected, 1, "the shed is booked in telemetry");
     }
 
     /// End-to-end over a real TCP loopback: client and serve_conn speak to

@@ -76,6 +76,7 @@ pub mod cache;
 pub mod daemon;
 pub mod engine;
 pub mod error;
+pub mod faults;
 pub mod http;
 pub mod ingest;
 pub mod json;
@@ -92,8 +93,9 @@ pub use cache::{
 };
 #[cfg(unix)]
 pub use daemon::{Daemon, DaemonConfig, ShutdownSignal};
-pub use engine::{EngineConfig, QueryEngine, SnapshotMeta};
+pub use engine::{EngineConfig, InflightGuard, QueryEngine, SnapshotMeta, DEFAULT_RETRY_AFTER_MS};
 pub use error::ServiceError;
+pub use faults::{FaultSpec, Faults};
 pub use http::HttpError;
 pub use ingest::{cotree_to_term, GraphFormat, IngestError, Ingested};
 pub use json::{Json, JsonError};

@@ -493,12 +493,14 @@ impl QueryEngine {
         ctx: &RequestCtx,
     ) -> QueryResponse {
         let started = Instant::now();
-        let outcome_meta = self.session_resolve(handle).map(|(resolved, vertices)| {
-            let mut clock = self.telemetry().pipeline_clock();
-            let solve_started = Instant::now();
-            let outcome = self.solve(kind, &resolved, &mut clock);
-            (outcome, resolved, vertices, solve_started.elapsed())
-        });
+        let outcome_meta = self
+            .session_resolve(handle, ctx)
+            .map(|(resolved, vertices)| {
+                let mut clock = self.telemetry().pipeline_clock();
+                let solve_started = Instant::now();
+                let outcome = self.solve(kind, &resolved, &mut clock);
+                (outcome, resolved, vertices, solve_started.elapsed())
+            });
         let (outcome, meta) = match outcome_meta {
             Err(error) => (
                 Err(error),
@@ -539,9 +541,34 @@ impl QueryEngine {
     /// solve-side [`Resolved`], building the memoised entry (and, for
     /// graph-verifying kinds, the graph) only when a mutation invalidated
     /// them.
-    fn session_resolve(&self, handle: &str) -> Result<(Resolved, usize), ServiceError> {
+    ///
+    /// With a deadline on `ctx` the lock wait itself is bounded: the lock
+    /// is polled until it is free or the deadline passes, so a query
+    /// queued behind a long mutation fails `deadline_exceeded` instead of
+    /// blocking past its budget.
+    fn session_resolve(
+        &self,
+        handle: &str,
+        ctx: &RequestCtx,
+    ) -> Result<(Resolved, usize), ServiceError> {
         let slot = self.swept_sessions().get(handle)?;
-        let mut session = slot.lock().unwrap_or_else(|e| e.into_inner());
+        let mut session = match ctx.deadline {
+            None => slot.lock().unwrap_or_else(|e| e.into_inner()),
+            Some(_) => loop {
+                match slot.try_lock() {
+                    Ok(session) => break session,
+                    Err(std::sync::TryLockError::Poisoned(poisoned)) => {
+                        break poisoned.into_inner()
+                    }
+                    Err(std::sync::TryLockError::WouldBlock) => {
+                        if ctx.deadline_expired() {
+                            return Err(ServiceError::DeadlineExceeded);
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            },
+        };
         session.last_used = Instant::now();
         if session.adjacency.is_empty() {
             return Err(ServiceError::EmptyGraph);
@@ -657,6 +684,7 @@ mod tests {
     use super::*;
     use crate::engine::EngineConfig;
     use crate::model::Answer;
+    use crate::Json;
 
     fn engine() -> QueryEngine {
         QueryEngine::default()
@@ -823,6 +851,85 @@ mod tests {
         assert_eq!(e.session_stats().len(), 2);
         let live = e.metrics_report().sessions.live;
         assert_eq!(live, 2);
+    }
+
+    #[test]
+    fn ttl_sweep_never_drops_a_handle_whose_lock_is_held() {
+        let e = engine();
+        let h = e
+            .session_create(Some(&GraphSpec::EdgeList("0 1\n".to_string())))
+            .expect("K2")
+            .handle;
+        // Simulate an in-flight session_query: hold the session's own lock
+        // (exactly what session_resolve does while solving) and run the
+        // sweep with an expired TTL. try_lock fails on a held lock, so the
+        // handle must survive even though it looks idle by timestamp.
+        let slot = e.sessions.get(&h).expect("handle is live");
+        let guard = slot.lock().unwrap();
+        e.sessions.sweep(Duration::from_millis(0), e.telemetry());
+        assert!(
+            e.sessions.lock().contains_key(&h),
+            "sweep reclaimed a session whose lock was held by an in-flight query"
+        );
+        assert_eq!(e.metrics_report().sessions.expired, 0);
+        drop(guard);
+        // Released and instantly idle: the next sweep reclaims it.
+        e.sessions.sweep(Duration::from_millis(0), e.telemetry());
+        assert!(!e.sessions.lock().contains_key(&h));
+        assert_eq!(e.metrics_report().sessions.expired, 1);
+        assert!(matches!(
+            e.session_query(&h, QueryKind::MinCoverSize).outcome,
+            Err(ServiceError::SessionNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn session_query_lock_wait_honors_the_deadline() {
+        let e = engine();
+        let h = e
+            .session_create(Some(&GraphSpec::EdgeList("0 1\n".to_string())))
+            .expect("K2")
+            .handle;
+        // A long mutation holds the session lock; a deadlined query queued
+        // behind it must give up with deadline_exceeded instead of blocking
+        // past its budget (try_lock + bounded poll, never a blocking lock).
+        let slot = e.sessions.get(&h).expect("handle is live");
+        let guard = slot.lock().unwrap();
+        let ctx = RequestCtx::generate().with_deadline_ms(Some(30));
+        let resp = e.session_query_ctx(&h, QueryKind::MinCoverSize, &ctx);
+        assert_eq!(resp.outcome, Err(ServiceError::DeadlineExceeded));
+        assert_eq!(e.metrics_report().deadline_exceeded, 1);
+        drop(guard);
+        // Lock free again: the same query (fresh deadline) succeeds.
+        let ctx = RequestCtx::generate().with_deadline_ms(Some(60_000));
+        let resp = e.session_query_ctx(&h, QueryKind::MinCoverSize, &ctx);
+        assert_eq!(resp.outcome, Ok(Answer::MinCoverSize { size: 1 }));
+    }
+
+    #[test]
+    fn session_cap_rejections_are_recoverable_and_retryable() {
+        let e = QueryEngine::new(EngineConfig {
+            max_sessions: 1,
+            ..EngineConfig::default()
+        });
+        let h = e.session_create(None).unwrap().handle;
+        let error = e.session_create(None).expect_err("cap reached");
+        assert_eq!(error, ServiceError::TooManySessions { max: 1 });
+        // The rejection is typed for machine handling...
+        assert_eq!(error.code(), "too_many_sessions");
+        let body = error.wire_body();
+        assert_eq!(
+            body.get("code").and_then(Json::as_str),
+            Some("too_many_sessions")
+        );
+        // ...and recoverable: the registry and the existing handle are
+        // untouched, so the client can retry after dropping a handle.
+        assert_eq!(e.session_stats().len(), 1);
+        let resp = e.session_query(&h, QueryKind::Recognize);
+        assert!(matches!(resp.outcome, Err(ServiceError::EmptyGraph)));
+        e.session_drop(&h).expect("drop");
+        e.session_create(None)
+            .expect("retry succeeds once a slot frees up");
     }
 
     #[test]

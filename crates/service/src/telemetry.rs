@@ -311,12 +311,17 @@ fn kind_index(kind: QueryKind) -> usize {
 // ---------------------------------------------------------------------------
 
 /// Per-request context carried from the transport edge through the engine:
-/// currently the trace ID echoed in every response and log line.
+/// the trace ID echoed in every response and log line, plus an optional
+/// deadline after which the engine stops working on the request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RequestCtx {
     /// The trace ID — client-supplied (`X-Request-Id` header, `trace_id`
     /// proto field) or synthesized at the edge.
     pub trace_id: String,
+    /// Absolute deadline for the request, set at the transport edge from a
+    /// `deadline_ms` envelope field or `X-Deadline-Ms` header; `None` means
+    /// the request may run to completion.
+    pub deadline: Option<Instant>,
 }
 
 impl RequestCtx {
@@ -324,7 +329,23 @@ impl RequestCtx {
     pub fn with_trace(trace_id: impl Into<String>) -> Self {
         RequestCtx {
             trace_id: trace_id.into(),
+            deadline: None,
         }
+    }
+
+    /// Attaches a relative deadline (`None` clears it): the request must
+    /// finish within `deadline_ms` milliseconds of now or the engine cuts
+    /// it short with a `deadline_exceeded` error.
+    pub fn with_deadline_ms(mut self, deadline_ms: Option<u64>) -> Self {
+        self.deadline = deadline_ms.map(|ms| Instant::now() + std::time::Duration::from_millis(ms));
+        self
+    }
+
+    /// Whether the request's deadline (if any) has already passed. Checked
+    /// cooperatively at pipeline stage boundaries and in the session lock
+    /// wait — a cheap monotonic-clock read, never a lock.
+    pub fn deadline_expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
     /// Synthesizes a fresh trace ID (`pc-<16 hex digits>`): wall-clock
@@ -342,6 +363,7 @@ impl RequestCtx {
             nanos ^ (u64::from(std::process::id()) << 32) ^ seq.wrapping_mul(0x9e37_79b9_7f4a_7c15);
         RequestCtx {
             trace_id: format!("pc-{mixed:016x}"),
+            deadline: None,
         }
     }
 }
@@ -391,6 +413,7 @@ struct TransportCounters {
     active: AtomicI64,
     idle_timeouts: AtomicU64,
     oversize_rejects: AtomicU64,
+    accept_errors: AtomicU64,
 }
 
 /// The metrics registry: one per [`QueryEngine`](crate::engine::QueryEngine),
@@ -408,7 +431,11 @@ pub struct Telemetry {
     transports: [TransportCounters; 2],
     snapshot_save: Histogram,
     snapshot_failures: AtomicU64,
+    snapshot_consecutive_failures: AtomicU64,
     snapshot_last_unix: AtomicU64,
+    rejected_overload: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    inflight: AtomicI64,
     pool_solves: AtomicU64,
     pool_workers: AtomicU64,
     pool_rounds: AtomicU64,
@@ -441,7 +468,11 @@ impl Telemetry {
             transports: std::array::from_fn(|_| TransportCounters::default()),
             snapshot_save: Histogram::new(),
             snapshot_failures: AtomicU64::new(0),
+            snapshot_consecutive_failures: AtomicU64::new(0),
             snapshot_last_unix: AtomicU64::new(0),
+            rejected_overload: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            inflight: AtomicI64::new(0),
             pool_solves: AtomicU64::new(0),
             pool_workers: AtomicU64::new(0),
             pool_rounds: AtomicU64::new(0),
@@ -553,8 +584,48 @@ impl Telemetry {
         }
     }
 
+    /// Records an `accept()` failure on a listener (EMFILE and friends);
+    /// drives the accept loop's bounded backoff telemetry.
+    pub fn accept_error(&self, transport: Transport) {
+        if self.enabled {
+            self.transports[transport.index()]
+                .accept_errors
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a request shed under load (admission cap, per-connection
+    /// budget, connection cap, or an injected overload fault).
+    pub fn overload_rejected(&self) {
+        if self.enabled {
+            self.rejected_overload.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a request cut short because its deadline expired.
+    pub fn deadline_exceeded(&self) {
+        if self.enabled {
+            self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Bumps the in-flight work gauge (a request was admitted).
+    pub fn inflight_started(&self) {
+        if self.enabled {
+            self.inflight.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Decrements the in-flight work gauge (an admitted request finished).
+    pub fn inflight_finished(&self) {
+        if self.enabled {
+            self.inflight.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
     /// Records a successful snapshot checkpoint: its duration and the
-    /// wall-clock second it completed.
+    /// wall-clock second it completed. Resets the consecutive-failure
+    /// streak.
     pub fn checkpoint_saved(&self, micros: u64) {
         if self.enabled {
             self.snapshot_save.record(micros);
@@ -563,13 +634,18 @@ impl Telemetry {
                 .map(|d| d.as_secs())
                 .unwrap_or(0);
             self.snapshot_last_unix.store(unix, Ordering::Relaxed);
+            self.snapshot_consecutive_failures
+                .store(0, Ordering::Relaxed);
         }
     }
 
-    /// Records a failed snapshot checkpoint.
+    /// Records a failed snapshot checkpoint and extends the
+    /// consecutive-failure streak that drives the checkpointer's backoff.
     pub fn checkpoint_failed(&self) {
         if self.enabled {
             self.snapshot_failures.fetch_add(1, Ordering::Relaxed);
+            self.snapshot_consecutive_failures
+                .fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -657,10 +733,17 @@ impl Telemetry {
                 active: self.transports[i].active.load(Ordering::Relaxed),
                 idle_timeouts: self.transports[i].idle_timeouts.load(Ordering::Relaxed),
                 oversize_rejects: self.transports[i].oversize_rejects.load(Ordering::Relaxed),
+                accept_errors: self.transports[i].accept_errors.load(Ordering::Relaxed),
             }),
             snapshot_save: self.snapshot_save.snapshot(),
             snapshot_failures: self.snapshot_failures.load(Ordering::Relaxed),
+            snapshot_consecutive_failures: self
+                .snapshot_consecutive_failures
+                .load(Ordering::Relaxed),
             snapshot_last_unix: self.snapshot_last_unix.load(Ordering::Relaxed),
+            rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            inflight: self.inflight.load(Ordering::Relaxed),
             pool_solves: self.pool_solves.load(Ordering::Relaxed),
             pool: PoolReport {
                 workers: self.pool_workers.load(Ordering::Relaxed),
@@ -701,6 +784,8 @@ pub struct TransportReport {
     pub idle_timeouts: u64,
     /// Frames/bodies rejected for exceeding the shared size cap.
     pub oversize_rejects: u64,
+    /// `accept()` failures on this transport's listener.
+    pub accept_errors: u64,
 }
 
 /// Point-in-time counters of the engine's work-stealing pool (the
@@ -762,8 +847,16 @@ pub struct MetricsReport {
     pub snapshot_save: HistogramSnapshot,
     /// Failed snapshot checkpoints.
     pub snapshot_failures: u64,
+    /// Checkpoint failures since the last success (0 = healthy).
+    pub snapshot_consecutive_failures: u64,
     /// Unix second of the last successful checkpoint (0 = never).
     pub snapshot_last_unix: u64,
+    /// Requests shed under load (admission cap, budgets, injected faults).
+    pub rejected_overload: u64,
+    /// Requests cut short because their deadline expired.
+    pub deadline_exceeded: u64,
+    /// Requests currently admitted and executing (gauge).
+    pub inflight: i64,
     /// Solves that ran on the work-stealing pool.
     pub pool_solves: u64,
     /// Work-stealing pool counters as of the latest parallel solve.
@@ -851,6 +944,7 @@ impl MetricsReport {
                             ("active", Json::num(t.active.max(0) as u64)),
                             ("idle_timeouts", Json::num(t.idle_timeouts)),
                             ("oversize_rejects", Json::num(t.oversize_rejects)),
+                            ("accept_errors", Json::num(t.accept_errors)),
                         ]),
                     )
                 })
@@ -877,10 +971,22 @@ impl MetricsReport {
             ("request_latency_by_outcome", by_outcome),
             ("connections", connections),
             (
+                "resilience",
+                Json::obj(vec![
+                    ("rejected_overload", Json::num(self.rejected_overload)),
+                    ("deadline_exceeded", Json::num(self.deadline_exceeded)),
+                    ("inflight", Json::num(self.inflight.max(0) as u64)),
+                ]),
+            ),
+            (
                 "snapshot",
                 Json::obj(vec![
                     ("checkpoints", self.snapshot_save.summary_json()),
                     ("failures", Json::num(self.snapshot_failures)),
+                    (
+                        "consecutive_failures",
+                        Json::num(self.snapshot_consecutive_failures),
+                    ),
                     ("last_success_unix", Json::num(self.snapshot_last_unix)),
                 ]),
             ),
@@ -1039,6 +1145,32 @@ impl MetricsReport {
         }
 
         out.push_str(
+            "# HELP pc_accept_errors_total Listener accept() failures, by transport.\n\
+             # TYPE pc_accept_errors_total counter\n",
+        );
+        for (i, transport) in Transport::ALL.iter().enumerate() {
+            out.push_str(&format!(
+                "pc_accept_errors_total{{transport=\"{}\"}} {}\n",
+                transport.as_str(),
+                self.transports[i].accept_errors
+            ));
+        }
+        out.push_str(&format!(
+            "# HELP pc_rejected_overload_total Requests shed under load (admission cap, budgets, injected faults).\n\
+             # TYPE pc_rejected_overload_total counter\n\
+             pc_rejected_overload_total {}\n\
+             # HELP pc_deadline_exceeded_total Requests cut short because their deadline expired.\n\
+             # TYPE pc_deadline_exceeded_total counter\n\
+             pc_deadline_exceeded_total {}\n\
+             # HELP pc_inflight_requests Requests currently admitted and executing.\n\
+             # TYPE pc_inflight_requests gauge\n\
+             pc_inflight_requests {}\n",
+            self.rejected_overload,
+            self.deadline_exceeded,
+            self.inflight.max(0)
+        ));
+
+        out.push_str(
             "# HELP pc_snapshot_checkpoint_duration_us Snapshot checkpoint duration in microseconds.\n\
              # TYPE pc_snapshot_checkpoint_duration_us histogram\n",
         );
@@ -1052,10 +1184,13 @@ impl MetricsReport {
             "# HELP pc_snapshot_failures_total Failed snapshot checkpoints.\n\
              # TYPE pc_snapshot_failures_total counter\n\
              pc_snapshot_failures_total {}\n\
+             # HELP pc_snapshot_consecutive_failures Checkpoint failures since the last success.\n\
+             # TYPE pc_snapshot_consecutive_failures gauge\n\
+             pc_snapshot_consecutive_failures {}\n\
              # HELP pc_snapshot_last_success_unixtime Unix time of the last successful checkpoint (0 = never).\n\
              # TYPE pc_snapshot_last_success_unixtime gauge\n\
              pc_snapshot_last_success_unixtime {}\n",
-            self.snapshot_failures, self.snapshot_last_unix
+            self.snapshot_failures, self.snapshot_consecutive_failures, self.snapshot_last_unix
         ));
 
         out.push_str(&format!(
@@ -1391,6 +1526,10 @@ mod tests {
         assert!(text.contains("pc_stage_latency_us_count{stage=\"solve\"} 1\n"));
         assert!(text.contains("pc_connections_accepted_total{transport=\"framed\"} 1\n"));
         assert!(text.contains("pc_oversize_rejects_total{transport=\"http\"} 1\n"));
+        assert!(text.contains("pc_accept_errors_total{transport=\"framed\"} 0\n"));
+        assert!(text.contains("pc_rejected_overload_total 0\n"));
+        assert!(text.contains("pc_deadline_exceeded_total 0\n"));
+        assert!(text.contains("pc_inflight_requests 0\n"));
         assert!(text.contains("pc_uptime_seconds 7\n"));
         // Histogram buckets are cumulative and end at +Inf == count.
         assert!(text.contains("pc_stage_latency_us_bucket{stage=\"solve\",le=\"+Inf\"} 1\n"));
@@ -1418,5 +1557,71 @@ mod tests {
             .expect("stage row");
         assert_eq!(ingest.get("count").and_then(Json::as_u64), Some(1));
         assert_eq!(json.get("uptime_secs").and_then(Json::as_u64), Some(3));
+    }
+
+    #[test]
+    fn resilience_counters_round_trip() {
+        let tel = Telemetry::new(true, None);
+        tel.overload_rejected();
+        tel.overload_rejected();
+        tel.deadline_exceeded();
+        tel.inflight_started();
+        tel.accept_error(Transport::Framed);
+        tel.checkpoint_failed();
+        tel.checkpoint_failed();
+        let report = tel.report(CacheStats::default(), Vec::new(), 0);
+        assert_eq!(report.rejected_overload, 2);
+        assert_eq!(report.deadline_exceeded, 1);
+        assert_eq!(report.inflight, 1);
+        assert_eq!(
+            report.transports[Transport::Framed.index()].accept_errors,
+            1
+        );
+        assert_eq!(report.snapshot_consecutive_failures, 2);
+        assert_eq!(report.snapshot_failures, 2);
+        // A success resets the streak but not the lifetime total.
+        tel.checkpoint_saved(10);
+        tel.inflight_finished();
+        let report = tel.report(CacheStats::default(), Vec::new(), 0);
+        assert_eq!(report.snapshot_consecutive_failures, 0);
+        assert_eq!(report.snapshot_failures, 2);
+        assert_eq!(report.inflight, 0);
+        let json = report.to_json();
+        let resilience = json.get("resilience").expect("resilience block");
+        assert_eq!(
+            resilience.get("rejected_overload").and_then(Json::as_u64),
+            Some(2)
+        );
+        assert_eq!(
+            resilience.get("deadline_exceeded").and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(resilience.get("inflight").and_then(Json::as_u64), Some(0));
+        let framed = json
+            .get("connections")
+            .and_then(|c| c.get("framed"))
+            .expect("framed row");
+        assert_eq!(framed.get("accept_errors").and_then(Json::as_u64), Some(1));
+        let snapshot = json.get("snapshot").expect("snapshot block");
+        assert_eq!(
+            snapshot.get("consecutive_failures").and_then(Json::as_u64),
+            Some(0)
+        );
+        let text = report.to_prometheus();
+        assert!(text.contains("pc_rejected_overload_total 2\n"));
+        assert!(text.contains("pc_deadline_exceeded_total 1\n"));
+        assert!(text.contains("pc_accept_errors_total{transport=\"framed\"} 1\n"));
+        assert!(text.contains("pc_snapshot_consecutive_failures 0\n"));
+    }
+
+    #[test]
+    fn deadline_expiry_is_observable_from_ctx() {
+        let ctx = RequestCtx::generate();
+        assert!(!ctx.deadline_expired());
+        let ctx = ctx.with_deadline_ms(Some(0));
+        assert!(ctx.deadline_expired());
+        let ctx = RequestCtx::with_trace("t").with_deadline_ms(Some(60_000));
+        assert!(!ctx.deadline_expired());
+        assert!(ctx.with_deadline_ms(None).deadline.is_none());
     }
 }

@@ -197,6 +197,24 @@ fn bad(message: impl Into<String>) -> ServiceError {
     ServiceError::BadRequest(message.into())
 }
 
+/// Whether an op does engine work and must pass the admission gate.
+/// Observability (`stats` / `metrics`), `shutdown`, `snapshot`, and
+/// `session_drop` stay ungated: under overload an operator must still be
+/// able to look and drain, and clients must still be able to *release*
+/// resources.
+fn needs_admission(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::Solve { .. }
+            | Op::Batch { .. }
+            | Op::SessionCreate { .. }
+            | Op::SessionAddVertex { .. }
+            | Op::SessionAddEdges { .. }
+            | Op::SessionRemoveEdge { .. }
+            | Op::SessionQuery { .. }
+    )
+}
+
 /// Decodes a v2 envelope into a typed [`Op`].
 ///
 /// `api_version`, when present, must be `2` (the transports already
@@ -390,11 +408,23 @@ fn param_edge_array(params: &Json, field: &str) -> Result<Vec<(VertexId, VertexI
 /// [`dispatch_envelope`] wraps the outcome in the v2 envelope, and the v1
 /// [`crate::proto::dispatch_ctx`] wraps the *identical* payload in the
 /// legacy per-verb reply shapes.
+///
+/// Work ops pass the engine's admission gate first; past the
+/// `max_inflight` cap they fail with a recoverable `overloaded` error
+/// (carrying `retry_after_ms`) without touching the pipeline.
 pub fn execute_op(
     engine: &QueryEngine,
     op: &Op,
     ctx: &RequestCtx,
 ) -> (Result<Json, OpError>, Action) {
+    let _permit = if needs_admission(op) {
+        match engine.try_admit() {
+            Ok(permit) => Some(permit),
+            Err(error) => return (Err(OpError::Service(error)), Action::Continue),
+        }
+    } else {
+        None
+    };
     let result = match op {
         Op::Solve {
             target: Target::Inline(spec),
@@ -861,6 +891,42 @@ mod tests {
             "session traffic must never hit the batch recognize stage"
         );
         assert_eq!(report.sessions.recognize_incremental, 3);
+    }
+
+    #[test]
+    fn admission_gate_sheds_work_ops_but_not_observability() {
+        let engine = QueryEngine::new(crate::engine::EngineConfig {
+            max_inflight: 1,
+            ..crate::engine::EngineConfig::default()
+        });
+        let _held = engine.try_admit().expect("take the only slot");
+        let reply = dispatch(
+            &engine,
+            r#"{"op":"solve","target":{"cotree":"(j a b)"},"params":{"kind":"min_cover_size"}}"#,
+        );
+        assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(false));
+        let error = reply.get("error").expect("error body");
+        assert_eq!(error.get("code").and_then(Json::as_str), Some("overloaded"));
+        assert_eq!(
+            error.get("retry_after_ms").and_then(Json::as_u64),
+            Some(crate::engine::DEFAULT_RETRY_AFTER_MS),
+            "overload rejections must carry the backoff hint: {reply}"
+        );
+        // session_create is work too.
+        let reply = dispatch(&engine, r#"{"op":"session_create"}"#);
+        assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(false));
+        // stats and metrics stay live under full overload.
+        for op in ["stats", "metrics"] {
+            let reply = dispatch(&engine, &format!(r#"{{"op":"{op}"}}"#));
+            assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true), "{op}");
+        }
+        drop(_held);
+        let reply = dispatch(
+            &engine,
+            r#"{"op":"solve","target":{"cotree":"(j a b)"},"params":{"kind":"min_cover_size"}}"#,
+        );
+        assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(engine.metrics_report().rejected_overload, 2);
     }
 
     /// Drops the timing fields and the trace id, the only fields allowed
