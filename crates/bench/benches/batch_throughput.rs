@@ -131,10 +131,14 @@ fn bench_contention(c: &mut Criterion) {
 }
 
 /// Telemetry overhead: the same warmed batch workload with the telemetry
-/// registry on (the default) and off, so the cost of the per-stage clock
-/// marks and histogram recording is measured directly. The disabled
-/// configuration skips every `Instant::now` the registry would take, so
-/// the delta between the two is the whole observability bill.
+/// registry and the flight recorder on and off, so the cost of the
+/// per-stage clock marks, histogram recording and span capture is measured
+/// directly. The `on/trace-off` configuration is the contract point: it
+/// must sit within noise of the pre-flight-recorder telemetry-on baseline
+/// (tracing disabled attaches no span collector, so requests never touch
+/// the recorder). The fully-disabled configuration skips every
+/// `Instant::now` the registry would take, so the delta against it is the
+/// whole observability bill.
 fn bench_telemetry_overhead(c: &mut Criterion) {
     const BATCH: usize = 4096;
     let mut group = c.benchmark_group("service_telemetry_overhead");
@@ -146,14 +150,18 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
             QueryRequest::new(kind, pool[i % POOL].clone())
         })
         .collect();
-    for telemetry in [true, false] {
+    for (label, telemetry, trace) in [
+        ("on", true, pcservice::TraceConfig::default()),
+        ("on-trace-off", true, pcservice::TraceConfig::off()),
+        ("off", false, pcservice::TraceConfig::off()),
+    ] {
         let engine = QueryEngine::new(EngineConfig {
             threads: 1,
             telemetry,
+            trace,
             ..EngineConfig::default()
         });
         engine.execute_batch(None, &requests); // warm the cotree cache
-        let label = if telemetry { "on" } else { "off" };
         group.bench_with_input(
             BenchmarkId::new(format!("batch{BATCH}_t1"), label),
             &requests,

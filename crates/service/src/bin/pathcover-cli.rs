@@ -55,6 +55,7 @@ fn main() -> ExitCode {
         "metrics" => cmd_metrics(rest),
         "snapshot" => cmd_snapshot(rest),
         "session" => cmd_session(rest),
+        "trace" => cmd_trace(rest),
         "shutdown" => cmd_shutdown(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -84,9 +85,12 @@ USAGE:
                         [--threads N] [--backend sim|pool] [--cache-capacity N]
                         [--cache-shards N] [--idle-timeout-ms MS] [--slow-ms MS] [--no-verify]
                         [--max-inflight N] [--max-connections N] [--max-requests-per-conn N]
-                        [--drain-timeout-ms MS] [--fault-spec SPEC]
+                        [--drain-timeout-ms MS] [--fault-spec SPEC] [--log-level LEVEL]
     pathcover-cli stats (--remote SOCK | --remote-http ADDR) [--json]
     pathcover-cli metrics (--remote SOCK | --remote-http ADDR) [--json]
+    pathcover-cli trace list (--remote SOCK | --remote-http ADDR) [--json]
+    pathcover-cli trace get ID (--remote SOCK | --remote-http ADDR) [--chrome | --json]
+    pathcover-cli trace watch (--remote SOCK | --remote-http ADDR) [--interval-ms MS]
     pathcover-cli snapshot save (--remote SOCK | --remote-http ADDR)
     pathcover-cli snapshot inspect FILE [--json]
     pathcover-cli session create [<graph|->] [--format F] (--remote SOCK | --remote-http ADDR) [--json]
@@ -132,6 +136,18 @@ RESILIENCE:
     retry_after_ms hint. '--fault-spec SPEC' (or PC_FAULTS) enables the
     built-in fault-injection harness for chaos testing, e.g.
     'frame_stall_ms=20,panic_rate=0.05,overload_rate=0.2,seed=42'.
+
+OBSERVABILITY:
+    The daemon keeps a bounded in-memory flight recorder of per-request
+    traces (root span, pipeline stages, cache lookups, pool rounds) with
+    tail sampling: errored/overloaded/deadline-exceeded requests and the
+    slowest ones are always retained. 'trace list' shows the retained
+    index, 'trace get ID' prints one trace ('--chrome' emits Chrome
+    trace-event JSON — redirect to a file and load it in chrome://tracing
+    or Perfetto), 'trace watch' tails new retained traces. The daemon logs
+    JSON lines to stderr (one object per line, every line carrying a
+    trace_id where one exists); '--log-level error|warn|info|debug|off'
+    (or PC_LOG) sets the threshold.
 
 PARALLEL EXECUTION:
     Large full-cover solves run on a work-stealing thread pool (the real-cores
@@ -684,6 +700,16 @@ impl RemoteClient {
             RemoteClient::Http(client) => client.query_v2(envelope).map_err(|e| e.to_string()),
         }
     }
+
+    /// Fetches the flight-recorder index (`id: None`) or one retained
+    /// trace; `chrome` selects the Chrome trace-event export.
+    fn trace(&mut self, id: Option<&str>, chrome: bool) -> Result<Json, String> {
+        match self {
+            #[cfg(unix)]
+            RemoteClient::Socket(client) => client.trace(id, chrome).map_err(|e| e.to_string()),
+            RemoteClient::Http(client) => client.trace(id, chrome).map_err(|e| e.to_string()),
+        }
+    }
 }
 
 fn cmd_snapshot(args: &[String]) -> Result<ExitCode, String> {
@@ -1043,6 +1069,14 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
                 .map_err(|e| format!("--fault-spec/PC_FAULTS: {e}"))?,
             None => pcservice::FaultSpec::default(),
         };
+        // Structured-log threshold: the flag wins, PC_LOG is the fallback,
+        // the compiled-in default (info) applies when neither is set.
+        match take_flag(&mut args, "--log-level")? {
+            Some(text) => pcservice::log::set_level(
+                pcservice::log::Level::parse(&text).map_err(|e| format!("--log-level: {e}"))?,
+            ),
+            None => pcservice::log::init_from_env().map_err(|e| format!("PC_LOG: {e}"))?,
+        }
         if !args.is_empty() {
             return Err(format!("unexpected arguments: {args:?}"));
         }
@@ -1329,6 +1363,157 @@ fn cmd_metrics(args: &[String]) -> Result<ExitCode, String> {
         );
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// One human-readable index line for a trace summary object.
+fn print_trace_summary(summary: &Json) {
+    let text = |field: &str| summary.get(field).and_then(Json::as_str).unwrap_or("?");
+    let num = |field: &str| summary.get(field).and_then(Json::as_u64).unwrap_or(0);
+    println!(
+        "{}  {}  {}  {} us  {} spans{}",
+        text("trace_id"),
+        text("kind"),
+        text("outcome"),
+        num("total_us"),
+        num("spans"),
+        if summary.get("protected").and_then(Json::as_bool) == Some(true) {
+            "  [protected]"
+        } else {
+            ""
+        },
+    );
+}
+
+fn cmd_trace(args: &[String]) -> Result<ExitCode, String> {
+    let Some((action, rest)) = args.split_first() else {
+        return Err(format!(
+            "'trace' needs an action: list, get or watch\n{USAGE}"
+        ));
+    };
+    let mut rest = rest.to_vec();
+    let remote = take_remote(&mut rest)?.ok_or_else(|| {
+        format!("'trace {action}' needs --remote SOCK or --remote-http ADDR\n{USAGE}")
+    })?;
+    match action.as_str() {
+        "list" => {
+            let json = take_switch(&mut rest, "--json");
+            if !rest.is_empty() {
+                return Err(format!("unexpected arguments: {rest:?}"));
+            }
+            let mut client = remote.connect()?;
+            let index = client
+                .trace(None, false)
+                .map_err(|e| format!("remote trace: {e}"))?;
+            if json {
+                println!("{index}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            let num = |field: &str| index.get(field).and_then(Json::as_u64).unwrap_or(0);
+            println!(
+                "flight recorder: {} retained (capacity {}), {} sampled out, {} evicted",
+                num("retained"),
+                num("capacity"),
+                num("sampled_out"),
+                num("evicted"),
+            );
+            if let Some(Json::Arr(traces)) = index.get("traces") {
+                for summary in traces {
+                    print_trace_summary(summary);
+                }
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "get" => {
+            let chrome = take_switch(&mut rest, "--chrome");
+            let json = take_switch(&mut rest, "--json");
+            let [id] = rest.as_slice() else {
+                return Err(format!("'trace get' needs exactly one trace ID\n{USAGE}"));
+            };
+            let mut client = remote.connect()?;
+            let trace = client
+                .trace(Some(id), chrome)
+                .map_err(|e| format!("remote trace: {e}"))?;
+            if chrome || json {
+                // --chrome prints the Chrome trace-event export verbatim
+                // (redirect to a file and load it in chrome://tracing or
+                // Perfetto); --json prints the native trace object.
+                println!("{trace}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            let text = |field: &str| trace.get(field).and_then(Json::as_str).unwrap_or("?");
+            let num = |field: &str| trace.get(field).and_then(Json::as_u64).unwrap_or(0);
+            println!(
+                "trace {} — {} {} in {} us{}",
+                text("trace_id"),
+                text("kind"),
+                text("outcome"),
+                num("total_us"),
+                if trace.get("protected").and_then(Json::as_bool) == Some(true) {
+                    " [protected]"
+                } else {
+                    ""
+                },
+            );
+            if let Some(Json::Arr(spans)) = trace.get("spans") {
+                for span in spans {
+                    let at = |field: &str| span.get(field).and_then(Json::as_u64).unwrap_or(0);
+                    let detail = match span.get("detail") {
+                        Some(Json::Obj(pairs)) => pairs
+                            .iter()
+                            .map(|(key, value)| match value.as_str() {
+                                Some(text) => format!(" {key}={text}"),
+                                None => format!(" {key}={value}"),
+                            })
+                            .collect::<String>(),
+                        _ => String::new(),
+                    };
+                    println!(
+                        "  {:>9} us  +{:<9} {}{detail}",
+                        at("start_us"),
+                        at("dur_us"),
+                        span.get("name").and_then(Json::as_str).unwrap_or("?"),
+                    );
+                }
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "watch" => {
+            let interval_ms = take_num_flag(&mut rest, "--interval-ms", 2_000)?;
+            if !rest.is_empty() {
+                return Err(format!("unexpected arguments: {rest:?}"));
+            }
+            let mut client = remote.connect()?;
+            eprintln!("watching flight recorder (poll every {interval_ms} ms, Ctrl-C to stop)");
+            // The first poll prints the current backlog, later polls only
+            // traces with an unseen sequence number.
+            let mut last_seq: Option<u64> = None;
+            loop {
+                let index = client
+                    .trace(None, false)
+                    .map_err(|e| format!("remote trace: {e}"))?;
+                if let Some(Json::Arr(traces)) = index.get("traces") {
+                    let mut fresh: Vec<&Json> = traces
+                        .iter()
+                        .filter(|summary| summary.get("seq").and_then(Json::as_u64) > last_seq)
+                        .collect();
+                    // The index is newest-first; emit in arrival order.
+                    fresh.reverse();
+                    for summary in fresh {
+                        print_trace_summary(summary);
+                    }
+                    if let Some(max) = traces
+                        .iter()
+                        .filter_map(|summary| summary.get("seq").and_then(Json::as_u64))
+                        .max()
+                    {
+                        last_seq = Some(last_seq.map_or(max, |seen| seen.max(max)));
+                    }
+                }
+                std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(100) as u64));
+            }
+        }
+        other => Err(format!("unknown trace action '{other}'\n{USAGE}")),
+    }
 }
 
 fn cmd_shutdown(args: &[String]) -> Result<ExitCode, String> {

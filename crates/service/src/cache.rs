@@ -481,11 +481,17 @@ impl CotreeCache {
         self.shards.len()
     }
 
-    fn shard(&self, hash: u64) -> std::sync::MutexGuard<'_, Shard> {
+    /// The shard index a key hashes into — exposed so request traces can
+    /// label cache-lookup spans with the shard they touched.
+    pub fn shard_index(&self, hash: u64) -> usize {
         // Low bits select the shard; both FNV-derived key families spread
         // them uniformly. The in-shard HashMap re-hashes, so reusing the low
         // bits costs nothing.
-        self.shards[(hash & self.mask) as usize]
+        (hash & self.mask) as usize
+    }
+
+    fn shard(&self, hash: u64) -> std::sync::MutexGuard<'_, Shard> {
+        self.shards[self.shard_index(hash)]
             .lock()
             .expect("cache shard mutex")
     }

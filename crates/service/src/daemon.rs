@@ -221,23 +221,53 @@ fn overloaded_reply() -> Json {
     Json::Obj(fields)
 }
 
+/// Synthesizes a trace id for an accept-time rejection (no request was
+/// read, so no `X-Request-Id` header or frame field exists yet), attaches
+/// it to the goodbye body and emits the structured rejection log line. The
+/// id lets a shed client quote something the operator can grep for.
+fn rejection_reply(transport: &str) -> Json {
+    let ctx = RequestCtx::generate();
+    let Json::Obj(mut fields) = overloaded_reply() else {
+        unreachable!("overloaded_reply always builds an object");
+    };
+    fields.push(("trace_id".to_string(), Json::str(&ctx.trace_id)));
+    crate::log::log(
+        crate::log::Level::Warn,
+        "conn_rejected",
+        Some(&ctx.trace_id),
+        &[
+            ("transport", Json::str(transport)),
+            ("retry_after_ms", Json::num(DEFAULT_RETRY_AFTER_MS)),
+        ],
+    );
+    Json::Obj(fields)
+}
+
 /// Connection-cap goodbye for the framed transport: one `overloaded`
-/// error frame, then close.
+/// error frame (carrying a synthesized `trace_id`), then close.
 pub fn reject_proto_conn<C: Connection>(conn: C) {
     let mut writer = BufWriter::new(conn);
-    let _ = proto::write_frame(&mut writer, &overloaded_reply());
+    let _ = proto::write_frame(&mut writer, &rejection_reply("framed"));
 }
 
 /// Connection-cap goodbye for the HTTP transport: one `503` with a
-/// `Retry-After` header, then close.
+/// `Retry-After` header and a synthesized `trace_id` in the error body,
+/// then close.
 pub fn reject_http_conn<C: Connection>(mut conn: C) {
-    let mut body = overloaded_reply().to_string();
+    let reply = rejection_reply("http");
+    let trace = reply
+        .get("trace_id")
+        .and_then(Json::as_str)
+        .unwrap_or_default()
+        .to_string();
+    let mut body = reply.to_string();
     body.push('\n');
     let secs = DEFAULT_RETRY_AFTER_MS.div_ceil(1000).max(1);
     let _ = write!(
         conn,
         "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\n\
-         Content-Length: {}\r\nRetry-After: {secs}\r\nConnection: close\r\n\r\n{body}",
+         Content-Length: {}\r\nRetry-After: {secs}\r\nX-Request-Id: {trace}\r\n\
+         Connection: close\r\n\r\n{body}",
         body.len()
     );
     let _ = conn.flush();
@@ -347,7 +377,12 @@ where
                 handler(conn, &engine, &shutdown)
             }));
             if outcome.is_err() {
-                eprintln!("pcservice: connection handler panicked (contained to the connection)");
+                crate::log::log(
+                    crate::log::Level::Error,
+                    "handler_panic",
+                    None,
+                    &[("contained", Json::Bool(true))],
+                );
             }
             registry
                 .lock()
@@ -586,10 +621,18 @@ impl Daemon {
                                         .saturating_mul(1u32 << consecutive_failures.min(16))
                                         .min(BACKOFF_CAP)
                                         .max(every);
-                                    eprintln!(
-                                        "pcservice: checkpoint failed \
-                                         ({consecutive_failures} consecutive, next retry in \
-                                         {target:?}): {error}"
+                                    crate::log::log(
+                                        crate::log::Level::Error,
+                                        "checkpoint_failed",
+                                        None,
+                                        &[
+                                            (
+                                                "consecutive",
+                                                Json::num(u64::from(consecutive_failures)),
+                                            ),
+                                            ("next_retry_ms", Json::num(target.as_millis() as u64)),
+                                            ("error", Json::str(error.to_string())),
+                                        ],
                                     );
                                 }
                             }
@@ -678,7 +721,12 @@ impl Daemon {
         // (saves are atomic).
         if engine.snapshot_meta().is_some() {
             if let Err(error) = engine.save_snapshot() {
-                eprintln!("pcservice: snapshot save on shutdown failed: {error}");
+                crate::log::log(
+                    crate::log::Level::Error,
+                    "shutdown_snapshot_failed",
+                    None,
+                    &[("error", Json::str(error.to_string()))],
+                );
             }
         }
         unix_result.and(http_result)

@@ -18,6 +18,7 @@
 use crate::cache::{graph_fingerprint, CacheStats, CotreeCache, SolveEntry};
 use crate::error::ServiceError;
 use crate::ingest::{self, GraphFormat, Ingested};
+use crate::json::Json;
 use crate::model::{
     Answer, CacheStatus, GraphSpec, QueryKind, QueryRequest, QueryResponse, ResponseMeta,
 };
@@ -25,6 +26,7 @@ use crate::snapshot::{self, LoadOutcome, SaveReport, SnapshotError};
 use crate::telemetry::{
     MetricsReport, Outcome, PipelineClock, PoolReport, RequestCtx, Stage, Telemetry,
 };
+use crate::trace::{FlightRecorder, Span, TraceConfig};
 use cograph::{try_recognize, Cotree};
 use parpool::Pool;
 use pathcover::{hamiltonian_path, path_cover, pool_path_cover};
@@ -77,6 +79,11 @@ pub struct EngineConfig {
     /// instead of queueing, so overload turns into fast typed rejections
     /// rather than pile-up.
     pub max_inflight: usize,
+    /// Flight-recorder configuration: per-request span capture and the
+    /// tail-sampled trace ring served by `GET /v1/trace` and the `trace`
+    /// verb (see [`crate::trace`]). [`TraceConfig::off`] removes every
+    /// trace timestamp from the request hot path.
+    pub trace: TraceConfig,
 }
 
 impl Default for EngineConfig {
@@ -94,6 +101,7 @@ impl Default for EngineConfig {
             max_sessions: 256,
             session_idle_ttl: std::time::Duration::from_secs(600),
             max_inflight: 0,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -147,6 +155,9 @@ pub struct QueryEngine {
     /// Work requests currently admitted (the admission-gate counter; the
     /// telemetry gauge mirrors it for export).
     inflight: AtomicUsize,
+    /// The bounded, tail-sampled ring of finished request traces (see
+    /// [`crate::trace`]); shared with the transports for export.
+    recorder: FlightRecorder,
 }
 
 /// RAII permit for one admitted work request, handed out by
@@ -186,6 +197,20 @@ impl QueryEngine {
         };
         let cache = CotreeCache::with_shards(config.cache_capacity, shards);
         let telemetry = Telemetry::new(config.telemetry, config.slow_log_micros);
+        // Publish the resolved pool size from startup so the pool gauges
+        // are present (at their true value) before the first parallel
+        // solve, not only after one.
+        if config.parallel_min_vertices > 0 {
+            let requested = match config.pool_threads {
+                0 => None,
+                t => Some(t),
+            };
+            let threads = parpool::resolve_threads(requested);
+            if threads >= 2 {
+                telemetry.set_pool_workers(threads as u64);
+            }
+        }
+        let recorder = FlightRecorder::new(config.trace.clone());
         QueryEngine {
             config,
             cache,
@@ -195,6 +220,7 @@ impl QueryEngine {
             pool: Mutex::new(None),
             sessions: crate::session::SessionRegistry::new(),
             inflight: AtomicUsize::new(0),
+            recorder,
         }
     }
 
@@ -232,6 +258,25 @@ impl QueryEngine {
     /// loops and transports).
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// The engine's flight recorder (the trace store served by
+    /// `GET /v1/trace`, the `trace` verb and the v2 `trace_*` ops).
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Returns `ctx` with a span collector attached when the flight
+    /// recorder is on and the context has none yet; otherwise a plain
+    /// clone. Transports call this once at dispatch so pre-engine work
+    /// (admission, session-lock waits) lands in the same trace as the
+    /// pipeline stages.
+    pub fn traced_ctx(&self, ctx: &RequestCtx) -> RequestCtx {
+        if ctx.collector.is_some() || !self.recorder.enabled() {
+            ctx.clone()
+        } else {
+            ctx.clone().with_collector(self.recorder.begin())
+        }
     }
 
     /// A point-in-time copy of every metric: the telemetry registry plus
@@ -403,6 +448,17 @@ impl QueryEngine {
         shared: Option<&Result<SharedPrep, ServiceError>>,
         ctx: &RequestCtx,
     ) -> QueryResponse {
+        // Attach a span collector here (not in the transports) so direct
+        // library callers and every batch job get traced too. A context
+        // that already carries one — dispatched by a transport, so the
+        // trace includes admission and lock waits — is kept as-is.
+        let traced;
+        let ctx = if ctx.collector.is_none() && self.recorder.enabled() {
+            traced = self.traced_ctx(ctx);
+            &traced
+        } else {
+            ctx
+        };
         let started = Instant::now();
         match catch_unwind(AssertUnwindSafe(|| {
             self.execute_inner(request, shared, ctx)
@@ -436,7 +492,7 @@ impl QueryEngine {
         ctx: &RequestCtx,
     ) -> QueryResponse {
         let started = Instant::now();
-        let mut clock = self.telemetry.pipeline_clock();
+        let mut clock = self.telemetry.pipeline_clock_ctx(ctx);
         // Deadlines are checked cooperatively at stage boundaries: before
         // ingest/recognition and again before the solve, so an
         // already-expired request never starts the expensive work.
@@ -502,14 +558,38 @@ impl QueryEngine {
         let total = response.meta.total_micros;
         self.telemetry.record_request(response.kind, outcome, total);
         if self.telemetry.should_log(outcome, total) {
-            eprintln!(
-                "pcservice: slow_request trace_id={} kind={} outcome={} total_us={} cache={} n={}",
-                ctx.trace_id,
+            crate::log::log(
+                crate::log::Level::Warn,
+                "slow_request",
+                Some(&ctx.trace_id),
+                &[
+                    ("kind", Json::str(response.kind.as_str())),
+                    ("outcome", Json::str(outcome.as_str())),
+                    ("total_us", Json::num(total)),
+                    ("cache", Json::str(response.meta.cache.as_str())),
+                    ("vertices", Json::num(response.meta.vertices as u64)),
+                ],
+            );
+        }
+        if let Some(collector) = &ctx.collector {
+            let outcome_code = match &response.outcome {
+                Ok(_) => "ok",
+                Err(error) => error.code(),
+            };
+            // Errored, shed and deadline-exceeded requests are exactly the
+            // traces an operator goes looking for — tail sampling must
+            // never drop them.
+            let protected = matches!(
+                response.outcome,
+                Err(ServiceError::DeadlineExceeded) | Err(ServiceError::Overloaded { .. })
+            ) || matches!(outcome, Outcome::Internal);
+            self.recorder.commit(
+                &ctx.trace_id,
                 response.kind.as_str(),
-                outcome.as_str(),
+                outcome_code,
                 total,
-                response.meta.cache.as_str(),
-                response.meta.vertices
+                protected,
+                collector.take(),
             );
         }
     }
@@ -599,7 +679,9 @@ impl QueryEngine {
             });
         }
         let fingerprint = graph_fingerprint(&graph);
+        let lookup_started = clock.collector().map(|c| c.elapsed_us());
         if let Some(entry) = self.cache.lookup_graph(fingerprint, &graph) {
+            self.cache_lookup_span(clock, lookup_started, fingerprint, "hit");
             clock.mark(Stage::CacheLookup);
             return Ok(Resolved {
                 entry,
@@ -607,6 +689,7 @@ impl QueryEngine {
                 cache: CacheStatus::Hit,
             });
         }
+        self.cache_lookup_span(clock, lookup_started, fingerprint, "miss");
         clock.mark(Stage::CacheLookup);
         let cotree = recognize_certified(&graph);
         clock.mark(Stage::Recognize);
@@ -635,7 +718,9 @@ impl QueryEngine {
             });
         }
         let key = crate::cache::canonical_key(cotree);
+        let lookup_started = clock.collector().map(|c| c.elapsed_us());
         if let Some(entry) = self.cache.lookup_key(key, cotree) {
+            self.cache_lookup_span(clock, lookup_started, key, "hit");
             clock.mark(Stage::CacheLookup);
             return Ok(Resolved {
                 entry,
@@ -643,6 +728,7 @@ impl QueryEngine {
                 cache: CacheStatus::Hit,
             });
         }
+        self.cache_lookup_span(clock, lookup_started, key, "miss");
         let entry = self.cache.insert(None, cotree.clone());
         clock.mark(Stage::CacheLookup);
         Ok(Resolved {
@@ -666,7 +752,7 @@ impl QueryEngine {
                 Ok(Answer::MinCoverSize { size })
             }
             QueryKind::FullCover => {
-                let cover = self.solve_cover(&entry.cotree);
+                let cover = self.solve_cover(&entry.cotree, clock);
                 clock.mark(Stage::Solve);
                 let verified = self.verify(resolved, &cover)?;
                 clock.mark(Stage::Verify);
@@ -707,6 +793,26 @@ impl QueryEngine {
         }
     }
 
+    /// Annotates the request trace with one `cache:lookup` span naming the
+    /// shard the key hashed into and whether it hit. No-op when the
+    /// request is untraced.
+    fn cache_lookup_span(
+        &self,
+        clock: &PipelineClock<'_>,
+        start_us: Option<u64>,
+        hash: u64,
+        result: &str,
+    ) {
+        if let (Some(collector), Some(start_us)) = (clock.collector(), start_us) {
+            let end = collector.elapsed_us();
+            collector.push(
+                Span::new("cache:lookup", start_us, end.saturating_sub(start_us))
+                    .with_detail("shard", self.cache.shard_index(hash).to_string())
+                    .with_detail("result", result),
+            );
+        }
+    }
+
     /// The graph to verify against: the ingested one when available,
     /// otherwise the cotree materialised.
     fn graph_of(&self, resolved: &Resolved) -> Arc<Graph> {
@@ -721,7 +827,7 @@ impl QueryEngine {
     /// is created on first use and reused for the life of the engine; its
     /// cumulative statistics are published to the telemetry registry after
     /// every parallel solve.
-    fn solve_cover(&self, cotree: &Cotree) -> PathCover {
+    fn solve_cover(&self, cotree: &Cotree, clock: &PipelineClock<'_>) -> PathCover {
         let threshold = self.config.parallel_min_vertices;
         if threshold > 0 && cotree.num_vertices() >= threshold {
             let requested = match self.config.pool_threads {
@@ -732,7 +838,28 @@ impl QueryEngine {
             if threads >= 2 {
                 let mut guard = self.pool.lock().unwrap_or_else(|e| e.into_inner());
                 let pool = guard.get_or_insert_with(|| Pool::new(threads));
+                // For traced requests, have the pool keep per-round records
+                // (timestamped against its own epoch started here, so the
+                // records rebase onto the request clock with one offset).
+                let trace_base = clock.collector().map(|c| c.elapsed_us());
+                if trace_base.is_some() {
+                    pool.enable_round_records();
+                }
                 let cover = pool_path_cover(cotree, pool);
+                if let (Some(collector), Some(base)) = (clock.collector(), trace_base) {
+                    let batch: Vec<Span> = pool
+                        .take_round_records()
+                        .iter()
+                        .map(|r| {
+                            Span::new("pool:round", base + r.start_us, r.dur_us)
+                                .with_detail("round", r.round.to_string())
+                                .with_detail("chunks", r.chunks.to_string())
+                                .with_detail("steals", r.steals.to_string())
+                                .with_detail("barrier_wait_us", r.barrier_wait_us.to_string())
+                        })
+                        .collect();
+                    collector.push_all(batch);
+                }
                 let stats = pool.stats();
                 self.telemetry.record_pool(&PoolReport {
                     workers: stats.workers as u64,
@@ -994,6 +1121,116 @@ mod tests {
         let ctx = RequestCtx::generate().with_deadline_ms(Some(60_000));
         let resp = e.execute_ctx(&req, &ctx);
         assert!(resp.outcome.is_ok());
+    }
+
+    #[test]
+    fn requests_leave_traces_with_stage_and_cache_spans() {
+        let e = engine();
+        let resp = e.execute(&QueryRequest::new(
+            QueryKind::FullCover,
+            GraphSpec::EdgeList("0 1\n1 2\n0 2\n".to_string()),
+        ));
+        assert!(resp.outcome.is_ok());
+        let trace_id = resp.meta.trace_id.clone().expect("trace id echoed");
+        let trace = e.recorder().get(&trace_id).expect("trace retained");
+        assert_eq!(trace.outcome, "ok");
+        assert_eq!(trace.kind, "full_cover");
+        for name in [
+            "stage:ingest",
+            "stage:solve",
+            "stage:verify",
+            "cache:lookup",
+        ] {
+            assert!(
+                trace.spans.iter().any(|s| s.name == name),
+                "missing {name} span in {:?}",
+                trace.spans
+            );
+        }
+        let lookup = trace
+            .spans
+            .iter()
+            .find(|s| s.name == "cache:lookup")
+            .unwrap();
+        assert!(lookup.detail.iter().any(|(k, _)| k == "shard"));
+        assert!(lookup
+            .detail
+            .iter()
+            .any(|(k, v)| k == "result" && v == "miss"));
+    }
+
+    #[test]
+    fn failed_requests_commit_protected_traces() {
+        let e = engine();
+        let ctx = RequestCtx::generate().with_deadline_ms(Some(0));
+        let resp = e.execute_ctx(
+            &QueryRequest::new(
+                QueryKind::MinCoverSize,
+                GraphSpec::CotreeTerm("(j a b)".to_string()),
+            ),
+            &ctx,
+        );
+        assert_eq!(resp.outcome, Err(ServiceError::DeadlineExceeded));
+        let trace = e.recorder().get(&ctx.trace_id).expect("trace retained");
+        assert!(
+            trace.protected,
+            "deadline-exceeded traces must be protected"
+        );
+        assert_eq!(trace.outcome, "deadline_exceeded");
+    }
+
+    #[test]
+    fn disabled_tracing_attaches_no_collector_and_retains_nothing() {
+        let e = QueryEngine::new(EngineConfig {
+            trace: TraceConfig::off(),
+            ..EngineConfig::default()
+        });
+        let resp = e.execute(&QueryRequest::new(
+            QueryKind::MinCoverSize,
+            GraphSpec::CotreeTerm("(j a b)".to_string()),
+        ));
+        assert!(resp.outcome.is_ok());
+        assert!(e.recorder().is_empty());
+        assert!(!e.recorder().enabled());
+    }
+
+    #[test]
+    fn pool_solves_leave_round_spans_in_the_trace() {
+        let e = QueryEngine::new(EngineConfig {
+            parallel_min_vertices: 4,
+            pool_threads: 2,
+            ..EngineConfig::default()
+        });
+        // A join of unions: big enough to clear the (lowered) pool
+        // threshold deterministically.
+        let leaves = |tag: &str| {
+            (0..8)
+                .map(|i| format!("{tag}{i}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        let term = format!("(j (u {}) (u {}))", leaves("a"), leaves("b"));
+        let resp = e.execute(&QueryRequest::new(
+            QueryKind::FullCover,
+            GraphSpec::CotreeTerm(term),
+        ));
+        assert!(resp.outcome.is_ok());
+        let trace_id = resp.meta.trace_id.clone().expect("trace id echoed");
+        let trace = e.recorder().get(&trace_id).expect("trace retained");
+        let rounds: Vec<_> = trace
+            .spans
+            .iter()
+            .filter(|s| s.name == "pool:round")
+            .collect();
+        assert!(
+            !rounds.is_empty(),
+            "pool-backed solve must leave pool:round spans; got {:?}",
+            trace.spans
+        );
+        assert!(rounds
+            .iter()
+            .all(|s| s.detail.iter().any(|(k, _)| k == "round")));
+        assert!(trace.spans.iter().any(|s| s.name == "stage:solve"));
     }
 
     #[test]

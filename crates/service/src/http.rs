@@ -16,6 +16,8 @@
 //! | `GET /healthz` | — | `{"ok":true,"server":...,"proto":...}` |
 //! | `GET /v1/stats` | — | `{"type":"stats","stats":{...}}` |
 //! | `GET /v1/metrics` | — | Prometheus text (`?format=json` for JSON) |
+//! | `GET /v1/trace` | — | `{"type":"trace","traces":{...}}` (flight-recorder index) |
+//! | `GET /v1/trace/<id>` | — | one retained trace (`?format=chrome` for raw Chrome trace-event JSON) |
 //! | `POST /v1/solve` | one query object | `{"type":"response","response":{...}}` |
 //! | `POST /v1/batch` | `{"shared":...,"requests":[...]}` | `{"type":"batch","responses":[...]}` |
 //! | `POST /v1/snapshot` | — | `{"type":"snapshot_ok","entries":...,"bytes":...}` |
@@ -655,6 +657,56 @@ fn route(
                 )
             }
         }
+        ("GET" | "HEAD", "/v1/trace") => dispatched(proto::Request::Trace {
+            id: None,
+            chrome: false,
+        }),
+        ("GET" | "HEAD", _) if path.starts_with("/v1/trace/") => {
+            let id = &path["/v1/trace/".len()..];
+            if id.is_empty() {
+                return (
+                    HttpResponse::error(404, "Not Found", "not_found", "empty trace id"),
+                    proto::Action::Continue,
+                );
+            }
+            let chrome = request
+                .query
+                .as_deref()
+                .is_some_and(|query| query.split('&').any(|pair| pair == "format=chrome"));
+            if chrome {
+                // Chrome trace-event export is served raw (not wrapped in the
+                // v1 reply envelope) so the body loads directly into
+                // chrome://tracing or Perfetto.
+                return match engine.recorder().get(id) {
+                    Some(trace) => (
+                        HttpResponse::ok(trace.to_chrome_json()),
+                        proto::Action::Continue,
+                    ),
+                    None => (
+                        HttpResponse::error(
+                            404,
+                            "Not Found",
+                            "trace_not_found",
+                            &format!("no retained trace with id '{id}'"),
+                        ),
+                        proto::Action::Continue,
+                    ),
+                };
+            }
+            let (mut response, action) = dispatched(proto::Request::Trace {
+                id: Some(id.to_string()),
+                chrome: false,
+            });
+            // A miss is a resource lookup failure: surface it as HTTP 404
+            // while keeping the framed protocol's error body.
+            if response.body.as_json().is_some_and(|body| {
+                body.get("code").and_then(Json::as_str) == Some("trace_not_found")
+            }) {
+                response.status = 404;
+                response.reason = "Not Found";
+            }
+            (response, action)
+        }
         ("POST", "/v1/snapshot") => dispatched(proto::Request::Snapshot),
         ("POST", "/v1/shutdown") => dispatched(proto::Request::Shutdown),
         ("POST", "/v1/solve") => match parse_body(&request.body) {
@@ -687,7 +739,7 @@ fn route(
             }
             Err(response) => (response, proto::Action::Continue),
         },
-        (_, "/healthz" | "/v1/stats" | "/v1/metrics") => (
+        (_, "/healthz" | "/v1/stats" | "/v1/metrics" | "/v1/trace") => (
             HttpResponse {
                 allow: Some("GET, HEAD"),
                 ..HttpResponse::error(
@@ -707,6 +759,18 @@ fn route(
                     "Method Not Allowed",
                     "method_not_allowed",
                     &format!("{path} only answers POST"),
+                )
+            },
+            proto::Action::Continue,
+        ),
+        (_, _) if path.starts_with("/v1/trace/") => (
+            HttpResponse {
+                allow: Some("GET, HEAD"),
+                ..HttpResponse::error(
+                    405,
+                    "Method Not Allowed",
+                    "method_not_allowed",
+                    &format!("{path} only answers GET"),
                 )
             },
             proto::Action::Continue,
@@ -1132,6 +1196,28 @@ impl Client {
             .ok_or_else(|| HttpError::BadReply("metrics reply missing payload".to_string()))
     }
 
+    /// `GET /v1/trace` (the flight-recorder index, `id: None`) or
+    /// `GET /v1/trace/<id>` (one retained trace). `chrome` selects the raw
+    /// Chrome trace-event export for a single trace and returns it
+    /// verbatim; the other flavours are unwrapped from the v1 reply
+    /// envelope.
+    pub fn trace(&mut self, id: Option<&str>, chrome: bool) -> Result<Json, HttpError> {
+        let path = match (id, chrome) {
+            (None, _) => "/v1/trace".to_string(),
+            (Some(id), false) => format!("/v1/trace/{id}"),
+            (Some(id), true) => format!("/v1/trace/{id}?format=chrome"),
+        };
+        let reply = self.request_retry("GET", &path, None)?;
+        if id.is_some() && chrome {
+            return Ok(reply);
+        }
+        let field = if id.is_some() { "trace" } else { "traces" };
+        Self::expect(reply, "trace")?
+            .get(field)
+            .cloned()
+            .ok_or_else(|| HttpError::BadReply(format!("trace reply missing '{field}' payload")))
+    }
+
     /// `POST /v1/snapshot`: asks the daemon to persist its warm cache
     /// right now; returns the `snapshot_ok` object. A daemon serving
     /// without `--snapshot` answers a `snapshot_unconfigured` error reply —
@@ -1436,6 +1522,90 @@ mod tests {
         let (metrics, _) = get(&engine, "POST", "/v1/metrics", b"");
         assert_eq!(metrics.status, 405);
         assert_eq!(metrics.allow, Some("GET, HEAD"));
+    }
+
+    #[test]
+    fn trace_routes_list_fetch_export_and_reject_methods() {
+        let engine = QueryEngine::default();
+        let request = HttpRequest {
+            method: "POST".to_string(),
+            path: "/v1/solve".to_string(),
+            query: None,
+            trace: Some("t-http".to_string()),
+            deadline_ms: None,
+            keep_alive: true,
+            body: br#"{"kind":"full_cover","cotree":"(u a b c)"}"#.to_vec(),
+        };
+        let (solve, _) = respond(&engine, &request);
+        assert_eq!(solve.status, 200);
+
+        // The flight-recorder index lists the solve's trace.
+        let (list, _) = get(&engine, "GET", "/v1/trace", b"");
+        assert_eq!(list.status, 200);
+        let body = list.body.as_json().expect("json body");
+        assert_eq!(body.get("type").and_then(Json::as_str), Some("trace"));
+        let traces = body.get("traces").expect("traces payload");
+        assert!(
+            traces.get("retained").and_then(Json::as_u64) >= Some(1),
+            "{traces}"
+        );
+
+        // Fetching by id answers the full trace with its stage spans.
+        let (one, _) = get(&engine, "GET", "/v1/trace/t-http", b"");
+        assert_eq!(one.status, 200);
+        let trace = one
+            .body
+            .as_json()
+            .and_then(|b| b.get("trace"))
+            .cloned()
+            .expect("trace payload");
+        assert_eq!(trace.get("trace_id").and_then(Json::as_str), Some("t-http"));
+        assert!(
+            matches!(trace.get("spans"), Some(Json::Arr(spans)) if !spans.is_empty()),
+            "{trace}"
+        );
+
+        // `?format=chrome` serves raw Chrome trace-event JSON.
+        let chrome_request = HttpRequest {
+            method: "GET".to_string(),
+            path: "/v1/trace/t-http".to_string(),
+            query: Some("format=chrome".to_string()),
+            trace: None,
+            deadline_ms: None,
+            keep_alive: true,
+            body: Vec::new(),
+        };
+        let (chrome, _) = respond(&engine, &chrome_request);
+        assert_eq!(chrome.status, 200);
+        let export = chrome.body.as_json().expect("chrome body is json");
+        let Some(Json::Arr(events)) = export.get("traceEvents") else {
+            panic!("missing traceEvents: {export}");
+        };
+        assert!(!events.is_empty());
+        for key in ["ph", "ts", "dur", "name"] {
+            assert!(events[0].get(key).is_some(), "missing {key}: {export}");
+        }
+
+        // Unknown ids are a 404 with the typed error body.
+        let (missing, _) = get(&engine, "GET", "/v1/trace/absent", b"");
+        assert_eq!(missing.status, 404);
+        assert_eq!(
+            missing
+                .body
+                .as_json()
+                .unwrap()
+                .get("code")
+                .and_then(Json::as_str),
+            Some("trace_not_found")
+        );
+
+        // Both trace routes are GET-only.
+        let (rejected, _) = get(&engine, "POST", "/v1/trace", b"");
+        assert_eq!(rejected.status, 405);
+        assert_eq!(rejected.allow, Some("GET, HEAD"));
+        let (rejected, _) = get(&engine, "DELETE", "/v1/trace/t-http", b"");
+        assert_eq!(rejected.status, 405);
+        assert_eq!(rejected.allow, Some("GET, HEAD"));
     }
 
     #[test]

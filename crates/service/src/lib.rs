@@ -80,11 +80,13 @@ pub mod faults;
 pub mod http;
 pub mod ingest;
 pub mod json;
+pub mod log;
 pub mod model;
 pub mod proto;
 pub mod session;
 pub mod snapshot;
 pub mod telemetry;
+pub mod trace;
 pub mod v2;
 
 pub use cache::{
@@ -109,4 +111,5 @@ pub use telemetry::{
     Histogram, HistogramSnapshot, MetricsReport, Outcome, PipelineClock, RequestCtx, Stage,
     Telemetry, Transport,
 };
+pub use trace::{FinishedTrace, FlightRecorder, Span, SpanCollector, TraceConfig};
 pub use v2::API_VERSION;

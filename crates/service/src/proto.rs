@@ -299,6 +299,16 @@ pub enum Request {
     /// Persist the warm cache to the configured snapshot file right now
     /// (see [`crate::snapshot`]).
     Snapshot,
+    /// List the flight recorder's retained trace summaries
+    /// (`{"type":"trace"}`) or fetch one trace in full
+    /// (`{"type":"trace","id":"pc-..."}`, optionally with
+    /// `"format":"chrome"` — see [`crate::trace`]).
+    Trace {
+        /// The trace to fetch; `None` lists summaries.
+        id: Option<String>,
+        /// Emit Chrome trace-event JSON for a single-trace fetch.
+        chrome: bool,
+    },
     /// Stop the daemon (it finishes this reply, then exits its accept loop).
     Shutdown,
 }
@@ -329,6 +339,28 @@ impl Request {
             "stats" => Ok(Request::Stats),
             "metrics" => Ok(Request::Metrics),
             "snapshot" => Ok(Request::Snapshot),
+            "trace" => {
+                let id = match value.get("id") {
+                    None | Some(Json::Null) => None,
+                    Some(Json::Str(s)) => Some(s.clone()),
+                    Some(other) => {
+                        return Err(ProtoError::BadMessage(format!(
+                            "'id' must be a string, got {other}"
+                        )))
+                    }
+                };
+                let chrome = match value.get("format") {
+                    None | Some(Json::Null) => false,
+                    Some(Json::Str(s)) if s == "json" => false,
+                    Some(Json::Str(s)) if s == "chrome" => true,
+                    Some(other) => {
+                        return Err(ProtoError::BadMessage(format!(
+                            "unknown trace format {other} (use \"json\" or \"chrome\")"
+                        )))
+                    }
+                };
+                Ok(Request::Trace { id, chrome })
+            }
             "shutdown" => Ok(Request::Shutdown),
             other => Err(ProtoError::BadMessage(format!(
                 "unknown message type '{other}'"
@@ -365,6 +397,16 @@ impl Request {
             Request::Stats => Json::obj(vec![("type", Json::str("stats"))]),
             Request::Metrics => Json::obj(vec![("type", Json::str("metrics"))]),
             Request::Snapshot => Json::obj(vec![("type", Json::str("snapshot"))]),
+            Request::Trace { id, chrome } => {
+                let mut fields = vec![("type", Json::str("trace"))];
+                if let Some(id) = id {
+                    fields.push(("id", Json::str(id.clone())));
+                }
+                if *chrome {
+                    fields.push(("format", Json::str("chrome")));
+                }
+                Json::obj(fields)
+            }
             Request::Shutdown => Json::obj(vec![("type", Json::str("shutdown"))]),
         }
     }
@@ -450,6 +492,14 @@ pub fn dispatch_ctx(engine: &QueryEngine, request: &Request, ctx: &RequestCtx) -
         Request::Stats => v2::Op::Stats,
         Request::Metrics => v2::Op::Metrics,
         Request::Snapshot => v2::Op::Snapshot,
+        Request::Trace { id: None, .. } => v2::Op::TraceList,
+        Request::Trace {
+            id: Some(id),
+            chrome,
+        } => v2::Op::TraceGet {
+            id: id.clone(),
+            chrome: *chrome,
+        },
         Request::Shutdown => v2::Op::Shutdown,
     };
     let (result, action) = v2::execute_op(engine, &op, ctx);
@@ -499,6 +549,8 @@ fn legacy_reply(op: &v2::Op, result: Result<Json, v2::OpError>) -> Json {
             Json::Obj(fields)
         }
         v2::Op::Shutdown => shutdown_reply(),
+        v2::Op::TraceList => Json::obj(vec![("type", Json::str("trace")), ("traces", result)]),
+        v2::Op::TraceGet { .. } => Json::obj(vec![("type", Json::str("trace")), ("trace", result)]),
         // Session verbs exist only in the v2 envelope; no v1 request maps
         // onto them.
         _ => error_reply("bad_message", "operation has no v1 reply shape"),
@@ -958,6 +1010,23 @@ impl<S: io::Read + io::Write> Client<S> {
             .get("metrics")
             .cloned()
             .ok_or_else(|| ProtoError::BadMessage("metrics reply missing payload".to_string()))
+    }
+
+    /// Fetches trace summaries from the daemon's flight recorder
+    /// (`id: None`), or one retained trace in full; `chrome` selects
+    /// Chrome trace-event JSON for a single-trace fetch (see
+    /// [`crate::trace`]).
+    pub fn trace(&mut self, id: Option<&str>, chrome: bool) -> Result<Json, ProtoError> {
+        let request = Request::Trace {
+            id: id.map(str::to_string),
+            chrome,
+        };
+        let reply = self.round_trip_retry(&request.to_json(), "trace")?;
+        let field = if id.is_some() { "trace" } else { "traces" };
+        reply
+            .get(field)
+            .cloned()
+            .ok_or_else(|| ProtoError::BadMessage(format!("trace reply missing '{field}' payload")))
     }
 
     /// Asks the daemon to persist its warm cache right now; returns the

@@ -496,7 +496,7 @@ impl QueryEngine {
         let outcome_meta = self
             .session_resolve(handle, ctx)
             .map(|(resolved, vertices)| {
-                let mut clock = self.telemetry().pipeline_clock();
+                let mut clock = self.telemetry().pipeline_clock_ctx(ctx);
                 let solve_started = Instant::now();
                 let outcome = self.solve(kind, &resolved, &mut clock);
                 (outcome, resolved, vertices, solve_started.elapsed())
@@ -552,6 +552,7 @@ impl QueryEngine {
         ctx: &RequestCtx,
     ) -> Result<(Resolved, usize), ServiceError> {
         let slot = self.swept_sessions().get(handle)?;
+        let lock_wait = ctx.span_start();
         let mut session = match ctx.deadline {
             None => slot.lock().unwrap_or_else(|e| e.into_inner()),
             Some(_) => loop {
@@ -562,6 +563,7 @@ impl QueryEngine {
                     }
                     Err(std::sync::TryLockError::WouldBlock) => {
                         if ctx.deadline_expired() {
+                            ctx.finish_span("session:lock_wait", lock_wait);
                             return Err(ServiceError::DeadlineExceeded);
                         }
                         std::thread::sleep(Duration::from_millis(1));
@@ -569,6 +571,7 @@ impl QueryEngine {
                 }
             },
         };
+        ctx.finish_span("session:lock_wait", lock_wait);
         session.last_used = Instant::now();
         if session.adjacency.is_empty() {
             return Err(ServiceError::EmptyGraph);

@@ -24,6 +24,7 @@ use crate::cache::{CacheStats, ShardStats};
 use crate::json::Json;
 use crate::model::QueryKind;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 /// Number of buckets in every latency histogram: bucket `i < 31` holds
@@ -313,7 +314,7 @@ fn kind_index(kind: QueryKind) -> usize {
 /// Per-request context carried from the transport edge through the engine:
 /// the trace ID echoed in every response and log line, plus an optional
 /// deadline after which the engine stops working on the request.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct RequestCtx {
     /// The trace ID — client-supplied (`X-Request-Id` header, `trace_id`
     /// proto field) or synthesized at the edge.
@@ -322,7 +323,22 @@ pub struct RequestCtx {
     /// `deadline_ms` envelope field or `X-Deadline-Ms` header; `None` means
     /// the request may run to completion.
     pub deadline: Option<Instant>,
+    /// The request's span sink when the flight recorder is on
+    /// (see [`crate::trace`]); `None` means spans are not being collected
+    /// and instrumented sites skip their clock reads entirely.
+    pub collector: Option<std::sync::Arc<crate::trace::SpanCollector>>,
 }
+
+// Identity of a request context is its trace ID and deadline; the span
+// collector is per-request plumbing, not identity (and `Arc<SpanCollector>`
+// has no meaningful equality).
+impl PartialEq for RequestCtx {
+    fn eq(&self, other: &Self) -> bool {
+        self.trace_id == other.trace_id && self.deadline == other.deadline
+    }
+}
+
+impl Eq for RequestCtx {}
 
 impl RequestCtx {
     /// Wraps a client-supplied trace ID.
@@ -330,6 +346,34 @@ impl RequestCtx {
         RequestCtx {
             trace_id: trace_id.into(),
             deadline: None,
+            collector: None,
+        }
+    }
+
+    /// Attaches (or clears) a span collector; used by the engine at request
+    /// entry when the flight recorder is enabled.
+    pub fn with_collector(
+        mut self,
+        collector: Option<std::sync::Arc<crate::trace::SpanCollector>>,
+    ) -> Self {
+        self.collector = collector;
+        self
+    }
+
+    /// The trace clock's current offset in microseconds, when spans are
+    /// being collected. Instrumented sites pair this with
+    /// [`RequestCtx::finish_span`].
+    pub fn span_start(&self) -> Option<u64> {
+        self.collector
+            .as_ref()
+            .map(|collector| collector.elapsed_us())
+    }
+
+    /// Closes a span opened at `start` (a [`RequestCtx::span_start`]
+    /// reading). A `None` start — tracing off — is a no-op.
+    pub fn finish_span(&self, name: &str, start: Option<u64>) {
+        if let (Some(collector), Some(start_us)) = (self.collector.as_ref(), start) {
+            collector.finish(name, start_us);
         }
     }
 
@@ -364,6 +408,7 @@ impl RequestCtx {
         RequestCtx {
             trace_id: format!("pc-{mixed:016x}"),
             deadline: None,
+            collector: None,
         }
     }
 }
@@ -380,17 +425,37 @@ impl RequestCtx {
 #[derive(Debug)]
 pub struct PipelineClock<'t> {
     inner: Option<(&'t Telemetry, Instant)>,
+    collector: Option<Arc<crate::trace::SpanCollector>>,
 }
 
 impl PipelineClock<'_> {
     /// Records the segment since the previous mark under `stage` and
-    /// restarts the stopwatch.
+    /// restarts the stopwatch. When a span collector rides the clock the
+    /// same segment is also recorded as a `stage:*` span in the request
+    /// trace.
     pub fn mark(&mut self, stage: Stage) {
         if let Some((telemetry, last)) = &mut self.inner {
             let now = Instant::now();
-            telemetry.record_stage(stage, (now - *last).as_micros() as u64);
+            let micros = (now - *last).as_micros() as u64;
+            telemetry.record_stage(stage, micros);
+            if let Some(collector) = &self.collector {
+                let end = collector.elapsed_us();
+                collector.push(crate::trace::Span::new(
+                    format!("stage:{}", stage.as_str()),
+                    end.saturating_sub(micros),
+                    micros,
+                ));
+            }
             *last = now;
         }
+    }
+
+    /// The span collector riding this clock, if the request is traced and
+    /// the clock is live. Pipeline internals use it to attach extra child
+    /// spans (cache lookups, pool rounds) without threading the request
+    /// context everywhere.
+    pub fn collector(&self) -> Option<&Arc<crate::trace::SpanCollector>> {
+        self.collector.as_ref()
     }
 
     /// Restarts the stopwatch without attributing the elapsed segment to
@@ -500,6 +565,22 @@ impl Telemetry {
     pub fn pipeline_clock(&self) -> PipelineClock<'_> {
         PipelineClock {
             inner: self.enabled.then(|| (self, Instant::now())),
+            collector: None,
+        }
+    }
+
+    /// Like [`pipeline_clock`](Self::pipeline_clock), but also carrying
+    /// the request's span collector (if any) so each stage mark doubles
+    /// as a trace span. Stage spans require telemetry to be live — the
+    /// disabled registry keeps the clock a true no-op.
+    pub fn pipeline_clock_ctx(&self, ctx: &RequestCtx) -> PipelineClock<'_> {
+        PipelineClock {
+            inner: self.enabled.then(|| (self, Instant::now())),
+            collector: if self.enabled {
+                ctx.collector.clone()
+            } else {
+                None
+            },
         }
     }
 
@@ -665,6 +746,16 @@ impl Telemetry {
                 .store(stats.barrier_wait_p50_us, Ordering::Relaxed);
             self.pool_barrier_wait_p99_us
                 .store(stats.barrier_wait_p99_us, Ordering::Relaxed);
+        }
+    }
+
+    /// Publishes the pool's resolved worker count without booking a solve.
+    /// Called once at engine startup so the pool gauges exist (at zero
+    /// rounds/steals but the true worker count) before the first parallel
+    /// solve, instead of leaving dashboard gaps until the pool engages.
+    pub fn set_pool_workers(&self, workers: u64) {
+        if self.enabled {
+            self.pool_workers.store(workers, Ordering::Relaxed);
         }
     }
 
@@ -877,6 +968,26 @@ impl MetricsReport {
         self.requests.iter().flatten().sum()
     }
 
+    /// Whole-request latency aggregated across every query kind: the
+    /// bucket-wise union of the per-kind histograms (bounds are shared, so
+    /// the merge is exact). Backs the `pc_request_duration` Prometheus
+    /// series an external scraper uses to compute its own quantiles.
+    pub fn request_duration(&self) -> HistogramSnapshot {
+        let mut merged = HistogramSnapshot {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+        };
+        for snap in &self.request_kind {
+            for (i, &bucket) in snap.buckets.iter().enumerate() {
+                merged.buckets[i] += bucket;
+            }
+            merged.count += snap.count;
+            merged.sum += snap.sum;
+        }
+        merged
+    }
+
     /// Structured JSON rendering, used by the `metrics` proto frame,
     /// `GET /v1/metrics?format=json` and `pathcover-cli metrics`.
     pub fn to_json(&self) -> Json {
@@ -1047,6 +1158,19 @@ impl MetricsReport {
     pub fn to_prometheus(&self) -> String {
         let mut out = String::with_capacity(16 * 1024);
 
+        out.push_str(&format!(
+            "# HELP pc_build_info Build identification of this daemon; always 1.\n\
+             # TYPE pc_build_info gauge\n\
+             pc_build_info{{version=\"{}\",rust_version=\"{}\",profile=\"{}\"}} 1\n",
+            env!("CARGO_PKG_VERSION"),
+            option_env!("CARGO_PKG_RUST_VERSION").unwrap_or("unknown"),
+            if cfg!(debug_assertions) {
+                "debug"
+            } else {
+                "release"
+            }
+        ));
+
         out.push_str("# HELP pc_requests_total Requests completed, by query kind and outcome.\n");
         out.push_str("# TYPE pc_requests_total counter\n");
         for (k, kind) in QueryKind::ALL.iter().enumerate() {
@@ -1098,6 +1222,32 @@ impl MetricsReport {
                 &self.request_outcome[i],
             );
         }
+
+        // Aggregate request duration: one unlabelled cumulative histogram
+        // (same power-of-two microsecond bounds as every other series) so
+        // an external Prometheus can run its own histogram_quantile, plus
+        // the precomputed quantile gauges for dashboards that want the
+        // daemon's view.
+        let duration = self.request_duration();
+        out.push_str(
+            "# HELP pc_request_duration Whole-request latency in microseconds, all query kinds.\n\
+             # TYPE pc_request_duration histogram\n",
+        );
+        render_histogram(&mut out, "pc_request_duration", "", &duration);
+        out.push_str(&format!(
+            "# HELP pc_request_duration_p50_us Precomputed median whole-request latency in microseconds.\n\
+             # TYPE pc_request_duration_p50_us gauge\n\
+             pc_request_duration_p50_us {}\n\
+             # HELP pc_request_duration_p90_us Precomputed p90 whole-request latency in microseconds.\n\
+             # TYPE pc_request_duration_p90_us gauge\n\
+             pc_request_duration_p90_us {}\n\
+             # HELP pc_request_duration_p99_us Precomputed p99 whole-request latency in microseconds.\n\
+             # TYPE pc_request_duration_p99_us gauge\n\
+             pc_request_duration_p99_us {}\n",
+            duration.quantile(0.50),
+            duration.quantile(0.90),
+            duration.quantile(0.99)
+        ));
 
         out.push_str(
             "# HELP pc_connections_accepted_total Connections accepted, by transport.\n\

@@ -13,9 +13,10 @@
 //! ```
 //!
 //! * **`op`** names the operation: `solve`, `batch`, `stats`, `metrics`,
-//!   `snapshot`, `shutdown`, or the session verbs `session_create`,
+//!   `snapshot`, `shutdown`, the session verbs `session_create`,
 //!   `session_add_vertex`, `session_add_edges`, `session_remove_edge`,
-//!   `session_query`, `session_drop`.
+//!   `session_query`, `session_drop`, or the flight-recorder verbs
+//!   `trace_list` and `trace_get` (see [`crate::trace`]).
 //! * **`target`** names the graph the op acts on — either an inline graph
 //!   (`edge_list` / `dimacs` / `cotree`, exactly the v1 spellings) or a
 //!   daemon-resident session handle `{"session": "sess-..."}`. `solve`
@@ -125,6 +126,16 @@ pub enum Op {
         /// The session handle.
         handle: String,
     },
+    /// List the flight recorder's retained trace summaries.
+    TraceList,
+    /// Fetch one retained trace in full.
+    TraceGet {
+        /// The trace id to fetch.
+        id: String,
+        /// Emit Chrome trace-event JSON instead of the native shape
+        /// (`params.format: "chrome"`).
+        chrome: bool,
+    },
 }
 
 impl Op {
@@ -143,6 +154,8 @@ impl Op {
             Op::SessionRemoveEdge { .. } => "session_remove_edge",
             Op::SessionQuery { .. } => "session_query",
             Op::SessionDrop { .. } => "session_drop",
+            Op::TraceList => "trace_list",
+            Op::TraceGet { .. } => "trace_get",
         }
     }
 }
@@ -161,6 +174,12 @@ pub enum OpError {
         /// The human-readable message.
         message: String,
     },
+    /// A `trace_get` miss: the id was never retained, was sampled out, or
+    /// has been evicted from the ring.
+    TraceNotFound {
+        /// The requested trace id.
+        id: String,
+    },
 }
 
 impl OpError {
@@ -169,6 +188,7 @@ impl OpError {
         match self {
             OpError::Service(e) => e.code(),
             OpError::Snapshot { code, .. } => code,
+            OpError::TraceNotFound { .. } => "trace_not_found",
         }
     }
 
@@ -177,6 +197,11 @@ impl OpError {
         match self {
             OpError::Service(e) => e.to_string(),
             OpError::Snapshot { message, .. } => message.clone(),
+            OpError::TraceNotFound { id } => {
+                format!(
+                    "no retained trace with id '{id}' (evicted, sampled out, or never recorded)"
+                )
+            }
         }
     }
 
@@ -185,9 +210,9 @@ impl OpError {
     pub fn wire_body(&self) -> Json {
         match self {
             OpError::Service(e) => e.wire_body(),
-            OpError::Snapshot { code, message } => Json::obj(vec![
-                ("code", Json::str(*code)),
-                ("message", Json::str(message.clone())),
+            OpError::Snapshot { .. } | OpError::TraceNotFound { .. } => Json::obj(vec![
+                ("code", Json::str(self.code())),
+                ("message", Json::str(self.message())),
             ]),
         }
     }
@@ -198,10 +223,10 @@ fn bad(message: impl Into<String>) -> ServiceError {
 }
 
 /// Whether an op does engine work and must pass the admission gate.
-/// Observability (`stats` / `metrics`), `shutdown`, `snapshot`, and
-/// `session_drop` stay ungated: under overload an operator must still be
-/// able to look and drain, and clients must still be able to *release*
-/// resources.
+/// Observability (`stats` / `metrics` / `trace_list` / `trace_get`),
+/// `shutdown`, `snapshot`, and `session_drop` stay ungated: under overload
+/// an operator must still be able to look and drain, and clients must
+/// still be able to *release* resources.
 fn needs_admission(op: &Op) -> bool {
     matches!(
         op,
@@ -293,6 +318,15 @@ pub fn parse_envelope(value: &Json) -> Result<Op, ServiceError> {
         "session_drop" => Ok(Op::SessionDrop {
             handle: session_target(target, op)?,
         }),
+        "trace_list" => Ok(Op::TraceList),
+        "trace_get" => Ok(Op::TraceGet {
+            id: params
+                .get("id")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("trace_get params need a string field 'id'"))?
+                .to_string(),
+            chrome: param_trace_format(params)?,
+        }),
         other => Err(bad(format!("unknown op '{other}'"))),
     }
 }
@@ -331,6 +365,19 @@ fn session_target(target: Option<Target>, op: &str) -> Result<String, ServiceErr
         Some(Target::Session(handle)) => Ok(handle),
         _ => Err(bad(format!(
             "'{op}' needs a session target: {{\"session\": handle}}"
+        ))),
+    }
+}
+
+/// Decodes `params.format` for `trace_get`: absent or `"json"` keeps the
+/// native shape, `"chrome"` selects Chrome trace-event JSON.
+fn param_trace_format(params: &Json) -> Result<bool, ServiceError> {
+    match params.get("format") {
+        None | Some(Json::Null) => Ok(false),
+        Some(Json::Str(s)) if s == "json" => Ok(false),
+        Some(Json::Str(s)) if s == "chrome" => Ok(true),
+        Some(other) => Err(bad(format!(
+            "unknown trace format {other} (use \"json\" or \"chrome\")"
         ))),
     }
 }
@@ -417,10 +464,31 @@ pub fn execute_op(
     op: &Op,
     ctx: &RequestCtx,
 ) -> (Result<Json, OpError>, Action) {
+    // Open the request's root span here — before admission — so the trace
+    // of an admitted request includes its admission wait, and a *shed*
+    // request still leaves a (protected) trace in the flight recorder.
+    let ctx = &engine.traced_ctx(ctx);
     let _permit = if needs_admission(op) {
+        let admit_wait = ctx.span_start();
         match engine.try_admit() {
-            Ok(permit) => Some(permit),
-            Err(error) => return (Err(OpError::Service(error)), Action::Continue),
+            Ok(permit) => {
+                ctx.finish_span("admission:wait", admit_wait);
+                Some(permit)
+            }
+            Err(error) => {
+                ctx.finish_span("admission:wait", admit_wait);
+                if let Some(collector) = &ctx.collector {
+                    engine.recorder().commit(
+                        &ctx.trace_id,
+                        op.name(),
+                        error.code(),
+                        collector.elapsed_us(),
+                        true,
+                        collector.take(),
+                    );
+                }
+                return (Err(OpError::Service(error)), Action::Continue);
+            }
         }
     } else {
         None
@@ -453,17 +521,38 @@ pub fn execute_op(
         }
         Op::Stats => Ok(proto::stats_payload(engine)),
         Op::Metrics => Ok(proto::metrics_payload(engine)),
-        Op::Snapshot => match engine.save_snapshot() {
-            Ok(report) => Ok(proto::snapshot_payload(engine, &report)),
-            Err(error @ crate::snapshot::SnapshotError::NotConfigured) => Err(OpError::Snapshot {
-                code: "snapshot_unconfigured",
-                message: error.to_string(),
-            }),
-            Err(error) => Err(OpError::Snapshot {
-                code: "snapshot_failed",
-                message: error.to_string(),
-            }),
-        },
+        Op::Snapshot => {
+            let checkpoint = ctx.span_start();
+            let result = match engine.save_snapshot() {
+                Ok(report) => Ok(proto::snapshot_payload(engine, &report)),
+                Err(error @ crate::snapshot::SnapshotError::NotConfigured) => {
+                    Err(OpError::Snapshot {
+                        code: "snapshot_unconfigured",
+                        message: error.to_string(),
+                    })
+                }
+                Err(error) => Err(OpError::Snapshot {
+                    code: "snapshot_failed",
+                    message: error.to_string(),
+                }),
+            };
+            ctx.finish_span("snapshot:checkpoint", checkpoint);
+            if let Some(collector) = &ctx.collector {
+                let (outcome, protected) = match &result {
+                    Ok(_) => ("ok", false),
+                    Err(error) => (error.code(), true),
+                };
+                engine.recorder().commit(
+                    &ctx.trace_id,
+                    "snapshot",
+                    outcome,
+                    collector.elapsed_us(),
+                    protected,
+                    collector.take(),
+                );
+            }
+            result
+        }
         Op::Shutdown => Ok(Json::obj(vec![])),
         Op::SessionCreate { graph } => engine
             .session_create(graph.as_ref())
@@ -490,6 +579,15 @@ pub fn execute_op(
                 ])
             })
             .map_err(OpError::Service),
+        Op::TraceList => Ok(engine.recorder().list_json()),
+        Op::TraceGet { id, chrome } => match engine.recorder().get(id) {
+            Some(trace) => Ok(if *chrome {
+                trace.to_chrome_json()
+            } else {
+                trace.to_json()
+            }),
+            None => Err(OpError::TraceNotFound { id: id.clone() }),
+        },
     };
     let action = if matches!(op, Op::Shutdown) {
         Action::Shutdown
@@ -927,6 +1025,86 @@ mod tests {
         );
         assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
         assert_eq!(engine.metrics_report().rejected_overload, 2);
+    }
+
+    #[test]
+    fn trace_ops_list_and_fetch_retained_traces() {
+        let engine = engine();
+        let solved = dispatch(
+            &engine,
+            r#"{"op":"solve","target":{"cotree":"(j a b c)"},"params":{"kind":"full_cover"}}"#,
+        );
+        assert_eq!(solved.get("ok").and_then(Json::as_bool), Some(true));
+
+        let list = dispatch(&engine, r#"{"op":"trace_list"}"#);
+        assert_eq!(list.get("ok").and_then(Json::as_bool), Some(true));
+        let result = list.get("result").expect("result");
+        assert!(result.get("retained").and_then(Json::as_u64).unwrap_or(0) >= 1);
+        let Some(Json::Arr(traces)) = result.get("traces") else {
+            panic!("missing traces array: {list}");
+        };
+        let id = traces[0]
+            .get("trace_id")
+            .and_then(Json::as_str)
+            .expect("summary has trace_id")
+            .to_string();
+        assert_eq!(id, "t-v2", "the dispatched solve's trace id is retained");
+
+        let fetched = dispatch(
+            &engine,
+            &format!(r#"{{"op":"trace_get","params":{{"id":"{id}"}}}}"#),
+        );
+        assert_eq!(fetched.get("ok").and_then(Json::as_bool), Some(true));
+        let spans = fetched.get("result").and_then(|r| r.get("spans"));
+        assert!(
+            matches!(spans, Some(Json::Arr(s)) if !s.is_empty()),
+            "full trace carries spans: {fetched}"
+        );
+
+        let chrome = dispatch(
+            &engine,
+            &format!(r#"{{"op":"trace_get","params":{{"id":"{id}","format":"chrome"}}}}"#),
+        );
+        assert!(
+            chrome
+                .get("result")
+                .and_then(|r| r.get("traceEvents"))
+                .is_some(),
+            "chrome format carries traceEvents: {chrome}"
+        );
+
+        let missing = dispatch(&engine, r#"{"op":"trace_get","params":{"id":"absent"}}"#);
+        assert_eq!(missing.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            missing
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some("trace_not_found")
+        );
+    }
+
+    #[test]
+    fn shed_requests_leave_protected_traces_with_the_admission_span() {
+        let engine = QueryEngine::new(crate::engine::EngineConfig {
+            max_inflight: 1,
+            ..crate::engine::EngineConfig::default()
+        });
+        let held = engine.try_admit().expect("take the only slot");
+        let reply = dispatch(
+            &engine,
+            r#"{"op":"solve","target":{"cotree":"(j a b)"},"params":{"kind":"min_cover_size"}}"#,
+        );
+        assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(false));
+        drop(held);
+        let trace = engine.recorder().get("t-v2").expect("shed trace retained");
+        assert!(trace.protected, "overload sheds must be protected");
+        assert_eq!(trace.outcome, "overloaded");
+        assert!(
+            trace.spans.iter().any(|s| s.name == "admission:wait"),
+            "shed trace records the admission attempt: {:?}",
+            trace.spans
+        );
     }
 
     /// Drops the timing fields and the trace id, the only fields allowed

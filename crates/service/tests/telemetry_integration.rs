@@ -123,6 +123,9 @@ fn telemetry_round_trips_across_both_transports() {
         "{headers}"
     );
     let mut requests_total = 0u64;
+    let mut bucket_count: Option<u64> = None;
+    let mut last_bucket: Option<f64> = None;
+    let mut build_info: Option<f64> = None;
     for line in exposition.lines() {
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -136,8 +139,37 @@ fn telemetry_round_trips_across_both_transports() {
         if name_part.starts_with("pc_requests_total{") {
             requests_total += value as u64;
         }
+        if let Some(labels) = name_part.strip_prefix("pc_request_duration_bucket{") {
+            bucket_count = Some(bucket_count.unwrap_or(0) + 1);
+            // Cumulative histogram: each bucket's count never shrinks as
+            // `le` grows (the exposition emits them in ascending order).
+            let le = labels
+                .split(',')
+                .find_map(|part| part.trim().strip_prefix("le=\""))
+                .map(|rest| rest.trim_end_matches(['"', '}']))
+                .expect("bucket line carries an le label");
+            if le == "+Inf" {
+                assert_eq!(value as u64, 2, "+Inf bucket counts every request: {line}");
+            }
+            if let Some(previous) = last_bucket {
+                assert!(value >= previous, "buckets must be cumulative: {line}");
+            }
+            last_bucket = Some(value);
+        }
+        if name_part.starts_with("pc_build_info{") {
+            assert!(
+                name_part.contains("version=\"") && name_part.contains("profile=\""),
+                "build info labels: {line}"
+            );
+            build_info = Some(value);
+        }
     }
     assert_eq!(requests_total, 2, "scrape agrees with the metrics frame");
+    assert!(
+        bucket_count.is_some_and(|count| count >= 2),
+        "real _bucket series exported: {exposition}"
+    );
+    assert_eq!(build_info, Some(1.0), "pc_build_info gauge is 1");
 
     unix_client.shutdown().expect("shutdown");
     handle.join().expect("daemon thread").expect("clean exit");
